@@ -1,0 +1,110 @@
+// Command psdbench regenerates the evaluation of "Protocol Service
+// Decomposition for High-Performance Networking" (Maeda & Bershad,
+// SOSP '93): Table 2 (throughput and latency for 12 system
+// configurations on two platforms), Table 3 (the NEWAPI shared-buffer
+// interface), Table 4 (the per-layer latency breakdown), the
+// receive-buffer sweep methodology, and a set of ablations.
+//
+// Usage:
+//
+//	psdbench -all               # everything (takes a few minutes)
+//	psdbench -table 2           # just Table 2
+//	psdbench -table 4           # just the breakdown
+//	psdbench -sweep             # buffer-size sweeps
+//	psdbench -ablations         # design-choice ablations
+//	psdbench -rounds N -mb M    # adjust effort
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	table := flag.Int("table", 0, "reproduce one table (2, 3, or 4)")
+	config := flag.String("config", "", "measure a single named configuration (see -list)")
+	list := flag.Bool("list", false, "list configuration names")
+	sweep := flag.Bool("sweep", false, "run receive-buffer sweeps")
+	ablations := flag.Bool("ablations", false, "run design-choice ablations")
+	all := flag.Bool("all", false, "run everything")
+	rounds := flag.Int("rounds", 300, "round trips per latency cell")
+	mb := flag.Int("mb", 16, "ttcp transfer size in MB")
+	flag.Parse()
+
+	opt := bench.Options{LatRounds: *rounds, TotalBytes: *mb << 20}
+	ran := false
+
+	if *list {
+		ran = true
+		for _, c := range append(append(bench.DECConfigs(), bench.I486Configs()...), bench.NewAPIConfigs()...) {
+			fmt.Printf("%-24s %s\n", c.Platform, c.Name)
+		}
+	}
+	if *config != "" {
+		ran = true
+		cfg, err := bench.FindConfig(*config)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		row := bench.RunTable2Row(cfg, opt)
+		fmt.Println(bench.FormatTable2("Configuration: "+cfg.Name, []bench.Table2Row{row}))
+	}
+
+	if *all || *table == 2 {
+		ran = true
+		rows := bench.RunTable2(opt)
+		fmt.Println(bench.FormatTable2(
+			"Table 2: TCP throughput and TCP/UDP round-trip latency", rows))
+	}
+	if *all || *table == 3 {
+		ran = true
+		rows := bench.RunTable3(opt)
+		fmt.Println(bench.FormatTable2(
+			"Table 3: the modified socket interface (NEWAPI)", rows))
+	}
+	if *all || *table == 4 {
+		ran = true
+		runTable4(opt)
+	}
+	if *all || *sweep {
+		ran = true
+		for _, cfg := range bench.DECConfigs() {
+			pts := bench.SweepBuffers(cfg, opt.TotalBytes/4, nil)
+			fmt.Println(bench.FormatSweep(cfg, pts))
+		}
+	}
+	if *all || *ablations {
+		ran = true
+		fmt.Println(bench.FormatAblations(bench.RunAblations(opt)))
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runTable4(opt Options) {
+	decs := bench.DECConfigs()
+	styles := []bench.SysConfig{decs[5], decs[0], decs[2]} // Library, Kernel, Server
+
+	var tcpCells, udpCells []bench.Breakdown
+	for _, cfg := range styles {
+		for _, size := range []int{1, 1460} {
+			tcpCells = append(tcpCells, bench.RunBreakdown(cfg, true, size, opt.LatRounds))
+		}
+	}
+	for _, cfg := range styles {
+		for _, size := range []int{1, 1472} {
+			udpCells = append(udpCells, bench.RunBreakdown(cfg, false, size, opt.LatRounds))
+		}
+	}
+	fmt.Println(bench.FormatTable4("Table 4 (TCP): per-layer latency, µs per one-way message", tcpCells))
+	fmt.Println(bench.FormatTable4("Table 4 (UDP): per-layer latency, µs per one-way message", udpCells))
+}
+
+// Options aliases bench.Options for the local helper signature.
+type Options = bench.Options

@@ -1,0 +1,129 @@
+// Chat: a select-driven TCP chat room, exercising the cooperative
+// select machinery of the decomposed architecture (paper §3.2).
+//
+// The chat server multiplexes a listening socket and all client
+// connections through select. In the decomposed architecture the
+// listener is managed by the OS server while the accepted connections
+// live in the application's protocol library — exactly the mixed case
+// the paper's cooperative interface exists for: the library checks its
+// own sockets, asks the server about the listener via proxy_status, and
+// blocks until either side reports a change.
+//
+// Run: go run ./examples/chat
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/psd"
+)
+
+const chatPort = 6667
+
+func main() {
+	n := psd.New(7)
+	hub := n.Host("hub", "10.0.0.1", psd.Decomposed())
+	userA := n.Host("alice-box", "10.0.0.2", psd.Decomposed())
+	userB := n.Host("bob-box", "10.0.0.3", psd.Decomposed())
+
+	runServer(n, hub)
+	runClient(n, userA, hub, "alice", []string{"hello room", "anyone here?"})
+	runClient(n, userB, hub, "bob", []string{"hi alice"})
+
+	check(n.Run())
+	fmt.Printf("\nvirtual time elapsed: %v\n", n.Now())
+}
+
+func runServer(n *psd.Network, host *psd.Host) {
+	app := host.NewApp("chatd")
+	n.Spawn("chatd", func(t *psd.Thread) {
+		ls, err := app.Socket(t, psd.SockStream)
+		check(err)
+		check(app.Bind(t, ls, psd.SockAddr{Port: chatPort}))
+		check(app.Listen(t, ls, 8))
+
+		conns := map[int]string{} // fd -> display name
+		buf := make([]byte, 1024)
+		nextID := 0
+		deadline := 5 * time.Second
+
+		for {
+			read := psd.NewFDSet(ls)
+			for fd := range conns {
+				read[fd] = true
+			}
+			ready, _, err := app.Select(t, read, nil, deadline)
+			check(err)
+			if len(ready) == 0 {
+				fmt.Println("chatd: idle, shutting down")
+				for fd := range conns {
+					app.Close(t, fd)
+				}
+				app.Close(t, ls)
+				return
+			}
+			for fd := range ready {
+				if fd == ls {
+					cfd, peer, err := app.Accept(t, ls)
+					check(err)
+					nextID++
+					conns[cfd] = fmt.Sprintf("user%d@%v", nextID, peer.Addr)
+					fmt.Printf("chatd: %s joined\n", conns[cfd])
+					continue
+				}
+				nr, err := app.Recv(t, fd, buf, 0)
+				if err != nil || nr == 0 {
+					fmt.Printf("chatd: %s left\n", conns[fd])
+					app.Close(t, fd)
+					delete(conns, fd)
+					continue
+				}
+				line := fmt.Sprintf("[%s] %s", conns[fd], buf[:nr])
+				fmt.Printf("chatd: broadcast %q\n", line)
+				for other := range conns {
+					if other != fd {
+						app.Send(t, other, []byte(line), 0)
+					}
+				}
+			}
+		}
+	})
+}
+
+func runClient(n *psd.Network, host, hub *psd.Host, name string, lines []string) {
+	app := host.NewApp(name)
+	n.Spawn(name, func(t *psd.Thread) {
+		t.Sleep(10 * time.Millisecond)
+		fd, err := app.Socket(t, psd.SockStream)
+		check(err)
+		check(app.Connect(t, fd, hub.Addr(chatPort)))
+		buf := make([]byte, 1024)
+		for _, line := range lines {
+			t.Sleep(50 * time.Millisecond)
+			_, err := app.Send(t, fd, []byte(line), 0)
+			check(err)
+			// Poll for any broadcasts without blocking forever.
+			for {
+				r, _, err := app.Select(t, psd.NewFDSet(fd), nil, 20*time.Millisecond)
+				check(err)
+				if len(r) == 0 {
+					break
+				}
+				nr, err := app.Recv(t, fd, buf, 0)
+				if err != nil || nr == 0 {
+					return
+				}
+				fmt.Printf("%s sees: %s\n", name, buf[:nr])
+			}
+		}
+		t.Sleep(200 * time.Millisecond)
+		check(app.Close(t, fd))
+	})
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

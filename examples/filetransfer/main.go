@@ -1,0 +1,100 @@
+// Filetransfer: a bulk TCP transfer (an ftp-like workload, one of the
+// applications the paper's introduction motivates) run back-to-back on
+// all three protocol architectures, showing the paper's performance
+// story: the decomposed library architecture is comparable to an
+// in-kernel implementation and much faster than a server-based one.
+//
+// Run: go run ./examples/filetransfer [-mb 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/psd"
+)
+
+func main() {
+	mb := flag.Int("mb", 8, "transfer size in MB")
+	flag.Parse()
+	total := *mb << 20
+
+	type result struct {
+		name string
+		kbps float64
+	}
+	var results []result
+	for _, arch := range []struct {
+		name string
+		a    psd.Arch
+	}{
+		{"decomposed (library)", psd.Decomposed()},
+		{"in-kernel", psd.InKernel()},
+		{"server-based", psd.ServerBased()},
+	} {
+		kbps := transfer(arch.a, total)
+		results = append(results, result{arch.name, kbps})
+		fmt.Printf("%-22s %8.0f KB/s\n", arch.name, kbps)
+	}
+	fmt.Printf("\nlibrary/kernel ratio: %.2f   library/server ratio: %.2f\n",
+		results[0].kbps/results[1].kbps, results[0].kbps/results[2].kbps)
+}
+
+func transfer(arch psd.Arch, total int) float64 {
+	n := psd.New(42)
+	src := n.Host("src", "10.0.0.1", arch)
+	dst := n.Host("dst", "10.0.0.2", arch)
+
+	var start, end time.Duration
+
+	receiver := dst.NewApp("recv")
+	n.Spawn("recv", func(t *psd.Thread) {
+		ls, err := receiver.Socket(t, psd.SockStream)
+		check(err)
+		check(receiver.SetSockOpt(t, ls, psd.SoRcvBuf, 64*1024))
+		check(receiver.Bind(t, ls, psd.SockAddr{Port: 2021}))
+		check(receiver.Listen(t, ls, 1))
+		fd, _, err := receiver.Accept(t, ls)
+		check(err)
+		got := 0
+		buf := make([]byte, 8192)
+		for got < total {
+			nr, err := receiver.Recv(t, fd, buf, 0)
+			check(err)
+			if nr == 0 {
+				break
+			}
+			got += nr
+		}
+		end = t.Now().Duration()
+		check(receiver.Close(t, fd))
+		check(receiver.Close(t, ls))
+	})
+
+	sender := src.NewApp("send")
+	n.Spawn("send", func(t *psd.Thread) {
+		t.Sleep(time.Millisecond)
+		fd, err := sender.Socket(t, psd.SockStream)
+		check(err)
+		check(sender.SetSockOpt(t, fd, psd.SoSndBuf, 64*1024))
+		check(sender.Connect(t, fd, dst.Addr(2021)))
+		start = t.Now().Duration()
+		chunk := make([]byte, 8192)
+		for sent := 0; sent < total; {
+			nw, err := sender.Send(t, fd, chunk, 0)
+			check(err)
+			sent += nw
+		}
+		check(sender.Close(t, fd))
+	})
+
+	check(n.Run())
+	return float64(total) / 1024 / (end - start).Seconds()
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,102 @@
+// Migration: makes the paper's session-migration machinery visible.
+//
+// The program walks one TCP session through its whole life in the
+// decomposed architecture, printing the OS server's counters at each
+// step:
+//
+//  1. socket/connect — the OS server runs the handshake, then the
+//     established session migrates into the client's protocol library;
+//  2. data transfer — no operating-system involvement;
+//  3. fork — the session is returned to the OS server first (two address
+//     spaces must never co-manage protocol state), and both processes
+//     then reach it through the server;
+//  4. close — the server runs the FIN handshake and the 2MSL wait, and
+//     finally releases the port.
+//
+// Run: go run ./examples/migration
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/psd"
+)
+
+func main() {
+	n := psd.New(3)
+	a := n.Host("appbox", "10.0.0.1", psd.Decomposed())
+	b := n.Host("peer", "10.0.0.2", psd.Decomposed())
+
+	show := func(step string) {
+		s, m, r, _ := a.ServerStats()
+		fmt.Printf("%-34s sessions=%d migrations=%d returns=%d\n", step, s, m, r)
+	}
+
+	peer := b.NewApp("sink")
+	n.Spawn("sink", func(t *psd.Thread) {
+		ls, err := peer.Socket(t, psd.SockStream)
+		check(err)
+		check(peer.Bind(t, ls, psd.SockAddr{Port: 9000}))
+		check(peer.Listen(t, ls, 1))
+		fd, _, err := peer.Accept(t, ls)
+		check(err)
+		buf := make([]byte, 4096)
+		for {
+			nr, err := peer.Recv(t, fd, buf, 0)
+			check(err)
+			if nr == 0 {
+				break
+			}
+		}
+		check(peer.Close(t, fd))
+		check(peer.Close(t, ls))
+	})
+
+	app := a.NewApp("worker")
+	n.Spawn("worker", func(t *psd.Thread) {
+		t.Sleep(time.Millisecond)
+		show("start")
+
+		fd, err := app.Socket(t, psd.SockStream)
+		check(err)
+		show("after socket (server-managed)")
+
+		check(app.Connect(t, fd, b.Addr(9000)))
+		show("after connect (migrated to app)")
+
+		_, err = app.Send(t, fd, make([]byte, 32*1024), 0)
+		check(err)
+		show("after 32 KB sent (no OS on path)")
+
+		child, err := app.Fork(t, "worker-child")
+		check(err)
+		show("after fork (returned to server)")
+
+		// Both processes can still use the shared session, through the
+		// server.
+		_, err = app.Send(t, fd, []byte("from parent"), 0)
+		check(err)
+		_, err = child.Send(t, fd, []byte("from child"), 0)
+		check(err)
+		show("after post-fork sends")
+
+		check(child.Close(t, fd))
+		check(app.Close(t, fd))
+		show("after close (server runs FIN)")
+		child.ExitProcess(t)
+	})
+
+	check(n.Run())
+	// Drain TIME_WAIT: 2MSL is 60 virtual seconds.
+	check(n.RunFor(90 * time.Second))
+	s, _, _, _ := a.ServerStats()
+	fmt.Printf("%-34s sessions=%d\n", "after 2MSL drain", s)
+	fmt.Printf("\nvirtual time elapsed: %v\n", n.Now())
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

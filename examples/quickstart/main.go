@@ -1,0 +1,75 @@
+// Quickstart: a UDP echo client and server on the decomposed protocol
+// architecture.
+//
+// Two hosts are attached to a simulated 10 Mb/s Ethernet. The server
+// binds UDP port 7 — at which instant the OS server migrates the (null)
+// session into the application's protocol library, per Table 1 of the
+// paper — and echoes datagrams. The client measures round trips. All the
+// send/receive work happens in the applications' address spaces; the OS
+// servers are only involved in naming and setup.
+//
+// Run: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"time"
+
+	"repro/psd"
+)
+
+func main() {
+	n := psd.New(1)
+	server := n.Host("server", "10.0.0.1", psd.Decomposed())
+	client := n.Host("client", "10.0.0.2", psd.Decomposed())
+
+	srv := server.NewApp("echod")
+	n.Spawn("echod", func(t *psd.Thread) {
+		fd, err := srv.Socket(t, psd.SockDgram)
+		check(err)
+		check(srv.Bind(t, fd, psd.SockAddr{Port: 7}))
+		buf := make([]byte, 2048)
+		for {
+			nr, from, err := srv.RecvFrom(t, fd, buf, 0)
+			check(err)
+			if string(buf[:nr]) == "quit" {
+				return
+			}
+			_, err = srv.SendTo(t, fd, buf[:nr], 0, from)
+			check(err)
+		}
+	})
+
+	cli := client.NewApp("pinger")
+	n.Spawn("pinger", func(t *psd.Thread) {
+		t.Sleep(time.Millisecond) // let the server bind
+		fd, err := cli.Socket(t, psd.SockDgram)
+		check(err)
+		dst := server.Addr(7)
+		buf := make([]byte, 2048)
+		for i := 0; i < 5; i++ {
+			msg := fmt.Sprintf("ping %d", i)
+			start := t.Now()
+			_, err := cli.SendTo(t, fd, []byte(msg), 0, dst)
+			check(err)
+			nr, _, err := cli.RecvFrom(t, fd, buf, 0)
+			check(err)
+			fmt.Printf("%-8s -> %-8s rtt %v\n", msg, buf[:nr], t.Now().Sub(start))
+		}
+		_, err = cli.SendTo(t, fd, []byte("quit"), 0, dst)
+		check(err)
+		check(cli.Close(t, fd))
+	})
+
+	check(n.Run())
+	sessions, migrations, returns, _ := server.ServerStats()
+	fmt.Printf("\nserver-host OS server: %d live sessions, %d migrations, %d returns\n",
+		sessions, migrations, returns)
+	fmt.Printf("virtual time elapsed: %v\n", n.Now())
+}
+
+func check(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

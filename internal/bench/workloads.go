@@ -1,0 +1,303 @@
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/socketapi"
+)
+
+// ttcp constants matching the paper's methodology: a memory-to-memory
+// transfer of 16 MB in 8 KB writes.
+const (
+	ttcpTotalBytes = 16 << 20
+	ttcpChunk      = 8 << 10
+	ttcpPort       = 5001
+)
+
+// TTCPResult is one throughput measurement.
+type TTCPResult struct {
+	Bytes    int
+	Duration time.Duration
+	Err      error
+}
+
+// KBps returns throughput in KB/second (1 KB = 1024 bytes, as ttcp
+// reports).
+func (r TTCPResult) KBps() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1024 / r.Duration.Seconds()
+}
+
+// RunTTCP runs the throughput benchmark on a fresh world built from cfg,
+// with the given receive buffer size (KB).
+func RunTTCP(cfg SysConfig, rcvBufKB int, totalBytes int) TTCPResult {
+	if totalBytes == 0 {
+		totalBytes = ttcpTotalBytes
+	}
+	w := cfg.Build(42)
+	res := TTCPResult{}
+	var start, end sim.Time
+	payload := make([]byte, ttcpChunk)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+
+	sink := w.NewB("ttcp-sink")
+	source := w.NewA("ttcp-source")
+
+	w.Sim.Spawn("sink", func(p *sim.Proc) {
+		ls, err := sink.Socket(p, socketapi.SockStream)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		sink.SetSockOpt(p, ls, socketapi.SoRcvBuf, rcvBufKB*1024)
+		if err := sink.Bind(p, ls, socketapi.SockAddr{Port: ttcpPort}); err != nil {
+			res.Err = err
+			return
+		}
+		sink.Listen(p, ls, 1)
+		fd, _, err := sink.Accept(p, ls)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		got := 0
+		buf := make([]byte, ttcpChunk)
+		zc, useZC := sink.(socketapi.ZeroCopyAPI)
+		useZC = useZC && cfg.NewAPI
+		for {
+			var n int
+			var err error
+			if useZC {
+				var view []byte
+				view, _, err = zc.RecvZC(p, fd, ttcpChunk, 0)
+				n = len(view)
+			} else {
+				n, err = sink.Recv(p, fd, buf, 0)
+			}
+			if err != nil {
+				res.Err = err
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got += n
+		}
+		end = p.Now()
+		res.Bytes = got
+		sink.Close(p, fd)
+		sink.Close(p, ls)
+	})
+
+	w.Sim.Spawn("source", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, err := source.Socket(p, socketapi.SockStream)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		source.SetSockOpt(p, fd, socketapi.SoSndBuf, rcvBufKB*1024)
+		if err := source.Connect(p, fd, socketapi.SockAddr{Addr: w.IPB, Port: ttcpPort}); err != nil {
+			res.Err = err
+			return
+		}
+		start = p.Now()
+		zc, useZC := source.(socketapi.ZeroCopyAPI)
+		useZC = useZC && cfg.NewAPI
+		for sent := 0; sent < totalBytes; {
+			chunk := ttcpChunk
+			if sent+chunk > totalBytes {
+				chunk = totalBytes - sent
+			}
+			var n int
+			var err error
+			if useZC {
+				n, err = zc.SendZC(p, fd, payload[:chunk], 0)
+			} else {
+				n, err = source.Send(p, fd, payload[:chunk], 0)
+			}
+			if err != nil {
+				res.Err = err
+				return
+			}
+			sent += n
+		}
+		source.Close(p, fd)
+	})
+
+	if err := w.Sim.Run(); err != nil && res.Err == nil {
+		res.Err = err
+	}
+	res.Duration = end.Sub(start)
+	if res.Err == nil && res.Bytes != totalBytes {
+		res.Err = fmt.Errorf("ttcp: received %d of %d bytes", res.Bytes, totalBytes)
+	}
+	return res
+}
+
+// LatResult is one round-trip latency measurement.
+type LatResult struct {
+	Rounds int
+	Avg    time.Duration
+	Err    error
+	NA     bool
+}
+
+// Ms returns the average round trip in milliseconds.
+func (r LatResult) Ms() float64 { return float64(r.Avg) / float64(time.Millisecond) }
+
+const protolatPort = 5002
+
+// RunProtolat measures average round-trip latency for msgSize-byte
+// messages over TCP or UDP, in the manner of the paper's protolat
+// program: a client-server ping-pong on an otherwise idle network,
+// excluding a warmup round (connection setup, ARP).
+func RunProtolat(cfg SysConfig, udp bool, msgSize, rounds int) LatResult {
+	if !udp && cfg.TCPLatNA && msgSize >= 1024 {
+		// The 386BSD/BNR2SS large-TCP-packet bug: the paper reports NA.
+		return LatResult{NA: true}
+	}
+	w := cfg.Build(7)
+	return runProtolatOn(w, cfg, !udp, msgSize, rounds, nil)
+}
+
+// runProtolatOn runs the latency workload on an already-built world.
+// counting, when non-nil, is flipped on after the warmup round and off
+// after the measured rounds (the Table 4 instrumentation window).
+func runProtolatOn(w *World, cfg SysConfig, tcp bool, msgSize, rounds int, counting func(on bool)) LatResult {
+	udp := !tcp
+	res := LatResult{Rounds: rounds}
+	styp := socketapi.SockStream
+	if udp {
+		styp = socketapi.SockDgram
+	}
+	msg := make([]byte, msgSize)
+
+	server := w.NewB("protolat-server")
+	client := w.NewA("protolat-client")
+
+	echo := func(p *sim.Proc, api socketapi.API, fd int) bool {
+		// Read one full message and send it back.
+		buf := make([]byte, msgSize)
+		got := 0
+		for got < msgSize {
+			n, from, err := api.RecvFrom(p, fd, buf[got:], 0)
+			if err != nil {
+				res.Err = err
+				return false
+			}
+			if n == 0 {
+				return false
+			}
+			got += n
+			if udp {
+				if _, err := api.SendTo(p, fd, buf[:n], 0, from); err != nil {
+					res.Err = err
+					return false
+				}
+				return true
+			}
+		}
+		if _, err := api.Send(p, fd, buf, 0); err != nil {
+			res.Err = err
+			return false
+		}
+		return true
+	}
+
+	w.Sim.Spawn("server", func(p *sim.Proc) {
+		fd, err := server.Socket(p, styp)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		if err := server.Bind(p, fd, socketapi.SockAddr{Port: protolatPort}); err != nil {
+			res.Err = err
+			return
+		}
+		conn := fd
+		if !udp {
+			server.Listen(p, fd, 1)
+			c, _, err := server.Accept(p, fd)
+			if err != nil {
+				res.Err = err
+				return
+			}
+			conn = c
+		}
+		for i := 0; i < rounds+1; i++ { // +1 warmup
+			if !echo(p, server, conn) {
+				return
+			}
+		}
+		if !udp {
+			server.Close(p, conn)
+		}
+		server.Close(p, fd)
+	})
+
+	w.Sim.Spawn("client", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, err := client.Socket(p, styp)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		if err := client.Connect(p, fd, socketapi.SockAddr{Addr: w.IPB, Port: protolatPort}); err != nil {
+			res.Err = err
+			return
+		}
+		buf := make([]byte, msgSize)
+		roundTrip := func() bool {
+			if _, err := client.Send(p, fd, msg, 0); err != nil {
+				res.Err = err
+				return false
+			}
+			got := 0
+			for got < msgSize {
+				n, err := client.Recv(p, fd, buf[got:], 0)
+				if err != nil {
+					res.Err = err
+					return false
+				}
+				if n == 0 {
+					res.Err = fmt.Errorf("protolat: premature EOF")
+					return false
+				}
+				got += n
+				if udp {
+					break
+				}
+			}
+			return true
+		}
+		if !roundTrip() { // warmup: ARP, slow start, caches
+			return
+		}
+		if counting != nil {
+			counting(true)
+		}
+		start := p.Now()
+		for i := 0; i < rounds; i++ {
+			if !roundTrip() {
+				return
+			}
+		}
+		res.Avg = time.Duration(int64(p.Now().Sub(start)) / int64(rounds))
+		if counting != nil {
+			counting(false)
+		}
+		client.Close(p, fd)
+	})
+
+	if err := w.Sim.Run(); err != nil && res.Err == nil {
+		res.Err = err
+	}
+	return res
+}

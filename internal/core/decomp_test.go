@@ -1,0 +1,467 @@
+package core_test
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costs"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/socketapi"
+	"repro/internal/wire"
+)
+
+// world is a two-host decomposed-architecture test rig.
+type world struct {
+	s    *sim.Sim
+	seg  *simnet.Segment
+	a, b *core.System
+}
+
+func newWorld(seed int64) *world {
+	s := sim.New(seed)
+	s.Deadline = sim.Time(30 * time.Minute)
+	seg := simnet.NewSegment(s)
+	return &world{
+		s:   s,
+		seg: seg,
+		a:   core.New(s, seg, "A", wire.MAC{1}, wire.IP(10, 0, 0, 1), costs.DECLibrarySHMIPF(), costs.DECServerUX()),
+		b:   core.New(s, seg, "B", wire.MAC{2}, wire.IP(10, 0, 0, 2), costs.DECLibrarySHMIPF(), costs.DECServerUX()),
+	}
+}
+
+// TestTable1SessionMigration checks the paper's central claims about who
+// manages a session when: UDP migrates at bind, TCP at connect/accept;
+// close returns it to the server; data transfer never involves the
+// server.
+func TestTable1SessionMigration(t *testing.T) {
+	w := newWorld(1)
+	srvA, srvB := w.a.Server, w.b.Server
+
+	done := false
+	libB := w.b.NewLibrary("sink")
+	libA := w.a.NewLibrary("source")
+	w.s.Spawn("sink", func(p *sim.Proc) {
+		ls, _ := libB.Socket(p, socketapi.SockStream)
+		libB.Bind(p, ls, socketapi.SockAddr{Port: 5001})
+		libB.Listen(p, ls, 1)
+		// Listeners are server-managed: no migration yet.
+		if srvB.Migrations != 0 {
+			t.Errorf("B migrations before accept = %d", srvB.Migrations)
+		}
+		fd, _, err := libB.Accept(p, ls)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// accept migrated the passively-opened session to the app.
+		if srvB.Migrations != 1 {
+			t.Errorf("B migrations after accept = %d", srvB.Migrations)
+		}
+		buf := make([]byte, 4096)
+		for {
+			n, err := libB.Recv(p, fd, buf, 0)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		libB.Close(p, fd)
+		if srvB.Returns != 1 {
+			t.Errorf("B returns after close = %d", srvB.Returns)
+		}
+		libB.Close(p, ls)
+		done = true
+	})
+	w.s.Spawn("source", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := libA.Socket(p, socketapi.SockStream)
+		if err := libA.Connect(p, fd, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 5001}); err != nil {
+			t.Error(err)
+			return
+		}
+		if srvA.Migrations != 1 {
+			t.Errorf("A migrations after connect = %d", srvA.Migrations)
+		}
+		data := make([]byte, 32*1024)
+		off := 0
+		for off < len(data) {
+			n, err := libA.Send(p, fd, data[off:], 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			off += n
+		}
+		libA.Close(p, fd)
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("transfer incomplete")
+	}
+	// Close returned the sessions to the servers, which run the shutdown
+	// handshake and TIME_WAIT there. Eventually every session record is
+	// reaped (2MSL = 60 s).
+	if err := w.s.RunFor(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := srvA.Sessions(); n != 0 {
+		t.Errorf("A server still tracks %d sessions after 2MSL", n)
+	}
+	if n := srvB.Sessions(); n != 0 {
+		t.Errorf("B server still tracks %d sessions after 2MSL", n)
+	}
+}
+
+// TestUDPMigratesAtBind checks Table 1's bind row.
+func TestUDPMigratesAtBind(t *testing.T) {
+	w := newWorld(2)
+	lib := w.b.NewLibrary("app")
+	w.s.Spawn("app", func(p *sim.Proc) {
+		fd, _ := lib.Socket(p, socketapi.SockDgram)
+		if w.b.Server.Migrations != 0 {
+			t.Error("migrated before bind")
+		}
+		lib.Bind(p, fd, socketapi.SockAddr{Port: 9999})
+		if w.b.Server.Migrations != 1 {
+			t.Error("UDP session did not migrate at bind")
+		}
+		lib.Close(p, fd)
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if w.b.Server.Sessions() != 0 {
+		t.Error("session not reaped after close")
+	}
+}
+
+// TestPacketFilterIsolation is the paper's §3.4 security property: an
+// application can only receive packets destined for its own sessions.
+// Two applications on one host each bind a UDP port; traffic for one must
+// never reach the other's protocol library.
+func TestPacketFilterIsolation(t *testing.T) {
+	w := newWorld(3)
+	victim := w.b.NewLibrary("victim")
+	snoop := w.b.NewLibrary("snoop")
+	cli := w.a.NewLibrary("cli")
+	gotVictim := 0
+
+	w.s.Spawn("victim", func(p *sim.Proc) {
+		fd, _ := victim.Socket(p, socketapi.SockDgram)
+		victim.Bind(p, fd, socketapi.SockAddr{Port: 1000})
+		buf := make([]byte, 100)
+		for i := 0; i < 3; i++ {
+			n, _, err := victim.RecvFrom(p, fd, buf, 0)
+			if err != nil || n == 0 {
+				t.Error("victim recv failed")
+				return
+			}
+			gotVictim++
+		}
+	})
+	w.s.Spawn("snoop", func(p *sim.Proc) {
+		fd, _ := snoop.Socket(p, socketapi.SockDgram)
+		snoop.Bind(p, fd, socketapi.SockAddr{Port: 1001})
+		buf := make([]byte, 100)
+		// Must time out: nothing is sent to port 1001.
+		r, _, _ := snoop.Select(p, socketapi.NewFDSet(fd), nil, 5*time.Second)
+		if len(r) != 0 {
+			n, _, _ := snoop.RecvFrom(p, fd, buf, 0)
+			t.Errorf("snoop received %d bytes of someone else's traffic", n)
+		}
+	})
+	w.s.Spawn("cli", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := cli.Socket(p, socketapi.SockDgram)
+		for i := 0; i < 3; i++ {
+			cli.SendTo(p, fd, []byte("secret"), 0, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 1000})
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotVictim != 3 {
+		t.Errorf("victim got %d datagrams, want 3", gotVictim)
+	}
+	// The snoop's library stack must have processed zero packets.
+	if n := snoop.St.Stats.IPIn; n != 0 {
+		t.Errorf("snoop's library stack saw %d packets", n)
+	}
+}
+
+// TestProcessDeathAbortsSessions is the paper's unexpected-shutdown case:
+// the server detects the death, aborts the connection with a RST, and
+// quarantines the port against immediate rebinding.
+func TestProcessDeathAbortsSessions(t *testing.T) {
+	w := newWorld(4)
+	libA := w.a.NewLibrary("dying")
+	libB := w.b.NewLibrary("peer")
+	var peerErr error
+	var localPort uint16
+
+	w.s.Spawn("peer", func(p *sim.Proc) {
+		ls, _ := libB.Socket(p, socketapi.SockStream)
+		libB.Bind(p, ls, socketapi.SockAddr{Port: 5001})
+		libB.Listen(p, ls, 1)
+		fd, _, err := libB.Accept(p, ls)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 100)
+		for {
+			n, err := libB.Recv(p, fd, buf, 0)
+			if err != nil {
+				peerErr = err
+				return
+			}
+			if n == 0 {
+				return
+			}
+		}
+	})
+	w.s.Spawn("dying", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := libA.Socket(p, socketapi.SockStream)
+		if err := libA.Connect(p, fd, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 5001}); err != nil {
+			t.Error(err)
+			return
+		}
+		la, _ := libA.GetSockName(p, fd)
+		localPort = la.Port
+		libA.Send(p, fd, []byte("last words"), 0)
+		p.Sleep(100 * time.Millisecond)
+		// Die without closing anything.
+		libA.ExitProcess(p)
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(peerErr, socketapi.ErrConnReset) {
+		t.Errorf("peer error = %v, want ECONNRESET from the server's abort", peerErr)
+	}
+	if w.a.Server.OrphansAborted != 1 {
+		t.Errorf("orphans aborted = %d", w.a.Server.OrphansAborted)
+	}
+	// The port is quarantined: rebinding must fail until 2MSL passes.
+	lib2 := w.a.NewLibrary("rebinder")
+	var early, late error
+	w.s.Spawn("rebinder", func(p *sim.Proc) {
+		fd, _ := lib2.Socket(p, socketapi.SockStream)
+		early = lib2.Bind(p, fd, socketapi.SockAddr{Port: localPort})
+		p.Sleep(70 * time.Second)
+		fd2, _ := lib2.Socket(p, socketapi.SockStream)
+		late = lib2.Bind(p, fd2, socketapi.SockAddr{Port: localPort})
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(early, socketapi.ErrAddrInUse) {
+		t.Errorf("bind during quarantine = %v, want EADDRINUSE", early)
+	}
+	if late != nil {
+		t.Errorf("bind after quarantine = %v, want success", late)
+	}
+}
+
+// TestMetastateCaching checks §3.3: the library caches ARP entries from
+// the server and the server invalidates them when they change or expire.
+func TestMetastateCaching(t *testing.T) {
+	w := newWorld(5)
+	lib := w.a.NewLibrary("app")
+	srvLib := w.b.NewLibrary("srvapp")
+	w.s.Spawn("sink", func(p *sim.Proc) {
+		fd, _ := srvLib.Socket(p, socketapi.SockDgram)
+		srvLib.Bind(p, fd, socketapi.SockAddr{Port: 7})
+		buf := make([]byte, 100)
+		for i := 0; i < 4; i++ {
+			srvLib.RecvFrom(p, fd, buf, 0)
+		}
+	})
+	w.s.Spawn("app", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := lib.Socket(p, socketapi.SockDgram)
+		dst := socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 7}
+		for i := 0; i < 4; i++ {
+			if _, err := lib.SendTo(p, fd, []byte("x"), 0, dst); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(time.Millisecond)
+		}
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := lib.Cache()
+	if c.Misses != 1 {
+		t.Errorf("cache misses = %d, want exactly 1 (first send)", c.Misses)
+	}
+	if c.Hits < 3 {
+		t.Errorf("cache hits = %d, want >= 3", c.Hits)
+	}
+	// Let the server's ARP entry expire; the invalidation callback must
+	// clear the library's cached copy.
+	if err := w.s.RunFor(30 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if c.Invalidated == 0 {
+		t.Error("no cache invalidation after server ARP expiry")
+	}
+}
+
+// TestFragmentForwarding: fragments of a large datagram for a migrated
+// UDP session land at the server (ports are only in the first fragment);
+// the server reassembles and re-injects so the session filter claims the
+// whole datagram.
+func TestFragmentForwarding(t *testing.T) {
+	w := newWorld(6)
+	libB := w.b.NewLibrary("bigsink")
+	libA := w.a.NewLibrary("bigsource")
+	const size = 5000
+	payload := make([]byte, size)
+	w.s.Rand().Read(payload)
+	var got []byte
+	w.s.Spawn("bigsink", func(p *sim.Proc) {
+		fd, _ := libB.Socket(p, socketapi.SockDgram)
+		libB.SetSockOpt(p, fd, socketapi.SoRcvBuf, 16384)
+		libB.Bind(p, fd, socketapi.SockAddr{Port: 2000})
+		buf := make([]byte, 9000)
+		n, _, err := libB.RecvFrom(p, fd, buf, 0)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = buf[:n]
+	})
+	w.s.Spawn("bigsource", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := libA.Socket(p, socketapi.SockDgram)
+		if _, err := libA.SendTo(p, fd, payload, 0, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 2000}); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("fragmented datagram corrupted: %d bytes", len(got))
+	}
+	if w.b.Server.FragForwards != 1 {
+		t.Errorf("server forwarded %d reassembled datagrams, want 1", w.b.Server.FragForwards)
+	}
+}
+
+// TestZeroCopyAPI exercises the paper's §4.2 NEWAPI on the library
+// implementation.
+func TestZeroCopyAPI(t *testing.T) {
+	w := newWorld(7)
+	libB := w.b.NewLibrary("zsink")
+	libA := w.a.NewLibrary("zsource")
+	const total = 64 * 1024
+	payload := make([]byte, total)
+	w.s.Rand().Read(payload)
+	var got bytes.Buffer
+	w.s.Spawn("zsink", func(p *sim.Proc) {
+		ls, _ := libB.Socket(p, socketapi.SockStream)
+		libB.Bind(p, ls, socketapi.SockAddr{Port: 5001})
+		libB.Listen(p, ls, 1)
+		fd, _, err := libB.Accept(p, ls)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			view, _, err := libB.RecvZC(p, fd, 16384, 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if len(view) == 0 {
+				break
+			}
+			got.Write(view)
+		}
+		libB.Close(p, fd)
+	})
+	w.s.Spawn("zsource", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := libA.Socket(p, socketapi.SockStream)
+		if err := libA.Connect(p, fd, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 5001}); err != nil {
+			t.Error(err)
+			return
+		}
+		off := 0
+		for off < total {
+			end := off + 8192
+			if end > total {
+				end = total
+			}
+			n, err := libA.SendZC(p, fd, payload[off:end], 0)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			off += n
+		}
+		libA.Close(p, fd)
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got.Bytes(), payload) {
+		t.Fatalf("zero-copy stream corrupted: %d bytes", got.Len())
+	}
+}
+
+// TestDataPathBypassesServer verifies the headline property: once a
+// session has migrated, send/receive generate no proxy calls.
+func TestDataPathBypassesServer(t *testing.T) {
+	w := newWorld(8)
+	libB := w.b.NewLibrary("sink")
+	libA := w.a.NewLibrary("source")
+	var rpcsAtTransferStart, rpcsAtTransferEnd int
+	w.s.Spawn("sink", func(p *sim.Proc) {
+		fd, _ := libB.Socket(p, socketapi.SockDgram)
+		libB.Bind(p, fd, socketapi.SockAddr{Port: 7})
+		buf := make([]byte, 1500)
+		for i := 0; i < 50; i++ {
+			libB.RecvFrom(p, fd, buf, 0)
+		}
+	})
+	w.s.Spawn("source", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := libA.Socket(p, socketapi.SockDgram)
+		dst := socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 7}
+		// First send triggers implicit bind + ARP; let those settle.
+		libA.SendTo(p, fd, []byte("warmup"), 0, dst)
+		p.Sleep(10 * time.Millisecond)
+		rpcsAtTransferStart = libA.ProxyCalls()
+		for i := 0; i < 49; i++ {
+			if _, err := libA.SendTo(p, fd, make([]byte, 1024), 0, dst); err != nil {
+				t.Error(err)
+				return
+			}
+			// Pace below the receiver's drain rate; UDP has no flow
+			// control and an overrun would (correctly) drop datagrams.
+			p.Sleep(2 * time.Millisecond)
+		}
+		rpcsAtTransferEnd = libA.ProxyCalls()
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if rpcsAtTransferEnd != rpcsAtTransferStart {
+		t.Errorf("data transfer made %d proxy calls; the server must not be on the data path",
+			rpcsAtTransferEnd-rpcsAtTransferStart)
+	}
+}

@@ -1,0 +1,693 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/costs"
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/socketapi"
+	"repro/internal/stack"
+	"repro/internal/wire"
+)
+
+// Library is the application-linked protocol library: the proxy of §3.2.
+// It exports the standard socket interface; calls are handled locally
+// (all send and receive variants, on migrated sessions), forwarded to
+// the operating-system server (naming, establishment, teardown), or
+// jointly implemented (select). One Library instance corresponds to one
+// application address space.
+type Library struct {
+	sys  *System
+	srv  *Server
+	Proc *kern.Process
+	St   *stack.Stack
+
+	fds   map[int]*appSession
+	next  int
+	cache *MetaCache
+
+	// selCond implements the library's half of the cooperative select:
+	// local socket status changes and server proxy_status pokes both land
+	// here.
+	selCond sim.Cond
+
+	// rxBusy gates migrations against in-flight input processing so a
+	// session's state is never exported mid-update.
+	rxBusy  int
+	rxQuiet sim.Cond
+
+	proxyCalls int
+	exited     bool
+}
+
+// appSession is the library's view of one session.
+type appSession struct {
+	id       SessionID
+	proto    uint8
+	local    bool // managed locally (migrated in)
+	returned bool // handed back to the server (post-fork): ops go via RPC
+	sock     *stack.Socket
+	ep       *kern.Endpoint
+	laddr    stack.Addr
+	raddr    stack.Addr
+	listen   bool
+}
+
+var _ socketapi.API = (*Library)(nil)
+var _ socketapi.ZeroCopyAPI = (*Library)(nil)
+
+// NewLibrary creates an application process with its protocol library.
+func (sys *System) NewLibrary(name string) *Library {
+	lib := &Library{
+		sys:  sys,
+		srv:  sys.Server,
+		Proc: sys.Host.NewProcess(name),
+		fds:  make(map[int]*appSession),
+		next: 3,
+	}
+	lib.cache = NewMetaCache(lib)
+	lib.St = stack.New(stack.Config{
+		Sim:      sys.Host.Sim,
+		Name:     name + ".lib",
+		LocalIP:  sys.Host.IP,
+		LocalMAC: sys.Host.NIC.MAC(),
+		Costs:    &sys.LibProf.Costs,
+		Charge: func(t *sim.Proc, tcp bool, comp costs.Component, n int) {
+			pc := &sys.LibProf.Costs.UDP
+			if tcp {
+				pc = &sys.LibProf.Costs.TCP
+			}
+			d := pc[comp].At(n)
+			if sys.Observer != nil && d > 0 {
+				sys.Observer(comp, d)
+			}
+			sys.Host.ChargeProc(t, d)
+		},
+		Transmit: sys.Host.Transmit,
+		Ports:    grantedPorts{}, // naming is always done by the server
+		Resolver: lib.cache,
+		// A library only sees its own sessions' packets; strays are
+		// migration races, never protocol errors.
+		QuietOrphans: true,
+	})
+	lib.St.StartTimers(lib.Proc.GoDaemon)
+	sys.Server.libs = append(sys.Server.libs, lib)
+	return lib
+}
+
+// grantedPorts satisfies the stack's PortAllocator interface for library
+// stacks, which never allocate ports themselves: every local endpoint is
+// named by the operating-system server before the library sees it.
+type grantedPorts struct{}
+
+func (grantedPorts) AllocEphemeral(uint8) (uint16, error) { return 0, socketapi.ErrAddrNotAvail }
+func (grantedPorts) Reserve(uint8, uint16, bool) error    { return nil }
+func (grantedPorts) Release(uint8, uint16)                {}
+
+// proxy performs one RPC on the operating-system server, charging the
+// round-trip IPC cost.
+func (lib *Library) proxy(t *sim.Proc, method string, args any, approxBytes int) (any, error) {
+	lib.proxyCalls++
+	lib.sys.Host.ChargeProxyRPC(t, approxBytes)
+	return lib.srv.svc.Call(t, method, args)
+}
+
+func (lib *Library) get(fd int) (*appSession, error) {
+	s, ok := lib.fds[fd]
+	if !ok {
+		return nil, socketapi.ErrBadFD
+	}
+	return s, nil
+}
+
+func (lib *Library) installFD(s *appSession) int {
+	fd := lib.next
+	lib.next++
+	lib.fds[fd] = s
+	return fd
+}
+
+// startRx spawns the session's receive thread: it drains the session's
+// packet filter endpoint into the library's protocol stack. This is the
+// fast path of the paper — no operating-system involvement per packet.
+func (lib *Library) startRx(s *appSession) {
+	ep := s.ep
+	lib.Proc.GoDaemon("rx", func(t *sim.Proc) {
+		for {
+			pkt, ok := ep.Recv(t)
+			if !ok {
+				return
+			}
+			lib.rxBusy++
+			lib.St.Input(t, pkt.Frame)
+			lib.rxBusy--
+			if lib.rxBusy == 0 {
+				lib.rxQuiet.Broadcast()
+			}
+		}
+	})
+}
+
+// quiesce waits until no receive thread is mid-packet, so a migration
+// captures consistent protocol state.
+func (lib *Library) quiesce(t *sim.Proc) {
+	for lib.rxBusy > 0 {
+		lib.rxQuiet.Wait(t)
+	}
+}
+
+// adoptTCP installs a migrated TCP session into the library stack.
+func (lib *Library) adoptTCP(t *sim.Proc, s *appSession, state *stack.TCPSessionState, mac wire.MAC) {
+	lib.cache.Insert(s.raddr.IP, mac)
+	s.sock = lib.St.ImportTCPSession(t, state)
+	s.sock.Notify = func() { lib.selCond.Broadcast() }
+	s.local = true
+	lib.startRx(s)
+}
+
+// Socket implements socketapi.API (Table 1: socket -> proxy_socket).
+func (lib *Library) Socket(t *sim.Proc, typ int) (int, error) {
+	rep, err := lib.proxy(t, "socket", pxSocket{typ: typ}, 16)
+	if err != nil {
+		return -1, err
+	}
+	var proto uint8 = wire.ProtoTCP
+	if typ == socketapi.SockDgram {
+		proto = wire.ProtoUDP
+	}
+	return lib.installFD(&appSession{id: rep.(SessionID), proto: proto}), nil
+}
+
+// Bind implements socketapi.API (Table 1: bind -> proxy_bind; UDP
+// sessions migrate to the application).
+func (lib *Library) Bind(t *sim.Proc, fd int, addr socketapi.SockAddr) error {
+	s, err := lib.get(fd)
+	if err != nil {
+		return err
+	}
+	rep, err := lib.proxy(t, "bind", pxBind{sid: s.id, addr: stack.Addr{IP: addr.Addr, Port: addr.Port}, lib: lib}, 32)
+	if err != nil {
+		return err
+	}
+	r := rep.(pxBindReply)
+	s.laddr = r.local
+	if r.ep != nil {
+		// The (null) UDP session state plus a packet filter port migrated
+		// to us; manage the session locally from here on.
+		s.ep = r.ep
+		s.sock = lib.St.AdoptUDPSession(s.laddr, stack.Addr{})
+		s.sock.Notify = func() { lib.selCond.Broadcast() }
+		s.local = true
+		lib.startRx(s)
+	}
+	return nil
+}
+
+// ensureBound gives an unbound UDP socket a server-named ephemeral port
+// (the implicit bind of sendto on an unbound socket).
+func (lib *Library) ensureBound(t *sim.Proc, s *appSession) error {
+	if s.proto != wire.ProtoUDP || s.local || s.laddr.Port != 0 {
+		return nil
+	}
+	rep, err := lib.proxy(t, "bind", pxBind{sid: s.id, addr: stack.Addr{}, lib: lib}, 32)
+	if err != nil {
+		return err
+	}
+	r := rep.(pxBindReply)
+	s.laddr = r.local
+	s.ep = r.ep
+	s.sock = lib.St.AdoptUDPSession(s.laddr, stack.Addr{})
+	s.sock.Notify = func() { lib.selCond.Broadcast() }
+	s.local = true
+	lib.startRx(s)
+	return nil
+}
+
+// Connect implements socketapi.API (Table 1: connect -> proxy_connect;
+// UDP and TCP sessions migrate to the application).
+func (lib *Library) Connect(t *sim.Proc, fd int, addr socketapi.SockAddr) error {
+	s, err := lib.get(fd)
+	if err != nil {
+		return err
+	}
+	raddr := stack.Addr{IP: addr.Addr, Port: addr.Port}
+	rep, err := lib.proxy(t, "connect", pxConnect{sid: s.id, raddr: raddr, lib: lib}, 64)
+	if err != nil {
+		return err
+	}
+	r := rep.(pxConnectReply)
+	s.laddr, s.raddr = r.local, r.remote
+	switch s.proto {
+	case wire.ProtoUDP:
+		lib.cache.Insert(raddr.IP, r.remoteMAC)
+		if s.sock != nil {
+			// Rebind the local socket with the narrowed remote.
+			lib.St.DropUDPSession(s.sock)
+		}
+		s.raddr = raddr
+		s.ep = r.ep
+		s.sock = lib.St.AdoptUDPSession(s.laddr, raddr)
+		s.sock.Notify = func() { lib.selCond.Broadcast() }
+		if !s.local {
+			s.local = true
+			lib.startRx(s)
+		}
+	case wire.ProtoTCP:
+		s.ep = r.ep
+		lib.adoptTCP(t, s, r.state, r.remoteMAC)
+	}
+	return nil
+}
+
+// Listen implements socketapi.API (Table 1: listen -> proxy_listen; the
+// operating system awaits new connections).
+func (lib *Library) Listen(t *sim.Proc, fd int, backlog int) error {
+	s, err := lib.get(fd)
+	if err != nil {
+		return err
+	}
+	if _, err := lib.proxy(t, "listen", pxListen{sid: s.id, backlog: backlog}, 16); err != nil {
+		return err
+	}
+	s.listen = true
+	return nil
+}
+
+// Accept implements socketapi.API (Table 1: accept -> proxy_accept;
+// the passively opened session migrates to the application once
+// established).
+func (lib *Library) Accept(t *sim.Proc, fd int) (int, socketapi.SockAddr, error) {
+	s, err := lib.get(fd)
+	if err != nil {
+		return -1, socketapi.SockAddr{}, err
+	}
+	if !s.listen {
+		return -1, socketapi.SockAddr{}, socketapi.ErrInvalid
+	}
+	rep, err := lib.proxy(t, "accept", pxAccept{sid: s.id, lib: lib}, 64)
+	if err != nil {
+		return -1, socketapi.SockAddr{}, err
+	}
+	r := rep.(pxAcceptReply)
+	ns := &appSession{id: r.sid, proto: wire.ProtoTCP, laddr: r.local, raddr: r.remote, ep: r.ep}
+	lib.adoptTCP(t, ns, r.state, r.remoteMAC)
+	return lib.installFD(ns), socketapi.SockAddr{Addr: r.remote.IP, Port: r.remote.Port}, nil
+}
+
+// Send implements socketapi.API. All data movement on migrated sessions
+// happens in this address space; the operating system is not involved.
+func (lib *Library) Send(t *sim.Proc, fd int, b []byte, flags int) (int, error) {
+	return lib.sendImpl(t, fd, [][]byte{b}, flags, nil, false)
+}
+
+// SendTo implements socketapi.API.
+func (lib *Library) SendTo(t *sim.Proc, fd int, b []byte, flags int, to socketapi.SockAddr) (int, error) {
+	return lib.sendImpl(t, fd, [][]byte{b}, flags, &to, false)
+}
+
+// SendMsg implements socketapi.API.
+func (lib *Library) SendMsg(t *sim.Proc, fd int, iov [][]byte, flags int, to *socketapi.SockAddr) (int, error) {
+	return lib.sendImpl(t, fd, iov, flags, to, false)
+}
+
+func (lib *Library) sendImpl(t *sim.Proc, fd int, iov [][]byte, flags int, to *socketapi.SockAddr, zerocpy bool) (int, error) {
+	s, err := lib.get(fd)
+	if err != nil {
+		return 0, err
+	}
+	var dst *stack.Addr
+	if to != nil {
+		dst = &stack.Addr{IP: to.Addr, Port: to.Port}
+	}
+	if !s.local && s.proto == wire.ProtoUDP && !s.returned {
+		// Fresh, unbound UDP socket: sendto binds it implicitly; the
+		// server names the port and the (null) session migrates here.
+		if err := lib.ensureBound(t, s); err != nil {
+			return 0, err
+		}
+	}
+	if !s.local {
+		// Server-managed (listener, or returned after fork): route the
+		// operation through the operating system.
+		rep, err := lib.proxy(t, "sessionSend", pxSend{sid: s.id, iov: iov, oob: flags&socketapi.MsgOOB != 0, to: dst}, iovLen(iov))
+		if err != nil {
+			return 0, err
+		}
+		return rep.(int), nil
+	}
+	if err := lib.ensureBound(t, s); err != nil {
+		return 0, err
+	}
+	return lib.St.Send(t, s.sock, iov, stack.SendOpts{
+		OOB:      flags&socketapi.MsgOOB != 0,
+		To:       dst,
+		ZeroCopy: zerocpy,
+	})
+}
+
+// Recv implements socketapi.API.
+func (lib *Library) Recv(t *sim.Proc, fd int, b []byte, flags int) (int, error) {
+	n, _, err := lib.RecvFrom(t, fd, b, flags)
+	return n, err
+}
+
+// RecvFrom implements socketapi.API.
+func (lib *Library) RecvFrom(t *sim.Proc, fd int, b []byte, flags int) (int, socketapi.SockAddr, error) {
+	s, err := lib.get(fd)
+	if err != nil {
+		return 0, socketapi.SockAddr{}, err
+	}
+	if !s.local && s.proto == wire.ProtoUDP && !s.returned {
+		if err := lib.ensureBound(t, s); err != nil {
+			return 0, socketapi.SockAddr{}, err
+		}
+	}
+	if !s.local {
+		rep, err := lib.proxy(t, "sessionRecv", pxRecv{
+			sid: s.id, max: len(b),
+			oob: flags&socketapi.MsgOOB != 0, peek: flags&socketapi.MsgPeek != 0,
+		}, 32)
+		if err != nil {
+			return 0, socketapi.SockAddr{}, err
+		}
+		r := rep.(pxRecvReply)
+		n := copy(b, r.data)
+		return n, socketapi.SockAddr{Addr: r.from.IP, Port: r.from.Port}, nil
+	}
+	n, from, _, err := lib.St.Recv(t, s.sock, b, stack.RecvOpts{
+		OOB:  flags&socketapi.MsgOOB != 0,
+		Peek: flags&socketapi.MsgPeek != 0,
+	})
+	return n, socketapi.SockAddr{Addr: from.IP, Port: from.Port}, err
+}
+
+// RecvMsg implements socketapi.API.
+func (lib *Library) RecvMsg(t *sim.Proc, fd int, iov [][]byte, flags int) (int, socketapi.SockAddr, error) {
+	total := 0
+	var from socketapi.SockAddr
+	for i, b := range iov {
+		n, f, err := lib.RecvFrom(t, fd, b, flags)
+		if i == 0 {
+			from = f
+		}
+		total += n
+		if err != nil {
+			return total, from, err
+		}
+		if n < len(b) {
+			break
+		}
+	}
+	return total, from, nil
+}
+
+// Close implements socketapi.API: a clean shutdown migrates the session
+// state back to the operating system, which follows the shutdown protocol
+// there (FIN handshake, 2MSL wait).
+func (lib *Library) Close(t *sim.Proc, fd int) error {
+	s, err := lib.get(fd)
+	if err != nil {
+		return err
+	}
+	delete(lib.fds, fd)
+	return lib.closeSession(t, s)
+}
+
+func (lib *Library) closeSession(t *sim.Proc, s *appSession) error {
+	if !s.local {
+		_, err := lib.proxy(t, "release", pxSession{sid: s.id}, 16)
+		return err
+	}
+	lib.quiesce(t)
+	switch s.proto {
+	case wire.ProtoUDP:
+		lib.St.DropUDPSession(s.sock)
+		s.local = false
+		_, err := lib.proxy(t, "return", pxReturn{sid: s.id, close: true}, 32)
+		return err
+	case wire.ProtoTCP:
+		state, err := lib.St.ExportTCPSession(t, s.sock)
+		if err != nil {
+			// Connection already dead locally (reset or fully closed):
+			// nothing to hand back but the record.
+			s.local = false
+			_, rerr := lib.proxy(t, "release", pxSession{sid: s.id}, 16)
+			return rerr
+		}
+		s.local = false
+		_, err = lib.proxy(t, "return", pxReturn{sid: s.id, state: state, close: true}, state.WireSize())
+		return err
+	}
+	return socketapi.ErrNotSupported
+}
+
+// Shutdown implements socketapi.API.
+func (lib *Library) Shutdown(t *sim.Proc, fd int, how int) error {
+	s, err := lib.get(fd)
+	if err != nil {
+		return err
+	}
+	if !s.local {
+		_, err := lib.proxy(t, "sessionShutdown", pxShutdown{sid: s.id, how: how}, 16)
+		return err
+	}
+	return lib.St.Shutdown(t, s.sock, how)
+}
+
+// SetSockOpt implements socketapi.API.
+func (lib *Library) SetSockOpt(t *sim.Proc, fd int, opt, value int) error {
+	s, err := lib.get(fd)
+	if err != nil {
+		return err
+	}
+	if s.local {
+		return lib.St.SetOption(s.sock, opt, value)
+	}
+	_, err = lib.proxy(t, "sessionSetOpt", pxOpt{sid: s.id, opt: opt, value: value}, 16)
+	return err
+}
+
+// GetSockOpt implements socketapi.API.
+func (lib *Library) GetSockOpt(t *sim.Proc, fd int, opt int) (int, error) {
+	s, err := lib.get(fd)
+	if err != nil {
+		return 0, err
+	}
+	if s.local {
+		return lib.St.GetOption(s.sock, opt)
+	}
+	rep, err := lib.proxy(t, "sessionGetOpt", pxOpt{sid: s.id, opt: opt}, 16)
+	if err != nil {
+		return 0, err
+	}
+	return rep.(int), nil
+}
+
+// GetSockName implements socketapi.API.
+func (lib *Library) GetSockName(t *sim.Proc, fd int) (socketapi.SockAddr, error) {
+	s, err := lib.get(fd)
+	if err != nil {
+		return socketapi.SockAddr{}, err
+	}
+	la := s.laddr
+	if la.IP.IsZero() {
+		la.IP = lib.sys.Host.IP
+	}
+	return socketapi.SockAddr{Addr: la.IP, Port: la.Port}, nil
+}
+
+// GetPeerName implements socketapi.API.
+func (lib *Library) GetPeerName(t *sim.Proc, fd int) (socketapi.SockAddr, error) {
+	s, err := lib.get(fd)
+	if err != nil {
+		return socketapi.SockAddr{}, err
+	}
+	if s.raddr.IsZero() {
+		return socketapi.SockAddr{}, socketapi.ErrNotConn
+	}
+	return socketapi.SockAddr{Addr: s.raddr.IP, Port: s.raddr.Port}, nil
+}
+
+// Select implements socketapi.API through the cooperative interface of
+// §3.2: locally managed sockets are checked in the library; sessions
+// managed by the operating system are checked there through proxy_status;
+// and when every descriptor is local, the operating system is never
+// involved.
+func (lib *Library) Select(t *sim.Proc, read, write socketapi.FDSet, timeout time.Duration) (socketapi.FDSet, socketapi.FDSet, error) {
+	deadline := t.Now().Add(timeout)
+	for {
+		r, w := socketapi.FDSet{}, socketapi.FDSet{}
+		var remoteSIDs []SessionID
+		var remoteFDs []int
+		var remoteWrite []bool
+		check := func(fd int, wantWrite bool) {
+			s, ok := lib.fds[fd]
+			if !ok {
+				return
+			}
+			if s.local {
+				if !wantWrite && s.sock.Readable() {
+					r[fd] = true
+				}
+				if wantWrite && s.sock.Writable() {
+					w[fd] = true
+				}
+				return
+			}
+			remoteSIDs = append(remoteSIDs, s.id)
+			remoteFDs = append(remoteFDs, fd)
+			remoteWrite = append(remoteWrite, wantWrite)
+		}
+		for fd := range read {
+			check(fd, false)
+		}
+		for fd := range write {
+			check(fd, true)
+		}
+		if len(remoteSIDs) > 0 {
+			rep, err := lib.proxy(t, "status", pxStatus{sids: remoteSIDs}, 16*len(remoteSIDs))
+			if err != nil {
+				return nil, nil, err
+			}
+			st := rep.(pxStatusReply)
+			for i := range remoteSIDs {
+				if remoteWrite[i] && st.writable[i] {
+					w[remoteFDs[i]] = true
+				}
+				if !remoteWrite[i] && st.readable[i] {
+					r[remoteFDs[i]] = true
+				}
+			}
+		}
+		if len(r) > 0 || len(w) > 0 || timeout == 0 {
+			return r, w, nil
+		}
+		if timeout < 0 {
+			lib.selCond.Wait(t)
+			continue
+		}
+		remain := deadline.Sub(t.Now())
+		if remain <= 0 {
+			return r, w, nil
+		}
+		lib.selCond.WaitTimeout(t, remain)
+	}
+}
+
+// Fork implements socketapi.API. Per Table 1, every migrated session is
+// returned to the operating system before the fork; afterwards both
+// processes reach their shared sessions through the server.
+func (lib *Library) Fork(t *sim.Proc, childName string) (socketapi.API, error) {
+	lib.quiesce(t)
+	for _, s := range lib.fds {
+		if !s.local {
+			continue
+		}
+		switch s.proto {
+		case wire.ProtoUDP:
+			lib.St.DropUDPSession(s.sock)
+			s.local = false
+			s.returned = true
+			s.sock = nil
+			if _, err := lib.proxy(t, "return", pxReturn{sid: s.id}, 32); err != nil {
+				return nil, err
+			}
+		case wire.ProtoTCP:
+			state, err := lib.St.ExportTCPSession(t, s.sock)
+			if err != nil {
+				return nil, err
+			}
+			s.local = false
+			s.returned = true
+			s.sock = nil
+			if _, err := lib.proxy(t, "return", pxReturn{sid: s.id, state: state}, state.WireSize()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	child := lib.sys.NewLibrary(childName)
+	child.next = lib.next
+	for fd, s := range lib.fds {
+		if _, err := lib.proxy(t, "dup", pxSession{sid: s.id}, 16); err != nil {
+			return nil, err
+		}
+		child.fds[fd] = &appSession{
+			id: s.id, proto: s.proto, laddr: s.laddr, raddr: s.raddr,
+			listen: s.listen, returned: s.returned,
+		}
+	}
+	return child, nil
+}
+
+// ExitProcess implements socketapi.API: the unexpected-shutdown path. The
+// kernel notifies the operating-system server of the death; the server
+// scavenges the dead address space's session state, aborts the
+// connections with resets, and quarantines their ports.
+func (lib *Library) ExitProcess(t *sim.Proc) {
+	if lib.exited {
+		return
+	}
+	lib.exited = true
+	lib.quiesce(t)
+	notice := pxDeath{lib: lib, tcp: make(map[SessionID]*stack.TCPSessionState)}
+	for _, s := range lib.fds {
+		if !s.local {
+			continue
+		}
+		switch s.proto {
+		case wire.ProtoTCP:
+			if state, err := lib.St.ExportTCPSession(t, s.sock); err == nil {
+				notice.tcp[s.id] = state
+			}
+		case wire.ProtoUDP:
+			lib.St.DropUDPSession(s.sock)
+			notice.udp = append(notice.udp, s.id)
+		}
+	}
+	lib.fds = make(map[int]*appSession)
+	lib.St.StopTimers()
+	lib.srv.svc.Call(t, "deathNotice", notice)
+	lib.Proc.Exit()
+}
+
+// SendZC implements socketapi.ZeroCopyAPI: the paper's §4.2 modified
+// interface. The protocol references the caller's buffer instead of
+// copying it into the socket queue.
+func (lib *Library) SendZC(t *sim.Proc, fd int, b []byte, flags int) (int, error) {
+	return lib.sendImpl(t, fd, [][]byte{b}, flags, nil, true)
+}
+
+// RecvZC implements socketapi.ZeroCopyAPI: received data is returned as a
+// protocol-owned view shared with the application.
+func (lib *Library) RecvZC(t *sim.Proc, fd int, max int, flags int) ([]byte, socketapi.SockAddr, error) {
+	s, err := lib.get(fd)
+	if err != nil {
+		return nil, socketapi.SockAddr{}, err
+	}
+	if !s.local {
+		buf := make([]byte, max)
+		n, from, err := lib.RecvFrom(t, fd, buf, flags)
+		return buf[:n], from, err
+	}
+	n, from, view, err := lib.St.Recv(t, s.sock, make([]byte, 0, max), stack.RecvOpts{
+		ZeroCopy: true,
+		OOB:      flags&socketapi.MsgOOB != 0,
+	})
+	_ = n
+	return view, socketapi.SockAddr{Addr: from.IP, Port: from.Port}, err
+}
+
+func iovLen(iov [][]byte) int {
+	n := 0
+	for _, b := range iov {
+		n += len(b)
+	}
+	return n
+}
+
+// Cache exposes the library's metastate cache (tests and diagnostics).
+func (lib *Library) Cache() *MetaCache { return lib.cache }
+
+// ProxyCalls returns the number of proxy RPCs this library has made.
+func (lib *Library) ProxyCalls() int { return lib.proxyCalls }

@@ -1,0 +1,586 @@
+package core
+
+import (
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/socketapi"
+	"repro/internal/stack"
+	"repro/internal/wire"
+)
+
+// Proxy RPC argument and reply types. These model the typed messages of
+// the proxy interface in Table 1 of the paper.
+
+type pxSocket struct{ typ int }
+
+type pxBind struct {
+	sid  SessionID
+	addr stack.Addr
+	lib  *Library
+}
+
+type pxBindReply struct {
+	local stack.Addr
+	ep    *kern.Endpoint // non-nil when the session migrated (UDP)
+}
+
+type pxConnect struct {
+	sid   SessionID
+	raddr stack.Addr
+	lib   *Library
+}
+
+type pxConnectReply struct {
+	local, remote stack.Addr
+	state         *stack.TCPSessionState // TCP only
+	ep            *kern.Endpoint
+	remoteMAC     wire.MAC
+}
+
+type pxListen struct {
+	sid     SessionID
+	backlog int
+}
+
+type pxAccept struct {
+	sid SessionID
+	lib *Library
+}
+
+type pxAcceptReply struct {
+	sid           SessionID
+	local, remote stack.Addr
+	state         *stack.TCPSessionState
+	ep            *kern.Endpoint
+	remoteMAC     wire.MAC
+}
+
+type pxReturn struct {
+	sid   SessionID
+	state *stack.TCPSessionState // nil for UDP
+	close bool
+}
+
+type pxSession struct{ sid SessionID }
+
+type pxStatus struct{ sids []SessionID }
+
+type pxStatusReply struct{ readable, writable []bool }
+
+type pxSend struct {
+	sid SessionID
+	iov [][]byte
+	oob bool
+	to  *stack.Addr
+}
+
+type pxRecv struct {
+	sid       SessionID
+	max       int
+	oob, peek bool
+}
+
+type pxRecvReply struct {
+	data []byte
+	from stack.Addr
+}
+
+type pxShutdown struct {
+	sid SessionID
+	how int
+}
+
+type pxOpt struct {
+	sid        SessionID
+	opt, value int
+}
+
+type pxARP struct{ ip wire.IPAddr }
+
+type pxDeath struct {
+	lib *Library
+	tcp map[SessionID]*stack.TCPSessionState
+	udp []SessionID
+}
+
+// handle dispatches one proxy call inside a server worker thread.
+func (srv *Server) handle(t *sim.Proc, method string, args any) (any, error) {
+	switch method {
+	case "socket":
+		a := args.(pxSocket)
+		var proto uint8
+		switch a.typ {
+		case socketapi.SockStream:
+			proto = wire.ProtoTCP
+		case socketapi.SockDgram:
+			proto = wire.ProtoUDP
+		default:
+			return nil, socketapi.ErrInvalid
+		}
+		return srv.newSession(proto).id, nil
+
+	case "bind":
+		a := args.(pxBind)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		if sess.local.Port != 0 {
+			return nil, socketapi.ErrInvalid
+		}
+		sock := srv.St.NewSocket(sess.proto)
+		srv.applyPendingOpts(sess, sock)
+		if err := srv.St.Bind(sock, a.addr); err != nil {
+			return nil, err
+		}
+		sess.srvSock = sock
+		sess.local = sock.LocalAddr()
+		sess.local.IP = srv.St.LocalIP()
+		if sess.proto == wire.ProtoUDP {
+			// UDP sessions migrate to the application at bind (Table 1).
+			ep, err := srv.migrateUDP(sess, a.lib)
+			if err != nil {
+				return nil, err
+			}
+			return pxBindReply{local: sess.local, ep: ep}, nil
+		}
+		return pxBindReply{local: sess.local}, nil
+
+	case "connect":
+		a := args.(pxConnect)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		return srv.connect(t, sess, a.raddr, a.lib)
+
+	case "listen":
+		a := args.(pxListen)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		if sess.srvSock == nil || sess.proto != wire.ProtoTCP {
+			return nil, socketapi.ErrInvalid
+		}
+		if err := srv.St.Listen(sess.srvSock, a.backlog); err != nil {
+			return nil, err
+		}
+		sess.listening = true
+		srv.watchServerSocket(sess)
+		return nil, nil
+
+	case "accept":
+		a := args.(pxAccept)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		if !sess.listening {
+			return nil, socketapi.ErrInvalid
+		}
+		ns, err := srv.St.Accept(t, sess.srvSock)
+		if err != nil {
+			return nil, err
+		}
+		newSess := srv.newSession(wire.ProtoTCP)
+		newSess.local = ns.LocalAddr()
+		newSess.remote = ns.RemoteAddr()
+		newSess.srvSock = ns
+		mac, _ := srv.St.ARP().WaitResolve(t, newSess.remote.IP, 10*time.Second)
+		ep, state, err := srv.migrateTCP(t, newSess, a.lib)
+		if err != nil {
+			return nil, err
+		}
+		return pxAcceptReply{
+			sid: newSess.id, local: newSess.local, remote: newSess.remote,
+			state: state, ep: ep, remoteMAC: mac,
+		}, nil
+
+	case "return":
+		a := args.(pxReturn)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		return nil, srv.returnSession(t, sess, a.state, a.close)
+
+	case "dup":
+		a := args.(pxSession)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		sess.refs++
+		return nil, nil
+
+	case "release":
+		a := args.(pxSession)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		sess.refs--
+		if sess.refs > 0 {
+			return nil, nil
+		}
+		return nil, srv.closeServerSession(t, sess)
+
+	case "status":
+		a := args.(pxStatus)
+		rep := pxStatusReply{
+			readable: make([]bool, len(a.sids)),
+			writable: make([]bool, len(a.sids)),
+		}
+		for i, sid := range a.sids {
+			sess, ok := srv.sessions[sid]
+			if !ok {
+				rep.readable[i], rep.writable[i] = true, true // error state: select returns ready
+				continue
+			}
+			if sess.srvSock != nil {
+				rep.readable[i] = sess.srvSock.Readable()
+				rep.writable[i] = sess.srvSock.Writable()
+			}
+		}
+		return rep, nil
+
+	case "sessionSend":
+		a := args.(pxSend)
+		sess, err := srv.getServerLocated(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		return srv.St.Send(t, sess.srvSock, a.iov, stack.SendOpts{OOB: a.oob, To: a.to})
+
+	case "sessionRecv":
+		a := args.(pxRecv)
+		sess, err := srv.getServerLocated(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]byte, a.max)
+		n, from, _, err := srv.St.Recv(t, sess.srvSock, buf, stack.RecvOpts{OOB: a.oob, Peek: a.peek})
+		if err != nil {
+			return nil, err
+		}
+		return pxRecvReply{data: buf[:n], from: from}, nil
+
+	case "sessionShutdown":
+		a := args.(pxShutdown)
+		sess, err := srv.getServerLocated(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		return nil, srv.St.Shutdown(t, sess.srvSock, a.how)
+
+	case "sessionSetOpt":
+		a := args.(pxOpt)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		if sess.srvSock != nil {
+			return nil, srv.St.SetOption(sess.srvSock, a.opt, a.value)
+		}
+		switch a.opt {
+		case socketapi.SoRcvBuf, socketapi.SoSndBuf:
+			if a.value <= 0 {
+				return nil, socketapi.ErrInvalid
+			}
+		case socketapi.SoReuseAddr, socketapi.TCPNoDelay, socketapi.SoKeepAlive:
+		default:
+			return nil, socketapi.ErrInvalid
+		}
+		if sess.pendingOpts == nil {
+			sess.pendingOpts = make(map[int]int)
+		}
+		sess.pendingOpts[a.opt] = a.value
+		return nil, nil
+
+	case "sessionGetOpt":
+		a := args.(pxOpt)
+		sess, err := srv.get(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		if sess.srvSock != nil {
+			return srv.St.GetOption(sess.srvSock, a.opt)
+		}
+		if v, ok := sess.pendingOpts[a.opt]; ok {
+			return v, nil
+		}
+		return defaultOpt(a.opt)
+
+	case "arp":
+		a := args.(pxARP)
+		mac, ok := srv.St.ARP().WaitResolve(t, a.ip, 10*time.Second)
+		if !ok {
+			return nil, socketapi.ErrHostUnreach
+		}
+		return mac, nil
+
+	case "deathNotice":
+		a := args.(pxDeath)
+		srv.deathNotice(t, a)
+		return nil, nil
+	}
+	return nil, socketapi.ErrNotSupported
+}
+
+func (srv *Server) get(sid SessionID) (*session, error) {
+	sess, ok := srv.sessions[sid]
+	if !ok {
+		return nil, socketapi.ErrBadFD
+	}
+	return sess, nil
+}
+
+func (srv *Server) getServerLocated(sid SessionID) (*session, error) {
+	sess, err := srv.get(sid)
+	if err != nil {
+		return nil, err
+	}
+	if sess.loc != atServer || sess.srvSock == nil {
+		return nil, socketapi.ErrInvalid
+	}
+	return sess, nil
+}
+
+func (srv *Server) applyPendingOpts(sess *session, sock *stack.Socket) {
+	for opt, v := range sess.pendingOpts {
+		srv.St.SetOption(sock, opt, v)
+	}
+}
+
+func defaultOpt(opt int) (int, error) {
+	switch opt {
+	case socketapi.SoRcvBuf, socketapi.SoSndBuf:
+		return 8 * 1024, nil
+	case socketapi.SoReuseAddr, socketapi.TCPNoDelay, socketapi.SoKeepAlive:
+		return 0, nil
+	}
+	return 0, socketapi.ErrInvalid
+}
+
+// connect performs the server side of an active open: name the endpoints,
+// run the handshake in the server, then migrate the established session
+// into the application.
+func (srv *Server) connect(t *sim.Proc, sess *session, raddr stack.Addr, lib *Library) (any, error) {
+	switch sess.proto {
+	case wire.ProtoUDP:
+		// Connect narrows a (possibly already migrated) UDP session to
+		// one peer.
+		if sess.local.Port == 0 {
+			sock := srv.St.NewSocket(wire.ProtoUDP)
+			srv.applyPendingOpts(sess, sock)
+			if err := srv.St.Bind(sock, stack.Addr{}); err != nil {
+				return nil, err
+			}
+			sess.srvSock = sock
+			sess.local = sock.LocalAddr()
+			sess.local.IP = srv.St.LocalIP()
+			if _, err := srv.migrateUDP(sess, lib); err != nil {
+				return nil, err
+			}
+		}
+		sess.remote = raddr
+		// Replace the session filter with one narrowed to the peer.
+		if sess.ep != nil && sess.filterID != 0 {
+			sess.ep.RemoveFilter(sess.filterID)
+			fid, err := sess.ep.InstallFilter(filter.MatchSpec{
+				Proto: wire.ProtoUDP, LocalIP: sess.local.IP, LocalPort: sess.local.Port,
+				RemoteIP: raddr.IP, RemotePort: raddr.Port,
+			}, sessionFilterPriority)
+			if err != nil {
+				return nil, err
+			}
+			sess.filterID = fid
+		}
+		mac, _ := srv.St.ARP().WaitResolve(t, raddr.IP, 10*time.Second)
+		return pxConnectReply{local: sess.local, remote: sess.remote, ep: sess.ep, remoteMAC: mac}, nil
+
+	case wire.ProtoTCP:
+		if sess.loc != atServer {
+			return nil, socketapi.ErrIsConn
+		}
+		if sess.srvSock == nil {
+			sock := srv.St.NewSocket(wire.ProtoTCP)
+			srv.applyPendingOpts(sess, sock)
+			sess.srvSock = sock
+		}
+		if err := srv.St.Connect(t, sess.srvSock, raddr); err != nil {
+			sess.srvSock = nil
+			sess.local = stack.Addr{}
+			return nil, err
+		}
+		sess.local = sess.srvSock.LocalAddr()
+		sess.remote = sess.srvSock.RemoteAddr()
+		mac, _ := srv.St.ARP().WaitResolve(t, raddr.IP, 10*time.Second)
+		ep, state, err := srv.migrateTCP(t, sess, lib)
+		if err != nil {
+			return nil, err
+		}
+		return pxConnectReply{local: sess.local, remote: sess.remote, state: state, ep: ep, remoteMAC: mac}, nil
+	}
+	return nil, socketapi.ErrNotSupported
+}
+
+const sessionFilterPriority = 10
+
+// migrateUDP moves a bound UDP session into the application: install the
+// session's packet filter, detach the server socket (keeping the port
+// reservation alive in the namespace), and hand the endpoint over.
+func (srv *Server) migrateUDP(sess *session, lib *Library) (*kern.Endpoint, error) {
+	ep := srv.sys.Host.NewEndpoint(0)
+	spec := filter.MatchSpec{Proto: wire.ProtoUDP, LocalIP: sess.local.IP, LocalPort: sess.local.Port}
+	if !sess.remote.IsZero() {
+		spec.RemoteIP, spec.RemotePort = sess.remote.IP, sess.remote.Port
+	}
+	fid, err := ep.InstallFilter(spec, sessionFilterPriority)
+	if err != nil {
+		ep.Close()
+		return nil, err
+	}
+	srv.St.DropUDPSession(sess.srvSock)
+	sess.srvSock = nil
+	sess.ep = ep
+	sess.filterID = fid
+	sess.portHeld = true
+	sess.loc = atApp
+	sess.owner = lib
+	srv.Migrations++
+	return ep, nil
+}
+
+// migrateTCP moves an established TCP session into the application. The
+// packet filter is installed before the state is exported so no segment
+// can fall between the two stacks.
+func (srv *Server) migrateTCP(t *sim.Proc, sess *session, lib *Library) (*kern.Endpoint, *stack.TCPSessionState, error) {
+	ep := srv.sys.Host.NewEndpoint(0)
+	fid, err := ep.InstallFilter(filter.MatchSpec{
+		Proto: wire.ProtoTCP, LocalIP: sess.local.IP, LocalPort: sess.local.Port,
+		RemoteIP: sess.remote.IP, RemotePort: sess.remote.Port,
+	}, sessionFilterPriority)
+	if err != nil {
+		ep.Close()
+		return nil, nil, err
+	}
+	hadPort := sess.srvSock != nil && !sess.listening
+	state, err := srv.St.ExportTCPSession(t, sess.srvSock)
+	if err != nil {
+		ep.Close()
+		return nil, nil, err
+	}
+	// An actively-opened session reserved its own (possibly ephemeral)
+	// port; an accepted session shares its listener's. Either way the
+	// namespace entry survives migration, held by the server.
+	if hadPort && sess.local.Port != 0 && srv.Ports.InUse(wire.ProtoTCP, sess.local.Port) {
+		sess.portHeld = true
+	}
+	sess.srvSock = nil
+	sess.ep = ep
+	sess.filterID = fid
+	sess.loc = atApp
+	sess.owner = lib
+	srv.Migrations++
+	return ep, state, nil
+}
+
+// returnSession migrates a session back from the application (Table 1's
+// proxy_return): for close, the server runs the shutdown handshake and
+// 2MSL wait; for fork, the server simply manages the session from now on.
+func (srv *Server) returnSession(t *sim.Proc, sess *session, state *stack.TCPSessionState, closing bool) error {
+	if sess.loc != atApp {
+		return socketapi.ErrInvalid
+	}
+	srv.Returns++
+	srv.dropAppSide(sess)
+	sess.loc = atServer
+	sess.owner = nil
+	switch sess.proto {
+	case wire.ProtoUDP:
+		if closing {
+			srv.reapSession(sess)
+			return nil
+		}
+		sess.srvSock = srv.St.AdoptUDPSession(sess.local, sess.remote)
+		srv.watchServerSocket(sess)
+		return nil
+	case wire.ProtoTCP:
+		if state == nil {
+			return socketapi.ErrInvalid
+		}
+		sess.srvSock = srv.St.ImportTCPSession(t, state)
+		srv.watchServerSocket(sess)
+		if closing {
+			sess.closing = true
+			srv.St.Close(t, sess.srvSock)
+			if stack.TCPStateOf(sess.srvSock) == "CLOSED" {
+				srv.reapSession(sess)
+			}
+		}
+		return nil
+	}
+	return socketapi.ErrNotSupported
+}
+
+// closeServerSession closes a server-located session once its last
+// descriptor reference is gone.
+func (srv *Server) closeServerSession(t *sim.Proc, sess *session) error {
+	if sess.srvSock == nil {
+		srv.reapSession(sess)
+		return nil
+	}
+	sess.closing = true
+	err := srv.St.Close(t, sess.srvSock)
+	if sess.proto == wire.ProtoUDP || sess.listening || stack.TCPStateOf(sess.srvSock) == "CLOSED" {
+		srv.reapSession(sess)
+	}
+	return err
+}
+
+// deathNotice handles the kernel's notification that a process died with
+// live sessions (paper §3.2 "unexpected shutdown"): the server aborts the
+// connections with resets and quarantines their ports so they cannot be
+// rebound while stale segments may still arrive.
+func (srv *Server) deathNotice(t *sim.Proc, a pxDeath) {
+	for sid, state := range a.tcp {
+		sess, ok := srv.sessions[sid]
+		if !ok || sess.owner != a.lib {
+			continue
+		}
+		srv.OrphansAborted++
+		srv.dropAppSide(sess)
+		sock := srv.St.ImportTCPSession(t, state)
+		srv.St.Abort(t, sock) // RST to the remote peer
+		port := sess.local.Port
+		held := sess.portHeld
+		sess.portHeld = false // quarantine supersedes the plain release
+		delete(srv.sessions, sid)
+		if held && port != 0 {
+			srv.Ports.Release(wire.ProtoTCP, port)
+			srv.Ports.Quarantine(wire.ProtoTCP, port)
+			srv.sys.Host.Sim.After(2*30*time.Second, func() {
+				srv.Ports.Unquarantine(wire.ProtoTCP, port)
+			})
+		}
+	}
+	for _, sid := range a.udp {
+		sess, ok := srv.sessions[sid]
+		if !ok || sess.owner != a.lib {
+			continue
+		}
+		srv.reapSession(sess)
+	}
+	// Unregister the dead library from metastate callbacks.
+	for i, lib := range srv.libs {
+		if lib == a.lib {
+			srv.libs = append(srv.libs[:i], srv.libs[i+1:]...)
+			break
+		}
+	}
+}

@@ -1,0 +1,221 @@
+package core_test
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/socketapi"
+	"repro/internal/wire"
+)
+
+// TestCooperativeSelectMixedSet is the exact scenario §3.2's cooperative
+// interface exists for: one select covers a library-managed UDP socket
+// AND a server-managed TCP listener. Readiness of either must wake the
+// selector.
+func TestCooperativeSelectMixedSet(t *testing.T) {
+	w := newWorld(31)
+	app := w.b.NewLibrary("mixed")
+	cliTCP := w.a.NewLibrary("tcpclient")
+	cliUDP := w.a.NewLibrary("udpclient")
+
+	var firstReady, secondReady string
+
+	w.s.Spawn("mixed", func(p *sim.Proc) {
+		ufd, _ := app.Socket(p, socketapi.SockDgram)
+		if err := app.Bind(p, ufd, socketapi.SockAddr{Port: 4000}); err != nil {
+			t.Error(err)
+			return
+		}
+		lfd, _ := app.Socket(p, socketapi.SockStream)
+		if err := app.Bind(p, lfd, socketapi.SockAddr{Port: 4001}); err != nil {
+			t.Error(err)
+			return
+		}
+		app.Listen(p, lfd, 1)
+
+		wait := func() string {
+			r, _, err := app.Select(p, socketapi.NewFDSet(ufd, lfd), nil, 10*time.Second)
+			if err != nil {
+				t.Error(err)
+				return "err"
+			}
+			switch {
+			case r[ufd]:
+				buf := make([]byte, 64)
+				app.RecvFrom(p, ufd, buf, 0)
+				return "udp"
+			case r[lfd]:
+				fd, _, err := app.Accept(p, lfd)
+				if err != nil {
+					t.Error(err)
+					return "err"
+				}
+				app.Close(p, fd)
+				return "tcp"
+			}
+			return "timeout"
+		}
+		// The UDP datagram arrives first (library-managed readiness),
+		// then a TCP connection (server-managed readiness).
+		firstReady = wait()
+		secondReady = wait()
+	})
+
+	w.s.Spawn("udpclient", func(p *sim.Proc) {
+		p.Sleep(10 * time.Millisecond)
+		fd, _ := cliUDP.Socket(p, socketapi.SockDgram)
+		cliUDP.SendTo(p, fd, []byte("wake"), 0, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 4000})
+	})
+	w.s.Spawn("tcpclient", func(p *sim.Proc) {
+		p.Sleep(200 * time.Millisecond)
+		fd, _ := cliTCP.Socket(p, socketapi.SockStream)
+		if err := cliTCP.Connect(p, fd, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 4001}); err != nil {
+			t.Error(err)
+			return
+		}
+		cliTCP.Close(p, fd)
+	})
+
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if firstReady != "udp" || secondReady != "tcp" {
+		t.Fatalf("readiness order = %s, %s; want udp then tcp", firstReady, secondReady)
+	}
+}
+
+// TestPostForkDataViaServer: after fork both processes reach the shared
+// session through the OS server (Table 1's fork row), and data still
+// flows correctly in both directions.
+func TestPostForkDataViaServer(t *testing.T) {
+	w := newWorld(32)
+	parent := w.a.NewLibrary("parent")
+	peer := w.b.NewLibrary("peer")
+
+	var echoed []byte
+	w.s.Spawn("peer", func(p *sim.Proc) {
+		ls, _ := peer.Socket(p, socketapi.SockStream)
+		peer.Bind(p, ls, socketapi.SockAddr{Port: 5001})
+		peer.Listen(p, ls, 1)
+		fd, _, err := peer.Accept(p, ls)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 64)
+		for len(echoed) < 12 {
+			n, err := peer.Recv(p, fd, buf, 0)
+			if err != nil || n == 0 {
+				t.Errorf("peer recv: n=%d err=%v", n, err)
+				return
+			}
+			echoed = append(echoed, buf[:n]...)
+		}
+		// Send a reply that the forked CHILD will read via the server.
+		peer.Send(p, fd, []byte("reply"), 0)
+	})
+
+	w.s.Spawn("parent", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := parent.Socket(p, socketapi.SockStream)
+		if err := parent.Connect(p, fd, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 5001}); err != nil {
+			t.Error(err)
+			return
+		}
+		child, err := parent.Fork(p, "child")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Both processes write on the shared session, through the server.
+		if _, err := parent.Send(p, fd, []byte("parent"), 0); err != nil {
+			t.Errorf("parent send: %v", err)
+		}
+		w.s.Spawn("child", func(cp *sim.Proc) {
+			if _, err := child.Send(cp, fd, []byte("child!"), 0); err != nil {
+				t.Errorf("child send: %v", err)
+				return
+			}
+			buf := make([]byte, 64)
+			n, err := child.Recv(cp, fd, buf, 0)
+			if err != nil || string(buf[:n]) != "reply" {
+				t.Errorf("child recv: %q %v", buf[:n], err)
+			}
+			child.Close(cp, fd)
+			child.ExitProcess(cp)
+		})
+		p.Sleep(500 * time.Millisecond)
+		parent.Close(p, fd)
+	})
+
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(echoed) != 12 {
+		t.Fatalf("peer saw %d bytes, want 12 (parent+child writes)", len(echoed))
+	}
+	if w.a.Server.Returns != 1 {
+		t.Fatalf("fork returns = %d, want 1", w.a.Server.Returns)
+	}
+}
+
+// TestSessionRefcountAcrossFork: the session record must survive until
+// BOTH processes close their descriptors.
+func TestSessionRefcountAcrossFork(t *testing.T) {
+	w := newWorld(33)
+	app := w.a.NewLibrary("app")
+	peer := w.b.NewLibrary("peer")
+
+	w.s.Spawn("peer", func(p *sim.Proc) {
+		ls, _ := peer.Socket(p, socketapi.SockStream)
+		peer.Bind(p, ls, socketapi.SockAddr{Port: 5001})
+		peer.Listen(p, ls, 1)
+		fd, _, err := peer.Accept(p, ls)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 16)
+		for {
+			n, err := peer.Recv(p, fd, buf, 0)
+			if err != nil || n == 0 {
+				break
+			}
+		}
+		peer.Close(p, fd)
+		peer.Close(p, ls)
+	})
+	w.s.Spawn("app", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond)
+		fd, _ := app.Socket(p, socketapi.SockStream)
+		if err := app.Connect(p, fd, socketapi.SockAddr{Addr: wire.IP(10, 0, 0, 2), Port: 5001}); err != nil {
+			t.Error(err)
+			return
+		}
+		child, err := app.Fork(p, "child")
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		// Parent closes first: the session must stay usable by the child.
+		if err := app.Close(p, fd); err != nil {
+			t.Errorf("parent close: %v", err)
+		}
+		if _, err := child.Send(p, fd, []byte("still alive"), 0); err != nil {
+			t.Errorf("child send after parent close: %v", err)
+		}
+		if err := child.Close(p, fd); err != nil {
+			t.Errorf("child close: %v", err)
+		}
+	})
+	if err := w.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.s.RunFor(90 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n := w.a.Server.Sessions(); n != 0 {
+		t.Fatalf("sessions after both closes + 2MSL = %d", n)
+	}
+}

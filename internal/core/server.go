@@ -1,0 +1,355 @@
+// Package core implements the paper's contribution: protocol service
+// decomposition. Network protocols are split between
+//
+//   - a protocol library linked into each application (Library), which
+//     owns the critical path — send and receive run entirely in the
+//     application's address space against a migrated session, reading
+//     packets from a per-session kernel packet-filter endpoint — and
+//
+//   - an operating-system server (Server), which owns everything else:
+//     the port namespace, connection establishment and teardown, shared
+//     metastate (ARP, routes) with library-cache invalidation callbacks,
+//     session migration, the select cooperation, fork support, orphaned-
+//     session abort on process death, and exceptional packets (ARP
+//     traffic, IP fragments, anything no session filter claims).
+//
+// Table 1 of the paper maps the socket interface onto this split; the
+// Library and Server types implement that table.
+package core
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/costs"
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/stack"
+	"repro/internal/wire"
+)
+
+// SessionID names a network session in the server's tables.
+type SessionID int64
+
+// sessionLoc records which address space currently manages a session.
+type sessionLoc int
+
+const (
+	atServer sessionLoc = iota
+	atApp
+)
+
+// session is the server's record of one network session (the 3-tuple plus
+// management state). The server tracks every session for its whole
+// lifetime, even while the application manages the protocol.
+type session struct {
+	id     SessionID
+	proto  uint8
+	loc    sessionLoc
+	local  stack.Addr
+	remote stack.Addr
+
+	owner *Library // the application currently managing it (loc == atApp)
+	refs  int      // descriptor references across processes
+
+	srvSock  *stack.Socket  // server-side socket (loc == atServer)
+	ep       *kern.Endpoint // application delivery endpoint (loc == atApp)
+	filterID int            // session packet filter (0 = none)
+
+	listening   bool
+	portHeld    bool        // core must release the port when the session dies
+	closing     bool        // close handshake running at the server
+	pendingOpts map[int]int // socket options set before the socket exists
+}
+
+// System is one host running the decomposed architecture: a kernel with
+// the packet-filter interface, one OS server, and any number of
+// application libraries.
+type System struct {
+	Host   *kern.Host
+	Server *Server
+
+	// LibProf prices the protocol libraries; the host's kernel-side
+	// delivery costs come from the same profile.
+	LibProf costs.Profile
+	// SrvProf prices the OS server's stack (the UX server that backs the
+	// decomposed system in the paper).
+	SrvProf costs.Profile
+
+	// Observer, when set, receives every protocol-layer charge made by
+	// library stacks (Table 4 instrumentation).
+	Observer func(comp costs.Component, d time.Duration)
+}
+
+// Server is the operating-system server.
+type Server struct {
+	sys   *System
+	Proc  *kern.Process
+	St    *stack.Stack
+	Ports *stack.LocalPorts
+	svc   *kern.Service
+
+	sessions map[SessionID]*session
+	nextSID  SessionID
+	libs     []*Library
+
+	frags map[fragKey]*fragEntry
+
+	// Stats.
+	Migrations     int
+	Returns        int
+	OrphansAborted int
+	FragForwards   int
+}
+
+const serverWorkers = 16
+
+// New assembles a host running the decomposed architecture.
+func New(s *sim.Sim, seg *simnet.Segment, name string, mac wire.MAC, ip wire.IPAddr, libProf, srvProf costs.Profile) *System {
+	sys := &System{LibProf: libProf, SrvProf: srvProf}
+	sys.Host = kern.NewHost(s, seg, name, mac, ip, libProf)
+
+	srv := &Server{
+		sys:      sys,
+		Proc:     sys.Host.NewProcess("os-server"),
+		Ports:    stack.NewLocalPorts(),
+		sessions: make(map[SessionID]*session),
+		nextSID:  1,
+		frags:    make(map[fragKey]*fragEntry),
+	}
+	sys.Server = srv
+
+	// The server's fallback endpoint: ARP, fragments, and anything no
+	// session filter claims.
+	ep := sys.Host.NewEndpoint(0)
+	if _, err := ep.InstallProgram(kern.CatchAllProgram(), 0); err != nil {
+		panic(err)
+	}
+
+	srv.St = stack.New(stack.Config{
+		Sim:      s,
+		Name:     name + ".os-server",
+		LocalIP:  ip,
+		LocalMAC: sys.Host.NIC.MAC(),
+		Costs:    &sys.SrvProf.Costs,
+		Charge: func(t *sim.Proc, tcp bool, comp costs.Component, n int) {
+			pc := &sys.SrvProf.Costs.UDP
+			if tcp {
+				pc = &sys.SrvProf.Costs.TCP
+			}
+			sys.Host.ChargeProc(t, pc[comp].At(n))
+		},
+		Transmit: sys.Host.Transmit,
+		Ports:    srv.Ports,
+		// Packets already queued at the server when a session's filter
+		// handoff happens must not be answered with RST/ICMP: the server
+		// checks its session table first.
+		OrphanFilter: func(proto uint8, local, remote stack.Addr) bool {
+			return srv.appSessionMatches(proto, local.IP, local.Port, remote.IP, remote.Port)
+		},
+	})
+	// Library caches are invalidated whenever shared metastate changes.
+	srv.St.ARP().OnChange = func(ip wire.IPAddr) {
+		for _, lib := range srv.libs {
+			lib.cache.Invalidate(ip)
+		}
+	}
+
+	srv.Proc.GoDaemon("netin", func(t *sim.Proc) {
+		for {
+			pkt, ok := ep.Recv(t)
+			if !ok {
+				return
+			}
+			srv.input(t, pkt.Frame)
+		}
+	})
+	srv.St.StartTimers(srv.Proc.GoDaemon)
+	srv.svc = kern.NewService(srv.Proc, name+".proxy", serverWorkers, srv.handle)
+	return sys
+}
+
+// input handles a frame that fell through to the server's endpoint.
+// IP fragments destined for migrated sessions are intercepted and, once a
+// datagram completes, re-injected through the kernel filter set so the
+// session's filter can claim it (ports are only present in the first
+// fragment — the paper's "exceptional packets" case). Everything else
+// flows into the server stack.
+func (srv *Server) input(t *sim.Proc, frame []byte) {
+	eh, err := wire.UnmarshalEth(frame)
+	if err == nil && eh.Type == wire.EtherTypeIPv4 {
+		h, hl, herr := wire.UnmarshalIPv4(frame[wire.EthHeaderLen:])
+		if herr == nil && h.IsFragment() && int(h.TotalLen) <= len(frame)-wire.EthHeaderLen {
+			body := frame[wire.EthHeaderLen+hl : wire.EthHeaderLen+int(h.TotalLen)]
+			switch srv.fragIntercept(t, eh, h, body) {
+			case fragHeld, fragForwarded:
+				return
+			case fragPassthrough:
+				// fall through to the server stack's own reassembly
+			}
+		}
+	}
+	srv.St.Input(t, frame)
+}
+
+type fragAction int
+
+const (
+	fragPassthrough fragAction = iota
+	fragHeld
+	fragForwarded
+)
+
+type fragKey struct {
+	src, dst wire.IPAddr
+	proto    uint8
+	id       uint16
+}
+
+type fragEntry struct {
+	frags   []fragPiece
+	gotLast bool
+	total   int
+	ttl     int
+}
+
+type fragPiece struct {
+	off  int
+	data []byte
+}
+
+// fragIntercept collects fragments of datagrams destined for migrated
+// sessions. A first fragment (which carries the ports) decides whether
+// the datagram belongs to an application session; non-first fragments
+// follow the decision made for their datagram.
+func (srv *Server) fragIntercept(t *sim.Proc, eh wire.EthHeader, h wire.IPv4Header, body []byte) fragAction {
+	key := fragKey{src: h.Src, dst: h.Dst, proto: h.Proto, id: h.ID}
+	e, tracking := srv.frags[key]
+	if !tracking {
+		if h.FragOff != 0 {
+			// Non-first fragment of a datagram we are not tracking: it is
+			// the server stack's problem (either its own session, or an
+			// ordering we do not handle — the stack's reassembly copes).
+			return fragPassthrough
+		}
+		if len(body) < 4 {
+			return fragPassthrough
+		}
+		dport := uint16(body[2])<<8 | uint16(body[3])
+		if !srv.appSessionMatches(h.Proto, h.Dst, dport, h.Src, uint16(body[0])<<8|uint16(body[1])) {
+			return fragPassthrough
+		}
+		e = &fragEntry{ttl: 30}
+		srv.frags[key] = e
+	}
+	off := int(h.FragOff) * 8
+	e.frags = append(e.frags, fragPiece{off: off, data: append([]byte(nil), body...)})
+	if !h.MoreFragments() {
+		e.gotLast = true
+		e.total = off + len(body)
+	}
+	if !e.gotLast {
+		return fragHeld
+	}
+	sort.Slice(e.frags, func(i, j int) bool { return e.frags[i].off < e.frags[j].off })
+	full := make([]byte, e.total)
+	covered := 0
+	for _, f := range e.frags {
+		if f.off > covered {
+			return fragHeld // hole remains
+		}
+		if end := f.off + len(f.data); end > covered {
+			copy(full[f.off:end], f.data)
+			covered = end
+		}
+	}
+	if covered < e.total {
+		return fragHeld
+	}
+	delete(srv.frags, key)
+	srv.FragForwards++
+
+	// Rebuild an unfragmented frame and push it back through the kernel
+	// filter set; the session's own filter matches it now.
+	rebuilt := make([]byte, wire.EthHeaderLen+wire.IPv4HeaderLen+len(full))
+	eh.Marshal(rebuilt)
+	h.TotalLen = uint16(wire.IPv4HeaderLen + len(full))
+	h.Flags, h.FragOff = 0, 0
+	h.Marshal(rebuilt[wire.EthHeaderLen:])
+	copy(rebuilt[wire.EthHeaderLen+wire.IPv4HeaderLen:], full)
+	srv.sys.Host.Inject(rebuilt)
+	return fragForwarded
+}
+
+// appSessionMatches reports whether a migrated session would claim the
+// given flow.
+func (srv *Server) appSessionMatches(proto uint8, localIP wire.IPAddr, localPort uint16, remoteIP wire.IPAddr, remotePort uint16) bool {
+	for _, sess := range srv.sessions {
+		if sess.loc != atApp || sess.proto != proto {
+			continue
+		}
+		if sess.local.Port != localPort {
+			continue
+		}
+		if !sess.remote.IsZero() && (sess.remote.IP != remoteIP || sess.remote.Port != remotePort) {
+			continue
+		}
+		return true
+	}
+	return false
+}
+
+// newSession allocates a session record.
+func (srv *Server) newSession(proto uint8) *session {
+	sess := &session{id: srv.nextSID, proto: proto, refs: 1, loc: atServer}
+	srv.nextSID++
+	srv.sessions[sess.id] = sess
+	return sess
+}
+
+// pokeSelectors wakes every library's select machinery; sockets recheck
+// readiness themselves (the proxy_status notification of Table 1).
+func (srv *Server) pokeSelectors() {
+	for _, lib := range srv.libs {
+		lib.selCond.Broadcast()
+	}
+}
+
+// watchServerSocket wires a server-located socket's status changes into
+// session lifecycle management and the select cooperation.
+func (srv *Server) watchServerSocket(sess *session) {
+	sock := sess.srvSock
+	sock.Notify = func() {
+		srv.pokeSelectors()
+		if sess.closing && stack.TCPStateOf(sock) == "CLOSED" {
+			srv.reapSession(sess)
+		}
+	}
+}
+
+// reapSession releases everything a dead session held.
+func (srv *Server) reapSession(sess *session) {
+	if _, live := srv.sessions[sess.id]; !live {
+		return
+	}
+	delete(srv.sessions, sess.id)
+	srv.dropAppSide(sess)
+	if sess.portHeld && sess.local.Port != 0 {
+		srv.Ports.Release(sess.proto, sess.local.Port)
+		sess.portHeld = false
+	}
+}
+
+// dropAppSide removes the session's packet filter and application
+// endpoint, so traffic falls back to the server's catch-all.
+func (srv *Server) dropAppSide(sess *session) {
+	if sess.ep != nil {
+		sess.ep.Close() // also uninstalls the session filter
+		sess.ep = nil
+		sess.filterID = 0
+	}
+}
+
+// Sessions returns the number of live sessions (tests and diagnostics).
+func (srv *Server) Sessions() int { return len(srv.sessions) }

@@ -1,0 +1,197 @@
+// Package filter implements the kernel packet filter: a small stack-based
+// virtual machine in the style of the CMU/Stanford packet filter used by
+// Mach (Mogul, Rashid & Accetta, SOSP '87), together with a compiler from
+// session match specifications and an installable filter set.
+//
+// The operating-system server compiles and installs one filter per network
+// session; the kernel runs the filter set over each incoming frame to pick
+// the destination endpoint. Run reports how many packet bytes the program
+// examined, which is what makes the paper's "integrated packet filter"
+// (SHM-IPF) possible: for Internet protocols the filter only reads
+// headers, so the kernel can defer copying the payload until the
+// destination address space is known and then copy it there directly.
+package filter
+
+import (
+	"fmt"
+)
+
+// Op is a filter VM opcode.
+type Op uint8
+
+// VM opcodes. The machine is a pure stack machine over uint32 words with
+// no backward jumps, so every program trivially terminates.
+const (
+	OpRet     Op = iota // pop v; accept iff v != 0
+	OpPushLit           // push Arg
+	OpLoad8             // push packet[Arg] (1 byte)
+	OpLoad16            // push big-endian uint16 at packet[Arg]
+	OpLoad32            // push big-endian uint32 at packet[Arg]
+	OpEq                // pop b, a; push a == b
+	OpNe                // pop b, a; push a != b
+	OpLt                // pop b, a; push a < b
+	OpLe                // pop b, a; push a <= b
+	OpGt                // pop b, a; push a > b
+	OpGe                // pop b, a; push a >= b
+	OpAnd               // pop b, a; push a & b
+	OpOr                // pop b, a; push a | b
+	OpXor               // pop b, a; push a ^ b
+	OpAdd               // pop b, a; push a + b
+	OpAssert            // pop v; if v == 0, reject immediately
+)
+
+var opNames = map[Op]string{
+	OpRet: "ret", OpPushLit: "pushlit", OpLoad8: "load8", OpLoad16: "load16",
+	OpLoad32: "load32", OpEq: "eq", OpNe: "ne", OpLt: "lt", OpLe: "le",
+	OpGt: "gt", OpGe: "ge", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpAdd: "add", OpAssert: "assert",
+}
+
+func (o Op) String() string {
+	if n, ok := opNames[o]; ok {
+		return n
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Instr is one VM instruction.
+type Instr struct {
+	Op  Op
+	Arg uint32
+}
+
+// Program is a filter program.
+type Program []Instr
+
+const maxStack = 32
+
+// Validate statically checks stack discipline: no underflow, bounded
+// depth, and a final value on every path (the machine has no jumps, so
+// there is exactly one path).
+func (p Program) Validate() error {
+	depth := 0
+	terminated := false
+	for i, in := range p {
+		if terminated {
+			return fmt.Errorf("filter: instruction %d after ret", i)
+		}
+		switch in.Op {
+		case OpPushLit, OpLoad8, OpLoad16, OpLoad32:
+			depth++
+		case OpEq, OpNe, OpLt, OpLe, OpGt, OpGe, OpAnd, OpOr, OpXor, OpAdd:
+			if depth < 2 {
+				return fmt.Errorf("filter: stack underflow at instruction %d (%s)", i, in.Op)
+			}
+			depth--
+		case OpAssert:
+			if depth < 1 {
+				return fmt.Errorf("filter: stack underflow at instruction %d (assert)", i)
+			}
+			depth--
+		case OpRet:
+			if depth < 1 {
+				return fmt.Errorf("filter: ret with empty stack at instruction %d", i)
+			}
+			terminated = true
+		default:
+			return fmt.Errorf("filter: unknown opcode %d at instruction %d", in.Op, i)
+		}
+		if depth > maxStack {
+			return fmt.Errorf("filter: stack depth exceeds %d at instruction %d", maxStack, i)
+		}
+	}
+	if !terminated {
+		return fmt.Errorf("filter: program does not end with ret")
+	}
+	return nil
+}
+
+// Run executes the program over pkt. It returns whether the packet is
+// accepted and the number of leading packet bytes the program examined
+// (the high-water mark of loads). A load past the end of the packet
+// rejects, as in BPF. Run assumes the program has been Validated.
+func (p Program) Run(pkt []byte) (accept bool, examined int) {
+	var stack [maxStack]uint32
+	sp := 0
+	for _, in := range p {
+		switch in.Op {
+		case OpPushLit:
+			stack[sp] = in.Arg
+			sp++
+		case OpLoad8:
+			off := int(in.Arg)
+			if off+1 > len(pkt) {
+				return false, examined
+			}
+			if off+1 > examined {
+				examined = off + 1
+			}
+			stack[sp] = uint32(pkt[off])
+			sp++
+		case OpLoad16:
+			off := int(in.Arg)
+			if off+2 > len(pkt) {
+				return false, examined
+			}
+			if off+2 > examined {
+				examined = off + 2
+			}
+			stack[sp] = uint32(pkt[off])<<8 | uint32(pkt[off+1])
+			sp++
+		case OpLoad32:
+			off := int(in.Arg)
+			if off+4 > len(pkt) {
+				return false, examined
+			}
+			if off+4 > examined {
+				examined = off + 4
+			}
+			stack[sp] = uint32(pkt[off])<<24 | uint32(pkt[off+1])<<16 |
+				uint32(pkt[off+2])<<8 | uint32(pkt[off+3])
+			sp++
+		case OpAssert:
+			sp--
+			if stack[sp] == 0 {
+				return false, examined
+			}
+		case OpRet:
+			return stack[sp-1] != 0, examined
+		default:
+			b, a := stack[sp-1], stack[sp-2]
+			sp -= 2
+			var v uint32
+			switch in.Op {
+			case OpEq:
+				v = b2u(a == b)
+			case OpNe:
+				v = b2u(a != b)
+			case OpLt:
+				v = b2u(a < b)
+			case OpLe:
+				v = b2u(a <= b)
+			case OpGt:
+				v = b2u(a > b)
+			case OpGe:
+				v = b2u(a >= b)
+			case OpAnd:
+				v = a & b
+			case OpOr:
+				v = a | b
+			case OpXor:
+				v = a ^ b
+			case OpAdd:
+				v = a + b
+			}
+			stack[sp] = v
+			sp++
+		}
+	}
+	return false, examined
+}
+
+func b2u(b bool) uint32 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,302 @@
+package filter
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/wire"
+)
+
+// buildFrame constructs an Ethernet+IPv4+transport frame for tests.
+func buildFrame(proto uint8, src, dst wire.IPAddr, sport, dport uint16, fragOff uint16, mf bool, payload int) []byte {
+	b := make([]byte, wire.EthHeaderLen+wire.IPv4HeaderLen+8+payload)
+	eh := wire.EthHeader{Dst: wire.MAC{2}, Src: wire.MAC{1}, Type: wire.EtherTypeIPv4}
+	eh.Marshal(b)
+	ih := wire.IPv4Header{
+		TotalLen: uint16(wire.IPv4HeaderLen + 8 + payload),
+		TTL:      64, Proto: proto, Src: src, Dst: dst, FragOff: fragOff,
+	}
+	if mf {
+		ih.Flags = wire.IPFlagMF
+	}
+	ih.Marshal(b[wire.EthHeaderLen:])
+	tp := b[wire.EthHeaderLen+wire.IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(tp[0:2], sport)
+	binary.BigEndian.PutUint16(tp[2:4], dport)
+	return b
+}
+
+func TestVMBasics(t *testing.T) {
+	p := Program{
+		{OpPushLit, 5},
+		{OpPushLit, 3},
+		{OpAdd, 0},
+		{OpPushLit, 8},
+		{OpEq, 0},
+		{OpRet, 0},
+	}
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	ok, _ := p.Run(nil)
+	if !ok {
+		t.Fatal("5+3==8 evaluated false")
+	}
+}
+
+func TestVMComparisons(t *testing.T) {
+	cases := []struct {
+		op   Op
+		a, b uint32
+		want bool
+	}{
+		{OpEq, 4, 4, true}, {OpEq, 4, 5, false},
+		{OpNe, 4, 5, true}, {OpNe, 4, 4, false},
+		{OpLt, 3, 4, true}, {OpLt, 4, 4, false},
+		{OpLe, 4, 4, true}, {OpLe, 5, 4, false},
+		{OpGt, 5, 4, true}, {OpGt, 4, 4, false},
+		{OpGe, 4, 4, true}, {OpGe, 3, 4, false},
+		{OpXor, 5, 5, false}, {OpXor, 5, 4, true},
+		{OpOr, 0, 0, false}, {OpOr, 0, 2, true},
+		{OpAnd, 1, 3, true}, {OpAnd, 1, 2, false},
+	}
+	for _, c := range cases {
+		p := Program{{OpPushLit, c.a}, {OpPushLit, c.b}, {c.op, 0}, {OpRet, 0}}
+		if ok, _ := p.Run(nil); ok != c.want {
+			t.Errorf("%v %s %v = %v, want %v", c.a, c.op, c.b, ok, c.want)
+		}
+	}
+}
+
+func TestVMLoadsAndExamined(t *testing.T) {
+	pkt := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+	p := Program{
+		{OpLoad16, 0},
+		{OpPushLit, 0xdead},
+		{OpEq, 0},
+		{OpAssert, 0},
+		{OpLoad32, 2},
+		{OpPushLit, 0xbeef0102},
+		{OpEq, 0},
+		{OpRet, 0},
+	}
+	ok, ex := p.Run(pkt)
+	if !ok {
+		t.Fatal("loads mismatched")
+	}
+	if ex != 6 {
+		t.Fatalf("examined = %d, want 6", ex)
+	}
+}
+
+func TestVMOutOfRangeLoadRejects(t *testing.T) {
+	p := Program{{OpLoad32, 10}, {OpRet, 0}}
+	pkt := make([]byte, 14)
+	pkt[13] = 1 // loaded word is nonzero, so an in-range load accepts
+	if ok, _ := p.Run(pkt); !ok {
+		t.Fatal("in-range load rejected")
+	}
+	if ok, _ := p.Run(pkt[:13]); ok {
+		t.Fatal("out-of-range load accepted")
+	}
+}
+
+func TestVMAssertShortCircuits(t *testing.T) {
+	pkt := []byte{0, 0}
+	p := Program{
+		{OpLoad8, 0},
+		{OpAssert, 0},   // always fails: byte is 0
+		{OpLoad32, 100}, // would reject if reached, but also: examined must not grow
+		{OpRet, 0},
+	}
+	ok, ex := p.Run(pkt)
+	if ok {
+		t.Fatal("assert did not reject")
+	}
+	if ex != 1 {
+		t.Fatalf("examined = %d after short-circuit, want 1", ex)
+	}
+}
+
+func TestValidateCatchesUnderflow(t *testing.T) {
+	bad := []Program{
+		{{OpEq, 0}, {OpRet, 0}},                      // binop on empty stack
+		{{OpPushLit, 1}, {OpEq, 0}, {OpRet, 0}},      // binop on 1-deep stack
+		{{OpRet, 0}},                                 // ret on empty stack
+		{{OpAssert, 0}, {OpRet, 0}},                  // assert on empty stack
+		{{OpPushLit, 1}},                             // missing ret
+		{{OpPushLit, 1}, {OpRet, 0}, {OpPushLit, 1}}, // code after ret
+		{{Instr{Op: 99}.Op, 0}},                      // unknown opcode
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("program %d validated but should not have", i)
+		}
+	}
+}
+
+func TestValidateDepthLimit(t *testing.T) {
+	var p Program
+	for i := 0; i < maxStack+1; i++ {
+		p = append(p, Instr{OpPushLit, 0})
+	}
+	p = append(p, Instr{OpRet, 0})
+	if err := p.Validate(); err == nil {
+		t.Fatal("over-deep program validated")
+	}
+}
+
+func TestCompileTCPSessionFilter(t *testing.T) {
+	local, remote := wire.IP(10, 0, 0, 1), wire.IP(10, 0, 0, 2)
+	spec := MatchSpec{Proto: wire.ProtoTCP, LocalIP: local, LocalPort: 80, RemoteIP: remote, RemotePort: 1234}
+	p := Compile(spec)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+
+	match := buildFrame(wire.ProtoTCP, remote, local, 1234, 80, 0, false, 10)
+	if ok, ex := p.Run(match); !ok {
+		t.Fatal("matching frame rejected")
+	} else if ex > 38 {
+		t.Fatalf("filter examined %d bytes; must be header-only", ex)
+	}
+
+	cases := []struct {
+		name  string
+		frame []byte
+	}{
+		{"wrong proto", buildFrame(wire.ProtoUDP, remote, local, 1234, 80, 0, false, 10)},
+		{"wrong src ip", buildFrame(wire.ProtoTCP, wire.IP(10, 0, 0, 9), local, 1234, 80, 0, false, 10)},
+		{"wrong dst ip", buildFrame(wire.ProtoTCP, remote, wire.IP(10, 0, 0, 9), 1234, 80, 0, false, 10)},
+		{"wrong sport", buildFrame(wire.ProtoTCP, remote, local, 99, 80, 0, false, 10)},
+		{"wrong dport", buildFrame(wire.ProtoTCP, remote, local, 1234, 81, 0, false, 10)},
+		{"non-first fragment", buildFrame(wire.ProtoTCP, remote, local, 1234, 80, 100, false, 10)},
+	}
+	for _, c := range cases {
+		if ok, _ := p.Run(c.frame); ok {
+			t.Errorf("%s accepted", c.name)
+		}
+	}
+
+	// Even the first fragment (which carries ports) must be rejected:
+	// fragmented datagrams are the OS server's to reassemble.
+	first := buildFrame(wire.ProtoTCP, remote, local, 1234, 80, 0, true, 10)
+	if ok, _ := p.Run(first); ok {
+		t.Error("first fragment accepted; fragments belong to the server")
+	}
+}
+
+func TestCompileWildcards(t *testing.T) {
+	// Unconnected UDP socket: local endpoint fixed, remote wildcarded.
+	local := wire.IP(10, 0, 0, 1)
+	spec := MatchSpec{Proto: wire.ProtoUDP, LocalIP: local, LocalPort: 53}
+	p := Compile(spec)
+	if err := p.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for _, remote := range []wire.IPAddr{wire.IP(10, 0, 0, 2), wire.IP(192, 168, 7, 8)} {
+		f := buildFrame(wire.ProtoUDP, remote, local, 40000, 53, 0, false, 64)
+		if ok, _ := p.Run(f); !ok {
+			t.Errorf("wildcard remote %v rejected", remote)
+		}
+	}
+	if ok, _ := p.Run(buildFrame(wire.ProtoUDP, wire.IP(1, 2, 3, 4), local, 40000, 54, 0, false, 0)); ok {
+		t.Error("wrong local port accepted")
+	}
+}
+
+// TestQuickCompiledMatchesReference: the compiled VM program and the
+// direct MatchSpec.Matches predicate must agree on random frames.
+func TestQuickCompiledMatchesReference(t *testing.T) {
+	specs := []MatchSpec{
+		{Proto: wire.ProtoTCP, LocalIP: wire.IP(10, 0, 0, 1), LocalPort: 80, RemoteIP: wire.IP(10, 0, 0, 2), RemotePort: 1234},
+		{Proto: wire.ProtoUDP, LocalIP: wire.IP(10, 0, 0, 1), LocalPort: 53},
+		{Proto: wire.ProtoUDP, LocalIP: wire.IP(10, 0, 0, 1)},
+		{},
+	}
+	progs := make([]Program, len(specs))
+	for i, s := range specs {
+		progs[i] = Compile(s)
+		if err := progs[i].Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		proto := []uint8{wire.ProtoTCP, wire.ProtoUDP, wire.ProtoICMP}[rng.Intn(3)]
+		ips := []wire.IPAddr{wire.IP(10, 0, 0, 1), wire.IP(10, 0, 0, 2), wire.IP(10, 0, 0, 3)}
+		src, dst := ips[rng.Intn(3)], ips[rng.Intn(3)]
+		ports := []uint16{53, 80, 1234, 40000}
+		sp, dp := ports[rng.Intn(4)], ports[rng.Intn(4)]
+		fragOff := uint16(0)
+		if rng.Intn(4) == 0 {
+			fragOff = uint16(rng.Intn(100))
+		}
+		frame := buildFrame(proto, src, dst, sp, dp, fragOff, rng.Intn(2) == 0, rng.Intn(100))
+		for i := range specs {
+			vmOK, _ := progs[i].Run(frame)
+			if vmOK != specs[i].Matches(frame) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetPriorityAndOrder(t *testing.T) {
+	s := NewSet()
+	local := wire.IP(10, 0, 0, 1)
+	// Session filter at high priority, catch-all at low priority (the OS
+	// server's fallback).
+	sess, err := s.Install(Compile(MatchSpec{Proto: wire.ProtoUDP, LocalIP: local, LocalPort: 53}), MatchSpec{}, 10, "session")
+	if err != nil {
+		t.Fatal(err)
+	}
+	catch, err := s.Install(Program{{OpPushLit, 1}, {OpRet, 0}}, MatchSpec{}, 0, "server")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := buildFrame(wire.ProtoUDP, wire.IP(10, 0, 0, 2), local, 9, 53, 0, false, 4)
+	if m, _ := s.Match(f); m == nil || m.Owner != "session" {
+		t.Fatalf("expected session filter, got %+v", m)
+	}
+	other := buildFrame(wire.ProtoUDP, wire.IP(10, 0, 0, 2), local, 9, 99, 0, false, 4)
+	if m, _ := s.Match(other); m == nil || m.Owner != "server" {
+		t.Fatalf("expected fallback, got %+v", m)
+	}
+	if !s.Remove(sess.ID) {
+		t.Fatal("remove failed")
+	}
+	if m, _ := s.Match(f); m == nil || m.Owner != "server" {
+		t.Fatal("after removal, fallback should match")
+	}
+	s.Remove(catch.ID)
+	if m, _ := s.Match(f); m != nil {
+		t.Fatal("empty set matched")
+	}
+	if s.Len() != 0 {
+		t.Fatal("set not empty")
+	}
+}
+
+func TestSetRejectsInvalidProgram(t *testing.T) {
+	s := NewSet()
+	if _, err := s.Install(Program{{OpRet, 0}}, MatchSpec{}, 0, nil); err == nil {
+		t.Fatal("invalid program installed")
+	}
+}
+
+func BenchmarkFilterRun(b *testing.B) {
+	spec := MatchSpec{Proto: wire.ProtoTCP, LocalIP: wire.IP(10, 0, 0, 1), LocalPort: 80,
+		RemoteIP: wire.IP(10, 0, 0, 2), RemotePort: 1234}
+	p := Compile(spec)
+	f := buildFrame(wire.ProtoTCP, spec.RemoteIP, spec.LocalIP, 1234, 80, 0, false, 1460)
+	for i := 0; i < b.N; i++ {
+		p.Run(f)
+	}
+}

@@ -1,0 +1,151 @@
+package kern
+
+import (
+	"fmt"
+
+	"repro/internal/costs"
+	"repro/internal/filter"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+)
+
+// DefaultEndpointDepth is the default packet queue depth for an endpoint:
+// the shared ring (SHM modes) or port queue (IPC mode). Arriving packets
+// are dropped when the queue is full, as on the real interfaces.
+const DefaultEndpointDepth = 512
+
+// Packet is a received frame queued at an endpoint.
+type Packet struct {
+	Frame   []byte
+	Arrived sim.Time
+	Payload int // transport payload length, for cost accounting
+}
+
+// Endpoint is a packet delivery target: the kernel side of a packet
+// filter port (IPC mode) or shared ring (SHM modes). One endpoint may
+// have several filters installed (for example, an OS server's fallback
+// endpoint).
+type Endpoint struct {
+	host    *Host
+	queue   []Packet
+	depth   int
+	avail   sim.Cond
+	filters []int
+	closed  bool
+
+	Delivered int
+	Drops     int
+}
+
+// NewEndpoint creates an endpoint with the given queue depth (0 means
+// DefaultEndpointDepth).
+func (h *Host) NewEndpoint(depth int) *Endpoint {
+	if depth <= 0 {
+		depth = DefaultEndpointDepth
+	}
+	e := &Endpoint{host: h, depth: depth}
+	h.endpoints = append(h.endpoints, e)
+	return e
+}
+
+// InstallFilter compiles spec and installs it for this endpoint at the
+// given priority. It returns the filter ID.
+func (e *Endpoint) InstallFilter(spec filter.MatchSpec, priority int) (int, error) {
+	f, err := e.host.Filters.Install(filter.Compile(spec), spec, priority, e)
+	if err != nil {
+		return 0, err
+	}
+	e.filters = append(e.filters, f.ID)
+	return f.ID, nil
+}
+
+// InstallProgram installs a raw filter program (used for the catch-all
+// fallback filters).
+func (e *Endpoint) InstallProgram(prog filter.Program, priority int) (int, error) {
+	f, err := e.host.Filters.Install(prog, filter.MatchSpec{}, priority, e)
+	if err != nil {
+		return 0, err
+	}
+	e.filters = append(e.filters, f.ID)
+	return f.ID, nil
+}
+
+// CatchAllProgram accepts every frame; OS servers and in-kernel stacks
+// install it at low priority to receive everything sessions don't claim.
+func CatchAllProgram() filter.Program {
+	return filter.Program{{Op: filter.OpPushLit, Arg: 1}, {Op: filter.OpRet}}
+}
+
+// RemoveFilter uninstalls one filter by ID.
+func (e *Endpoint) RemoveFilter(id int) {
+	e.host.Filters.Remove(id)
+	for i, fid := range e.filters {
+		if fid == id {
+			e.filters = append(e.filters[:i], e.filters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Close uninstalls all filters and wakes any blocked receivers, which
+// will see ok=false.
+func (e *Endpoint) Close() {
+	for _, id := range e.filters {
+		e.host.Filters.Remove(id)
+	}
+	e.filters = nil
+	e.closed = true
+	e.avail.Broadcast()
+}
+
+// deliver runs in event (interrupt) context after the delivery copy has
+// been charged.
+func (e *Endpoint) deliver(h *Host, f simnet.Frame, payload int) {
+	if e.closed {
+		return
+	}
+	if len(e.queue) >= e.depth {
+		e.Drops++
+		h.RxDropped++
+		return
+	}
+	e.queue = append(e.queue, Packet{Frame: f.Data, Arrived: h.Sim.Now(), Payload: payload})
+	e.Delivered++
+	h.DeliveryBytes += payload
+	e.avail.Signal()
+}
+
+// Recv dequeues the next packet, blocking until one arrives or the
+// endpoint closes. In IPC delivery mode each dequeue pays the per-message
+// receive cost; in the shared-memory modes the ring is drained directly.
+func (e *Endpoint) Recv(p *sim.Proc) (Packet, bool) {
+	for len(e.queue) == 0 && !e.closed {
+		e.avail.Wait(p)
+	}
+	if len(e.queue) == 0 {
+		return Packet{}, false
+	}
+	pkt := e.queue[0]
+	e.queue = e.queue[1:]
+	if e.host.Prof.Delivery == costs.DeliverIPC {
+		if c := e.host.Prof.IPCRecvPerPacket.At(pkt.Payload); c > 0 {
+			e.host.ChargeProc(p, c)
+		}
+	}
+	return pkt, true
+}
+
+// TryRecv dequeues a packet if one is queued, without blocking.
+func (e *Endpoint) TryRecv(p *sim.Proc) (Packet, bool) {
+	if len(e.queue) == 0 {
+		return Packet{}, false
+	}
+	return e.Recv(p)
+}
+
+// Pending returns the number of queued packets.
+func (e *Endpoint) Pending() int { return len(e.queue) }
+
+func (e *Endpoint) String() string {
+	return fmt.Sprintf("endpoint(%s, %d queued, %d filters)", e.host.Name, len(e.queue), len(e.filters))
+}

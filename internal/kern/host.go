@@ -1,0 +1,191 @@
+// Package kern simulates the host operating-system substrate the paper's
+// protocol architecture runs on: a uniprocessor with a network device,
+// a kernel packet filter with three user/kernel delivery interfaces
+// (per-packet IPC, shared-memory ring, and the driver-integrated filter),
+// Mach-style synchronous RPC for the proxy calls, and processes with
+// death notification.
+//
+// All CPU work is charged in virtual time against the host's single CPU
+// resource; interrupt-level work (device receive, packet filter, packet
+// delivery) queue-jumps task-level work, mirroring the paper's
+// uniprocessor hosts.
+package kern
+
+import (
+	"time"
+
+	"repro/internal/costs"
+	"repro/internal/filter"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// Host is one simulated machine.
+type Host struct {
+	Sim  *sim.Sim
+	Name string
+	CPU  sim.Resource
+
+	// Prof is the cost profile of the system configuration this host is
+	// running; it prices the device and delivery components charged here.
+	Prof costs.Profile
+
+	IP  wire.IPAddr
+	NIC *simnet.NIC
+
+	Filters   *filter.Set
+	egress    *filter.Set
+	endpoints []*Endpoint
+
+	nextPID int
+	procs   map[int]*Process
+
+	// Meter, when set, receives every kernel-side receive-path charge for
+	// the Table 4 per-layer breakdown.
+	Meter Meter
+
+	// Stats.
+	RxFrames      int
+	RxNoMatch     int
+	RxDropped     int
+	TxBlocked     int
+	DeliveryBytes int
+}
+
+// NewHost attaches a new machine to the segment.
+func NewHost(s *sim.Sim, seg *simnet.Segment, name string, mac wire.MAC, ip wire.IPAddr, prof costs.Profile) *Host {
+	h := &Host{
+		Sim:     s,
+		Name:    name,
+		Prof:    prof,
+		IP:      ip,
+		CPU:     sim.Resource{Name: name + ".cpu"},
+		Filters: filter.NewSet(),
+		nextPID: 1,
+		procs:   make(map[int]*Process),
+	}
+	h.NIC = seg.Attach(mac)
+	h.NIC.Rx = h.rx
+	return h
+}
+
+// ChargeProc charges d of task-priority CPU to the calling process thread.
+func (h *Host) ChargeProc(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	h.CPU.Use(p, sim.TaskPriority, d)
+}
+
+// ChargeIntrProc charges d of interrupt-priority CPU to the calling
+// thread. The in-kernel baseline's software-interrupt protocol processing
+// uses this so that it preempts (queue-jumps) application work.
+func (h *Host) ChargeIntrProc(p *sim.Proc, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	h.CPU.Use(p, sim.IntrPriority, d)
+}
+
+// pathFor picks the per-protocol cost table for a received frame by
+// peeking at the IP protocol field. Non-IP traffic (ARP) is priced with
+// the UDP table, whose small-packet costs are the right magnitude.
+func (h *Host) pathFor(frame []byte) *costs.PathCosts {
+	const protoOff = wire.EthHeaderLen + 9
+	if len(frame) > protoOff {
+		eh, err := wire.UnmarshalEth(frame)
+		if err == nil && eh.Type == wire.EtherTypeIPv4 && frame[protoOff] == wire.ProtoTCP {
+			return &h.Prof.Costs.TCP
+		}
+	}
+	return &h.Prof.Costs.UDP
+}
+
+// payloadLen returns the transport payload length of a frame, used to
+// price per-byte costs the way Table 4 does (by message size).
+func payloadLen(frame []byte) int {
+	n := len(frame) - wire.EthHeaderLen - wire.IPv4HeaderLen - 8
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// rx is the NIC receive callback: it models the device interrupt, the
+// packet filter, and delivery into the matching endpoint's queue. It runs
+// entirely at interrupt priority on the host CPU.
+func (h *Host) rx(f simnet.Frame) {
+	h.RxFrames++
+	pc := h.pathFor(f.Data)
+	n := payloadLen(f.Data)
+	// Device interrupt; for non-integrated configurations this includes
+	// the copy from device memory into a kernel buffer.
+	h.chargeRx(costs.CompDeviceIntrRead, pc[costs.CompDeviceIntrRead].At(n), func() {
+		// Software interrupt: demultiplex via the packet filter.
+		h.chargeRx(costs.CompNetisrPF, pc[costs.CompNetisrPF].At(n), func() {
+			m, _ := h.Filters.Match(f.Data)
+			if m == nil {
+				h.RxNoMatch++
+				return
+			}
+			ep := m.Owner.(*Endpoint)
+			// Delivery: copy into the endpoint (IPC message, shared ring,
+			// or the integrated filter's direct copy). Zero for the
+			// in-kernel baseline, whose stack reads the kernel buffer.
+			h.chargeRx(costs.CompKernelCopyout, pc[costs.CompKernelCopyout].At(n), func() {
+				ep.deliver(h, f, n)
+			})
+		})
+	})
+}
+
+// chargeRx charges one receive-path component at interrupt priority and
+// then continues, metering the charge if a Meter is installed. Zero-cost
+// components continue immediately without touching the CPU.
+func (h *Host) chargeRx(comp costs.Component, d time.Duration, then func()) {
+	if h.Meter != nil && d > 0 {
+		h.Meter.Account(comp, d)
+	}
+	if d == 0 {
+		then()
+		return
+	}
+	h.CPU.UseEvent(h.Sim, sim.IntrPriority, d, then)
+}
+
+// Meter is implemented by stacks that attribute per-layer costs for the
+// Table 4 reproduction. The host-level receive components are attributed
+// by the endpoint at delivery time instead, since the stack never sees
+// them directly.
+type Meter interface {
+	Account(comp costs.Component, d time.Duration)
+}
+
+// Inject runs a frame through the host's receive path as if it had just
+// arrived from the wire: device charge, packet filter, delivery. The OS
+// server uses it to hand reassembled datagrams back to the filter set so
+// a migrated session's filter can claim them.
+func (h *Host) Inject(frame []byte) {
+	h.rx(simnet.Frame{Data: frame})
+}
+
+// Egress, when non-nil, is the outbound packet filter the paper's §3.4
+// suggests ("a packet limiting mechanism ... could be implemented by
+// checking each outgoing packet using a service similar to the packet
+// filter"): a frame accepted by no installed program is dropped instead
+// of transmitted. Installed by the operating system; applications cannot
+// bypass it because their only path to the wire is this transmit call.
+func (h *Host) SetEgress(s *filter.Set) { h.egress = s }
+
+// Transmit sends a frame, subject to the egress filter. Deployments use
+// this as the stack's transmit function.
+func (h *Host) Transmit(frame []byte) error {
+	if h.egress != nil {
+		if m, _ := h.egress.Match(frame); m == nil {
+			h.TxBlocked++
+			return nil // silently dropped, like a firewall
+		}
+	}
+	return h.NIC.Transmit(frame)
+}

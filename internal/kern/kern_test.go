@@ -1,0 +1,373 @@
+package kern
+
+import (
+	"encoding/binary"
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/costs"
+	"repro/internal/filter"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+func testFrame(dst wire.MAC, proto uint8, srcIP, dstIP wire.IPAddr, sport, dport uint16, payload int) []byte {
+	b := make([]byte, wire.EthHeaderLen+wire.IPv4HeaderLen+8+payload)
+	eh := wire.EthHeader{Dst: dst, Src: wire.MAC{0xaa}, Type: wire.EtherTypeIPv4}
+	eh.Marshal(b)
+	ih := wire.IPv4Header{
+		TotalLen: uint16(wire.IPv4HeaderLen + 8 + payload),
+		TTL:      64, Proto: proto, Src: srcIP, Dst: dstIP,
+	}
+	ih.Marshal(b[wire.EthHeaderLen:])
+	tp := b[wire.EthHeaderLen+wire.IPv4HeaderLen:]
+	binary.BigEndian.PutUint16(tp[0:2], sport)
+	binary.BigEndian.PutUint16(tp[2:4], dport)
+	return b
+}
+
+type testRig struct {
+	s    *sim.Sim
+	seg  *simnet.Segment
+	a, b *Host
+}
+
+func newRig(prof costs.Profile) *testRig {
+	s := sim.New(1)
+	seg := simnet.NewSegment(s)
+	a := NewHost(s, seg, "alpha", wire.MAC{1}, wire.IP(10, 0, 0, 1), prof)
+	b := NewHost(s, seg, "beta", wire.MAC{2}, wire.IP(10, 0, 0, 2), prof)
+	return &testRig{s: s, seg: seg, a: a, b: b}
+}
+
+func TestRxDeliversToMatchingEndpoint(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	ep := r.b.NewEndpoint(0)
+	if _, err := ep.InstallFilter(filter.MatchSpec{
+		Proto: wire.ProtoUDP, LocalIP: r.b.IP, LocalPort: 53,
+	}, 10); err != nil {
+		t.Fatal(err)
+	}
+	var got []Packet
+	r.s.Spawn("rx", func(p *sim.Proc) {
+		pkt, ok := ep.Recv(p)
+		if !ok {
+			t.Error("recv failed")
+			return
+		}
+		got = append(got, pkt)
+	})
+	r.a.NIC.Transmit(testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 9000, 53, 100))
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Payload != 100 {
+		t.Fatalf("got %v", got)
+	}
+	if r.b.RxFrames != 1 || ep.Delivered != 1 {
+		t.Fatalf("stats: frames=%d delivered=%d", r.b.RxFrames, ep.Delivered)
+	}
+}
+
+func TestRxUnmatchedCounted(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	r.a.NIC.Transmit(testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 9000, 53, 10))
+	if err := r.s.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if r.b.RxNoMatch != 1 {
+		t.Fatalf("no-match = %d", r.b.RxNoMatch)
+	}
+}
+
+func TestCatchAllFallback(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	sess := r.b.NewEndpoint(0)
+	sess.InstallFilter(filter.MatchSpec{Proto: wire.ProtoUDP, LocalIP: r.b.IP, LocalPort: 53}, 10)
+	server := r.b.NewEndpoint(0)
+	if _, err := server.InstallProgram(CatchAllProgram(), 0); err != nil {
+		t.Fatal(err)
+	}
+	r.a.NIC.Transmit(testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 9000, 53, 10))
+	r.a.NIC.Transmit(testFrame(r.b.NIC.MAC(), wire.ProtoTCP, r.a.IP, r.b.IP, 1234, 80, 10))
+	if err := r.s.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if sess.Delivered != 1 || server.Delivered != 1 {
+		t.Fatalf("session=%d server=%d", sess.Delivered, server.Delivered)
+	}
+}
+
+func TestEndpointOverflowDrops(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	ep := r.b.NewEndpoint(2)
+	ep.InstallProgram(CatchAllProgram(), 0)
+	for i := 0; i < 5; i++ {
+		r.a.NIC.Transmit(testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 1, 2, 10))
+	}
+	if err := r.s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if ep.Delivered != 2 || ep.Drops != 3 {
+		t.Fatalf("delivered=%d drops=%d", ep.Delivered, ep.Drops)
+	}
+}
+
+func TestRecvChargesIPCPerPacket(t *testing.T) {
+	profIPC := costs.DECLibraryIPC()
+	profSHM := costs.DECLibrarySHM()
+	elapsed := func(prof costs.Profile) time.Duration {
+		r := newRig(prof)
+		ep := r.b.NewEndpoint(0)
+		ep.InstallProgram(CatchAllProgram(), 0)
+		r.a.NIC.Transmit(testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 1, 2, 10))
+		r.a.NIC.Transmit(testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 1, 2, 10))
+		// Let both packets be fully delivered before measuring dequeues.
+		if err := r.s.RunFor(50 * time.Millisecond); err != nil {
+			t.Fatal(err)
+		}
+		if ep.Pending() != 2 {
+			t.Fatalf("expected 2 queued packets, have %d", ep.Pending())
+		}
+		var start, end sim.Time
+		r.s.Spawn("rx", func(p *sim.Proc) {
+			start = p.Now()
+			ep.Recv(p)
+			ep.Recv(p)
+			end = p.Now()
+		})
+		if err := r.s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return end.Sub(start)
+	}
+	dIPC, dSHM := elapsed(profIPC), elapsed(profSHM)
+	if dIPC <= dSHM {
+		t.Fatalf("IPC dequeue (%v) should cost more than SHM dequeue (%v)", dIPC, dSHM)
+	}
+}
+
+func TestRxPipelineTiming(t *testing.T) {
+	// With the SHM-IPF profile and a 100-byte UDP payload, delivery should
+	// complete at arrival + devread + netisr + copyout (no contention).
+	prof := costs.DECLibrarySHMIPF()
+	r := newRig(prof)
+	ep := r.b.NewEndpoint(0)
+	ep.InstallProgram(CatchAllProgram(), 0)
+	var delivered sim.Time
+	r.s.Spawn("rx", func(p *sim.Proc) {
+		ep.Recv(p)
+		delivered = p.Now()
+	})
+	frame := testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 1, 2, 100)
+	wireTime := time.Duration(wire.FrameWireSize(len(frame)-wire.EthHeaderLen)) * simnet.ByteTime
+	r.a.NIC.Transmit(frame)
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	pc := prof.Costs.UDP
+	want := wireTime +
+		pc[costs.CompDeviceIntrRead].At(100) +
+		pc[costs.CompNetisrPF].At(100) +
+		pc[costs.CompKernelCopyout].At(100)
+	if delivered.Duration() != want {
+		t.Fatalf("delivered at %v, want %v", delivered.Duration(), want)
+	}
+}
+
+func TestMeterSeesKernelCharges(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	m := &fakeMeter{}
+	r.b.Meter = m
+	ep := r.b.NewEndpoint(0)
+	ep.InstallProgram(CatchAllProgram(), 0)
+	r.a.NIC.Transmit(testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 1, 2, 10))
+	if err := r.s.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	for _, comp := range []costs.Component{costs.CompDeviceIntrRead, costs.CompNetisrPF, costs.CompKernelCopyout} {
+		if m.got[comp] == 0 {
+			t.Errorf("component %v not metered", comp)
+		}
+	}
+}
+
+type fakeMeter struct {
+	got [costs.NumComponents]time.Duration
+}
+
+func (m *fakeMeter) Account(c costs.Component, d time.Duration) { m.got[c] += d }
+
+func TestEndpointCloseWakesReceiver(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	ep := r.b.NewEndpoint(0)
+	done := false
+	r.s.Spawn("rx", func(p *sim.Proc) {
+		_, ok := ep.Recv(p)
+		if ok {
+			t.Error("expected ok=false after close")
+		}
+		done = true
+	})
+	r.s.After(time.Millisecond, func() { ep.Close() })
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("receiver never woke")
+	}
+}
+
+func TestFilterRemovedOnClose(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	ep := r.b.NewEndpoint(0)
+	ep.InstallFilter(filter.MatchSpec{Proto: wire.ProtoUDP, LocalIP: r.b.IP, LocalPort: 53}, 5)
+	ep.InstallFilter(filter.MatchSpec{Proto: wire.ProtoUDP, LocalIP: r.b.IP, LocalPort: 54}, 5)
+	if r.b.Filters.Len() != 2 {
+		t.Fatal("filters not installed")
+	}
+	ep.Close()
+	if r.b.Filters.Len() != 0 {
+		t.Fatal("filters not removed on close")
+	}
+}
+
+func TestProcessExitNotification(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	pr := r.a.NewProcess("app")
+	if r.a.Processes() != 1 {
+		t.Fatal("process not registered")
+	}
+	var order []string
+	pr.OnExit(func() { order = append(order, "first") })
+	pr.OnExit(func() { order = append(order, "second") })
+	pr.Exit()
+	pr.Exit() // idempotent
+	if len(order) != 2 || order[0] != "first" || order[1] != "second" {
+		t.Fatalf("exit callbacks: %v", order)
+	}
+	if r.a.Processes() != 0 || !pr.Exited() {
+		t.Fatal("process not removed")
+	}
+	ran := false
+	pr.OnExit(func() { ran = true })
+	if !ran {
+		t.Fatal("OnExit after exit must run immediately")
+	}
+}
+
+func TestServiceRPC(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	srvProc := r.a.NewProcess("server")
+	svc := NewService(srvProc, "echo", 2, func(t *sim.Proc, method string, args any) (any, error) {
+		if method == "fail" {
+			return nil, fmt.Errorf("boom")
+		}
+		t.Sleep(time.Millisecond) // simulated work
+		return args.(int) * 2, nil
+	})
+	results := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		r.s.Spawn("client", func(p *sim.Proc) {
+			rep, err := svc.Call(p, "double", i)
+			if err != nil {
+				t.Errorf("call: %v", err)
+				return
+			}
+			results[i] = rep.(int)
+		})
+	}
+	var gotErr error
+	r.s.Spawn("failer", func(p *sim.Proc) {
+		_, gotErr = svc.Call(p, "fail", 0)
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range results {
+		if v != i*2 {
+			t.Fatalf("results = %v", results)
+		}
+	}
+	if gotErr == nil {
+		t.Fatal("error not propagated")
+	}
+}
+
+func TestServiceWorkersRunConcurrently(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	srvProc := r.a.NewProcess("server")
+	svc := NewService(srvProc, "slow", 2, func(t *sim.Proc, method string, args any) (any, error) {
+		t.Sleep(10 * time.Millisecond)
+		return nil, nil
+	})
+	var done []sim.Time
+	for i := 0; i < 2; i++ {
+		r.s.Spawn("client", func(p *sim.Proc) {
+			svc.Call(p, "go", nil)
+			done = append(done, p.Now())
+		})
+	}
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// With 2 workers both calls finish at 10ms; with 1 they would
+	// serialize to 10ms and 20ms.
+	if len(done) != 2 || done[0] != done[1] {
+		t.Fatalf("completion times %v; workers not concurrent", done)
+	}
+}
+
+func TestChargeProcAdvancesClock(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	var took time.Duration
+	r.s.Spawn("w", func(p *sim.Proc) {
+		start := p.Now()
+		r.a.ChargeProc(p, 5*time.Millisecond)
+		r.a.ChargeProc(p, 0) // no-op
+		took = p.Now().Sub(start)
+	})
+	if err := r.s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if took != 5*time.Millisecond {
+		t.Fatalf("charged %v", took)
+	}
+	if r.a.CPU.BusyTime() != 5*time.Millisecond {
+		t.Fatalf("cpu busy %v", r.a.CPU.BusyTime())
+	}
+}
+
+func TestEgressFilterBlocksTraffic(t *testing.T) {
+	r := newRig(costs.DECLibrarySHMIPF())
+	// Allow only UDP to port 53 out of host A; everything else is dropped
+	// before reaching the wire (the paper's §3.4 packet-limiting idea).
+	eg := filter.NewSet()
+	if _, err := eg.Install(filter.Compile(filter.MatchSpec{
+		Proto: wire.ProtoUDP, RemoteIP: r.a.IP, RemotePort: 9000,
+	}), filter.MatchSpec{}, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	r.a.SetEgress(eg)
+
+	allowed := testFrame(r.b.NIC.MAC(), wire.ProtoUDP, r.a.IP, r.b.IP, 9000, 53, 10)
+	blocked := testFrame(r.b.NIC.MAC(), wire.ProtoTCP, r.a.IP, r.b.IP, 1234, 80, 10)
+	if err := r.a.Transmit(allowed); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.a.Transmit(blocked); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.s.RunFor(10 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if r.a.TxBlocked != 1 {
+		t.Fatalf("blocked = %d, want 1", r.a.TxBlocked)
+	}
+	if r.b.RxFrames != 1 {
+		t.Fatalf("frames on wire = %d, want 1 (TCP frame must not escape)", r.b.RxFrames)
+	}
+}

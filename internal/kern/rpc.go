@@ -1,0 +1,75 @@
+package kern
+
+import (
+	"fmt"
+
+	"repro/internal/sim"
+)
+
+// Service is a synchronous RPC port in the style of Mach IPC, used for
+// the proxy calls between protocol libraries and the operating-system
+// server, and for the data-path RPCs of the server-based baseline.
+// Callers block until a server worker executes the handler and replies.
+type Service struct {
+	Name    string
+	host    *Host
+	queue   *sim.Chan[*call]
+	handler func(t *sim.Proc, method string, args any) (any, error)
+}
+
+type call struct {
+	method string
+	args   any
+	reply  any
+	err    error
+	done   bool
+	doneCV sim.Cond
+}
+
+// NewService creates a service on the host and spawns `workers` daemon
+// threads in the given process to serve it.
+func NewService(owner *Process, name string, workers int, handler func(t *sim.Proc, method string, args any) (any, error)) *Service {
+	s := &Service{
+		Name:    name,
+		host:    owner.Host,
+		queue:   sim.NewChan[*call](0),
+		handler: handler,
+	}
+	for i := 0; i < workers; i++ {
+		s.spawnWorker(owner, fmt.Sprintf("%s-worker%d", name, i))
+	}
+	owner.OnExit(func() { s.queue.Close() })
+	return s
+}
+
+func (s *Service) spawnWorker(owner *Process, name string) {
+	owner.GoDaemon(name, func(t *sim.Proc) {
+		for {
+			c, ok := s.queue.Recv(t)
+			if !ok {
+				return
+			}
+			c.reply, c.err = s.handler(t, c.method, c.args)
+			c.done = true
+			c.doneCV.Broadcast()
+		}
+	})
+}
+
+// Call performs a synchronous RPC. The cost of the IPC itself is charged
+// by the caller (libraries charge Profile.ProxyRPC for proxy calls; the
+// server baseline's data-path costs are in its entry/exit components).
+func (s *Service) Call(t *sim.Proc, method string, args any) (any, error) {
+	c := &call{method: method, args: args}
+	s.queue.Send(t, c)
+	for !c.done {
+		c.doneCV.Wait(t)
+	}
+	return c.reply, c.err
+}
+
+// ChargeProxyRPC charges the caller for one proxy round trip of n bytes
+// of marshalled arguments, per the host profile.
+func (h *Host) ChargeProxyRPC(t *sim.Proc, n int) {
+	h.ChargeProc(t, h.Prof.ProxyRPC.At(n))
+}

@@ -1,0 +1,356 @@
+// Package mbuf implements BSD-style message buffer chains.
+//
+// A Chain is a sequence of segments, each viewing a window into a backing
+// array. The operations mirror the classic 4.3BSD mbuf routines that the
+// protocol stack in this repository is structured around: prepending
+// header space (m_prepend), trimming (m_adj), splitting (m_split),
+// region copies that share storage (m_copym), pullup (m_pullup), and
+// flattening (m_copydata).
+//
+// Sharing discipline: CopyRegion shares backing storage between chains and
+// marks the shared segments read-only. Prepend never writes into a
+// read-only segment; it allocates a fresh front segment instead. Payload
+// bytes handed to the stack are therefore never mutated once queued, which
+// is the same discipline BSD enforces with cluster reference counts.
+package mbuf
+
+import "fmt"
+
+// LeadingSpace is the header room reserved at the front of each allocated
+// chain: enough for Ethernet + IPv4 + TCP with options.
+const LeadingSpace = 64
+
+type seg struct {
+	buf  []byte // backing storage
+	off  int    // start of the data window within buf
+	n    int    // window length
+	ro   bool   // window is shared with another chain; do not grow into buf
+	next *seg
+}
+
+// Chain is a list of buffer segments holding a packet or a byte stream
+// region.
+type Chain struct {
+	head   *seg
+	tail   *seg
+	length int
+}
+
+// New returns an empty chain.
+func New() *Chain { return &Chain{} }
+
+// Alloc returns a chain of n zero bytes with LeadingSpace of header room.
+func Alloc(n int) *Chain {
+	if n < 0 {
+		panic("mbuf: negative length")
+	}
+	buf := make([]byte, LeadingSpace+n)
+	s := &seg{buf: buf, off: LeadingSpace, n: n}
+	return &Chain{head: s, tail: s, length: n}
+}
+
+// FromBytes returns a chain viewing b directly (no copy, no header room).
+// The caller must not mutate b afterwards.
+func FromBytes(b []byte) *Chain {
+	if len(b) == 0 {
+		return New()
+	}
+	s := &seg{buf: b, off: 0, n: len(b), ro: true}
+	return &Chain{head: s, tail: s, length: len(b)}
+}
+
+// FromBytesCopy returns a chain holding a copy of b, with header room.
+func FromBytesCopy(b []byte) *Chain {
+	c := Alloc(len(b))
+	if len(b) > 0 {
+		copy(c.head.buf[c.head.off:], b)
+	}
+	return c
+}
+
+// Len returns the number of bytes in the chain.
+func (c *Chain) Len() int { return c.length }
+
+// Segments returns the number of segments in the chain.
+func (c *Chain) Segments() int {
+	n := 0
+	for s := c.head; s != nil; s = s.next {
+		n++
+	}
+	return n
+}
+
+// Prepend grows the chain by n bytes at the front and returns a writable
+// slice covering exactly those bytes. It uses leading space in the first
+// segment when available and not shared; otherwise it allocates a new
+// front segment.
+func (c *Chain) Prepend(n int) []byte {
+	if n < 0 {
+		panic("mbuf: negative prepend")
+	}
+	if n == 0 {
+		return nil
+	}
+	if s := c.head; s != nil && !s.ro && s.off >= n {
+		s.off -= n
+		s.n += n
+		c.length += n
+		return s.buf[s.off : s.off+n]
+	}
+	buf := make([]byte, LeadingSpace+n)
+	s := &seg{buf: buf, off: LeadingSpace, n: n, next: c.head}
+	if c.head == nil {
+		c.tail = s
+	}
+	c.head = s
+	c.length += n
+	return buf[LeadingSpace : LeadingSpace+n]
+}
+
+// AppendBytes copies b onto the end of the chain.
+func (c *Chain) AppendBytes(b []byte) {
+	if len(b) == 0 {
+		return
+	}
+	nb := make([]byte, len(b))
+	copy(nb, b)
+	s := &seg{buf: nb, off: 0, n: len(nb)}
+	c.appendSeg(s)
+}
+
+// AppendChain moves all of d's segments onto the end of c. d is emptied.
+func (c *Chain) AppendChain(d *Chain) {
+	if d == nil || d.head == nil {
+		return
+	}
+	if c.head == nil {
+		c.head, c.tail = d.head, d.tail
+	} else {
+		c.tail.next = d.head
+		c.tail = d.tail
+	}
+	c.length += d.length
+	d.head, d.tail, d.length = nil, nil, 0
+}
+
+func (c *Chain) appendSeg(s *seg) {
+	if c.head == nil {
+		c.head, c.tail = s, s
+	} else {
+		c.tail.next = s
+		c.tail = s
+	}
+	c.length += s.n
+}
+
+// TrimFront removes n bytes from the front of the chain (m_adj with a
+// positive count). Trimming more than the length empties the chain.
+func (c *Chain) TrimFront(n int) {
+	if n < 0 {
+		panic("mbuf: negative trim")
+	}
+	for n > 0 && c.head != nil {
+		s := c.head
+		if n < s.n {
+			s.off += n
+			s.n -= n
+			c.length -= n
+			return
+		}
+		n -= s.n
+		c.length -= s.n
+		c.head = s.next
+	}
+	if c.head == nil {
+		c.tail = nil
+	}
+}
+
+// TrimBack removes n bytes from the end of the chain (m_adj with a
+// negative count).
+func (c *Chain) TrimBack(n int) {
+	if n < 0 {
+		panic("mbuf: negative trim")
+	}
+	if n >= c.length {
+		c.head, c.tail, c.length = nil, nil, 0
+		return
+	}
+	keep := c.length - n
+	s := c.head
+	seen := 0
+	for ; s != nil; s = s.next {
+		if seen+s.n >= keep {
+			break
+		}
+		seen += s.n
+	}
+	s.n = keep - seen
+	s.next = nil
+	c.tail = s
+	c.length = keep
+}
+
+// Split truncates c to its first n bytes and returns a new chain holding
+// the remainder. If n >= Len, the remainder is empty.
+func (c *Chain) Split(n int) *Chain {
+	if n < 0 {
+		panic("mbuf: negative split")
+	}
+	if n >= c.length {
+		return New()
+	}
+	rest := New()
+	s := c.head
+	seen := 0
+	var prev *seg
+	for s != nil && seen+s.n <= n {
+		seen += s.n
+		prev = s
+		s = s.next
+	}
+	// s is the segment containing the split point (seen <= n < seen+s.n).
+	within := n - seen
+	if within == 0 {
+		// Clean segment boundary: move s..tail to rest.
+		rest.head, rest.tail = s, c.tail
+		rest.length = c.length - n
+		if prev == nil {
+			c.head, c.tail = nil, nil
+		} else {
+			prev.next = nil
+			c.tail = prev
+		}
+		c.length = n
+		return rest
+	}
+	// Split inside s: the two halves share s.buf read-only.
+	right := &seg{buf: s.buf, off: s.off + within, n: s.n - within, ro: true, next: s.next}
+	s.n = within
+	s.ro = true
+	s.next = nil
+	rest.head = right
+	if right.next == nil {
+		rest.tail = right
+	} else {
+		rest.tail = c.tail
+	}
+	rest.length = c.length - n
+	c.tail = s
+	c.length = n
+	return rest
+}
+
+// CopyRegion returns a new chain viewing bytes [off, off+n) of c. The new
+// chain shares backing storage with c (both sides become read-only over
+// the shared windows), making retransmission copies cheap as in m_copym.
+func (c *Chain) CopyRegion(off, n int) *Chain {
+	if off < 0 || n < 0 || off+n > c.length {
+		panic(fmt.Sprintf("mbuf: CopyRegion(%d, %d) out of range (len %d)", off, n, c.length))
+	}
+	out := New()
+	if n == 0 {
+		return out
+	}
+	s := c.head
+	// Skip to the segment containing off.
+	for off >= s.n {
+		off -= s.n
+		s = s.next
+	}
+	for n > 0 {
+		take := s.n - off
+		if take > n {
+			take = n
+		}
+		s.ro = true
+		out.appendSeg(&seg{buf: s.buf, off: s.off + off, n: take, ro: true})
+		n -= take
+		off = 0
+		s = s.next
+	}
+	return out
+}
+
+// ReadAt copies min(len(p), Len-off) bytes starting at offset off into p
+// and returns the count (m_copydata).
+func (c *Chain) ReadAt(p []byte, off int) int {
+	if off < 0 {
+		panic("mbuf: negative offset")
+	}
+	if off >= c.length {
+		return 0
+	}
+	s := c.head
+	for off >= s.n {
+		off -= s.n
+		s = s.next
+	}
+	total := 0
+	for s != nil && total < len(p) {
+		n := copy(p[total:], s.buf[s.off+off:s.off+s.n])
+		total += n
+		off = 0
+		s = s.next
+	}
+	return total
+}
+
+// Bytes returns a flattened copy of the chain's contents.
+func (c *Chain) Bytes() []byte {
+	out := make([]byte, c.length)
+	c.ReadAt(out, 0)
+	return out
+}
+
+// Pullup ensures the first n bytes of the chain are contiguous and returns
+// a slice viewing them. It panics if the chain is shorter than n. The
+// returned slice must be treated as read-only if the chain has been
+// shared.
+func (c *Chain) Pullup(n int) []byte {
+	if n > c.length {
+		panic(fmt.Sprintf("mbuf: Pullup(%d) on chain of %d bytes", n, c.length))
+	}
+	if n == 0 {
+		return nil
+	}
+	if c.head.n >= n {
+		s := c.head
+		return s.buf[s.off : s.off+n]
+	}
+	// Coalesce the prefix into one fresh segment.
+	buf := make([]byte, LeadingSpace+n)
+	c.ReadAt(buf[LeadingSpace:], 0)
+	ns := &seg{buf: buf, off: LeadingSpace, n: n}
+	// Drop the first n bytes from the old chain and attach the remainder.
+	rest := *c
+	rest.TrimFront(n)
+	ns.next = rest.head
+	c.head = ns
+	if rest.head == nil {
+		c.tail = ns
+	} else {
+		c.tail = rest.tail
+	}
+	// length unchanged
+	return ns.buf[ns.off : ns.off+n]
+}
+
+// Clone returns a read-only-sharing copy of the entire chain.
+func (c *Chain) Clone() *Chain {
+	if c.length == 0 {
+		return New()
+	}
+	return c.CopyRegion(0, c.length)
+}
+
+// Writer returns a writable flat view of the first n bytes if they are
+// contiguous and not shared; otherwise it returns nil. Header fixups
+// (for example checksum patching) use this to avoid copies.
+func (c *Chain) Writer(n int) []byte {
+	s := c.head
+	if s == nil || s.ro || s.n < n {
+		return nil
+	}
+	return s.buf[s.off : s.off+n]
+}

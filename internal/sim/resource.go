@@ -1,0 +1,118 @@
+package sim
+
+import "time"
+
+// Resource models a serially-shared device such as a CPU or a half-duplex
+// network medium. Work is admitted FIFO within two priority bands:
+// interrupt-level work queue-jumps task-level work but does not preempt a
+// charge already in progress. This mirrors how the paper's uniprocessor
+// hosts interleave interrupt handling with user and server execution at
+// the granularity the cost model cares about.
+type Resource struct {
+	Name string
+
+	busy     bool
+	intrQ    []*resWaiter // interrupt band (FIFO)
+	taskQ    []*resWaiter // task band (FIFO)
+	busyTime time.Duration
+	uses     int
+}
+
+type resWaiter struct {
+	proc    *Proc
+	fn      func() // event-style continuation, used by UseEvent
+	granted bool
+}
+
+// Priority selects the admission band for resource use.
+type Priority int
+
+const (
+	// TaskPriority is ordinary process-level work.
+	TaskPriority Priority = iota
+	// IntrPriority is interrupt-level work; it is admitted ahead of all
+	// queued task-level work.
+	IntrPriority
+)
+
+// Use charges d of exclusive time on the resource on behalf of p,
+// blocking until the resource grants it. A zero or negative duration still
+// performs admission (useful for pure serialization points).
+func (r *Resource) Use(p *Proc, pri Priority, d time.Duration) {
+	if r.busy {
+		w := &resWaiter{proc: p}
+		r.enqueue(pri, w)
+		for !w.granted {
+			p.Park()
+		}
+	} else {
+		r.busy = true
+	}
+	r.uses++
+	r.busyTime += d
+	if d > 0 {
+		p.Sleep(d)
+	}
+	r.release(p.sim)
+}
+
+// UseEvent charges d of exclusive time from event context (no Proc), then
+// runs done. It is used by interrupt handlers, which are events rather
+// than processes.
+func (r *Resource) UseEvent(s *Sim, pri Priority, d time.Duration, done func()) {
+	grant := func() {
+		r.uses++
+		r.busyTime += d
+		s.After(d, func() {
+			done()
+			r.release(s)
+		})
+	}
+	if r.busy {
+		r.enqueue(pri, &resWaiter{fn: grant})
+		return
+	}
+	r.busy = true
+	grant()
+}
+
+func (r *Resource) enqueue(pri Priority, w *resWaiter) {
+	if pri == IntrPriority {
+		r.intrQ = append(r.intrQ, w)
+	} else {
+		r.taskQ = append(r.taskQ, w)
+	}
+}
+
+func (r *Resource) release(s *Sim) {
+	var next *resWaiter
+	switch {
+	case len(r.intrQ) > 0:
+		next = r.intrQ[0]
+		r.intrQ = r.intrQ[1:]
+	case len(r.taskQ) > 0:
+		next = r.taskQ[0]
+		r.taskQ = r.taskQ[1:]
+	default:
+		r.busy = false
+		return
+	}
+	if next.proc != nil {
+		next.granted = true
+		next.proc.Unpark()
+		return
+	}
+	next.fn()
+}
+
+// BusyTime returns the total virtual time the resource has been charged.
+func (r *Resource) BusyTime() time.Duration { return r.busyTime }
+
+// Uses returns the number of grants made.
+func (r *Resource) Uses() int { return r.uses }
+
+// Busy reports whether the resource is currently held.
+func (r *Resource) Busy() bool { return r.busy }
+
+// QueueLen returns the number of waiters in both bands.
+func (r *Resource) QueueLen() int { return len(r.intrQ) + len(r.taskQ) }

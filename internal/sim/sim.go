@@ -1,0 +1,319 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// The engine drives everything in this repository: simulated hosts, CPUs,
+// network links, kernels, protocol stacks, and application processes all
+// advance a shared virtual clock by scheduling events on a single Sim.
+//
+// Concurrency model: the scheduler executes exactly one event at a time.
+// Simulated processes (Proc) are goroutines, but control is handed between
+// the scheduler and at most one process goroutine through unbuffered
+// channels, so logically the whole simulation is single-threaded and fully
+// deterministic for a given seed. Simulation state may therefore be
+// mutated freely from event callbacks and from running Procs without
+// locking.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Time is a point in virtual time, in nanoseconds since the start of the
+// simulation.
+type Time int64
+
+// Add returns the time d after t.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration between t and u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+// Duration converts t to a duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// An event is a scheduled callback or process resumption.
+type event struct {
+	at      Time
+	seq     uint64 // tie-break: FIFO among events at the same instant
+	fn      func()
+	proc    *Proc // if non-nil, resume this process instead of calling fn
+	stopped bool
+	index   int // heap index, -1 when not queued
+}
+
+// Timer is a handle to a scheduled event, returned by At, After, and Every.
+type Timer struct {
+	ev        *event
+	recurring bool
+	dead      bool // stops a recurring timer across reschedules
+}
+
+// Stop cancels the timer. For one-shot timers it reports whether the event
+// had not yet fired; for recurring timers it always stops future firings
+// and reports whether the timer was still live.
+func (t *Timer) Stop() bool {
+	if t == nil || t.ev == nil {
+		return false
+	}
+	if t.recurring {
+		was := !t.dead
+		t.dead = true
+		t.ev.stopped = true
+		return was
+	}
+	if t.ev.stopped || t.ev.index < 0 {
+		return false
+	}
+	t.ev.stopped = true
+	return true
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	ev := x.(*event)
+	ev.index = len(*h)
+	*h = append(*h, ev)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	ev.index = -1
+	*h = old[:n-1]
+	return ev
+}
+
+// Sim is a discrete-event simulator instance.
+type Sim struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // a running Proc signals the scheduler here
+	fg      int           // live foreground (non-daemon) processes
+	everFg  bool          // whether any foreground process was ever spawned
+	procs   map[*Proc]struct{}
+	running bool
+	stopped bool
+	panicV  any
+
+	// Deadline is the virtual time at which Run gives up and returns an
+	// error. It guards against livelock (for example, protocol timers that
+	// tick forever while a workload is wedged). The zero value means the
+	// default of one virtual hour.
+	Deadline Time
+
+	rng *rand.Rand
+}
+
+// New returns a simulator with a deterministic random source derived from
+// seed.
+func New(seed int64) *Sim {
+	return &Sim{
+		yield: make(chan struct{}),
+		procs: make(map[*Proc]struct{}),
+		rng:   rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Now returns the current virtual time.
+func (s *Sim) Now() Time { return s.now }
+
+// Rand returns the simulation's deterministic random source.
+func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+func (s *Sim) schedule(at Time, fn func(), p *Proc) *event {
+	if at < s.now {
+		at = s.now
+	}
+	s.seq++
+	ev := &event{at: at, seq: s.seq, fn: fn, proc: p, index: -1}
+	heap.Push(&s.events, ev)
+	return ev
+}
+
+// At schedules fn to run at virtual time t (or now, if t is in the past).
+func (s *Sim) At(t Time, fn func()) *Timer {
+	return &Timer{ev: s.schedule(t, fn, nil)}
+}
+
+// After schedules fn to run d after the current virtual time.
+func (s *Sim) After(d time.Duration, fn func()) *Timer {
+	return &Timer{ev: s.schedule(s.now.Add(d), fn, nil)}
+}
+
+// Every schedules fn to run every period, starting one period from now,
+// until the returned Timer is stopped. The callback runs as a daemon: it
+// does not keep Run alive.
+func (s *Sim) Every(period time.Duration, fn func()) *Timer {
+	t := &Timer{recurring: true}
+	var tick func()
+	tick = func() {
+		if t.dead {
+			return
+		}
+		fn()
+		if t.dead {
+			return
+		}
+		t.ev = s.schedule(s.now.Add(period), tick, nil)
+	}
+	t.ev = s.schedule(s.now.Add(period), tick, nil)
+	return t
+}
+
+// Stop makes Run return after the current event completes.
+func (s *Sim) Stop() { s.stopped = true }
+
+// Idle reports whether no events remain queued.
+func (s *Sim) Idle() bool { return s.pending() == 0 }
+
+func (s *Sim) pending() int {
+	n := 0
+	for _, ev := range s.events {
+		if !ev.stopped {
+			n++
+		}
+	}
+	return n
+}
+
+// Run executes events in virtual-time order until every foreground process
+// has exited, Stop is called, or the event queue drains. It returns an
+// error on deadlock (foreground processes parked with no pending events)
+// or when the virtual Deadline is exceeded.
+func (s *Sim) Run() error {
+	deadline := s.Deadline
+	if deadline == 0 {
+		deadline = Time(int64(time.Hour))
+	}
+	if s.running {
+		return fmt.Errorf("sim: Run called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped {
+		if s.everFg && s.fg == 0 {
+			// All foreground work is done.
+			return nil
+		}
+		ev := s.next()
+		if ev == nil {
+			if s.fg > 0 {
+				return fmt.Errorf("sim: deadlock at %v: %d foreground process(es) parked with no pending events: %s",
+					s.now, s.fg, s.parkedNames())
+			}
+			return nil
+		}
+		if ev.at > deadline {
+			return fmt.Errorf("sim: virtual deadline %v exceeded (now %v, fg=%d)", Time(deadline), ev.at, s.fg)
+		}
+		s.now = ev.at
+		s.dispatch(ev)
+		if s.panicV != nil {
+			panic(s.panicV)
+		}
+	}
+	return nil
+}
+
+func (s *Sim) next() *event {
+	for len(s.events) > 0 {
+		ev := heap.Pop(&s.events).(*event)
+		if ev.stopped {
+			continue
+		}
+		return ev
+	}
+	return nil
+}
+
+// RunFor advances the simulation by d, executing all events scheduled in
+// [now, now+d]. Foreground completion does not stop it; it is intended for
+// draining (for example TIME_WAIT expiry) and for tests.
+func (s *Sim) RunFor(d time.Duration) error { return s.RunUntil(s.now.Add(d)) }
+
+// RunUntil executes all events scheduled at or before t and then sets the
+// clock to t.
+func (s *Sim) RunUntil(t Time) error {
+	if s.running {
+		return fmt.Errorf("sim: RunUntil called reentrantly")
+	}
+	s.running = true
+	defer func() { s.running = false }()
+	s.stopped = false
+	for !s.stopped {
+		if len(s.events) == 0 || s.events[0].at > t {
+			break
+		}
+		ev := s.next()
+		if ev == nil {
+			break
+		}
+		s.now = ev.at
+		s.dispatch(ev)
+		if s.panicV != nil {
+			panic(s.panicV)
+		}
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return nil
+}
+
+func (s *Sim) dispatch(ev *event) {
+	if ev.proc != nil {
+		p := ev.proc
+		p.pendingResume = nil
+		p.resume <- struct{}{}
+		<-s.yield
+		return
+	}
+	ev.fn()
+}
+
+func (s *Sim) parkedNames() string {
+	var names []string
+	for p := range s.procs {
+		if p.parked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return "(none)"
+	}
+	return fmt.Sprint(names)
+}
+
+// ParkedProcs lists the names of currently-parked processes (diagnostics).
+func (s *Sim) ParkedProcs() []string {
+	var names []string
+	for p := range s.procs {
+		if p.parked {
+			names = append(names, p.name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,458 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEventOrdering(t *testing.T) {
+	s := New(1)
+	var got []int
+	s.After(3*time.Millisecond, func() { got = append(got, 3) })
+	s.After(1*time.Millisecond, func() { got = append(got, 1) })
+	s.After(2*time.Millisecond, func() { got = append(got, 2) })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+	if s.Now() != Time(3*time.Millisecond) {
+		t.Fatalf("now = %v, want 3ms", s.Now())
+	}
+}
+
+func TestSameInstantFIFO(t *testing.T) {
+	s := New(1)
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if got[i] != i {
+			t.Fatalf("same-instant events not FIFO: %v", got)
+		}
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	s := New(1)
+	fired := false
+	tm := s.After(time.Millisecond, func() { fired = true })
+	if !tm.Stop() {
+		t.Fatal("Stop on pending timer returned false")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop returned true")
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("stopped timer fired")
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New(1)
+	n := 0
+	var tick *Timer
+	tick = s.Every(10*time.Millisecond, func() {
+		n++
+		if n == 5 {
+			tick.Stop()
+		}
+	})
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n != 5 {
+		t.Fatalf("ticks = %d, want 5", n)
+	}
+}
+
+func TestProcSleep(t *testing.T) {
+	s := New(1)
+	var wake Time
+	s.Spawn("sleeper", func(p *Proc) {
+		p.Sleep(42 * time.Millisecond)
+		wake = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if wake != Time(42*time.Millisecond) {
+		t.Fatalf("woke at %v, want 42ms", wake)
+	}
+}
+
+func TestProcParkUnpark(t *testing.T) {
+	s := New(1)
+	var order []string
+	var sleeper *Proc
+	sleeper = s.Spawn("parker", func(p *Proc) {
+		order = append(order, "parking")
+		p.Park()
+		order = append(order, "woken")
+	})
+	s.After(5*time.Millisecond, func() {
+		order = append(order, "unpark")
+		sleeper.Unpark()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"parking", "unpark", "woken"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestUnparkBeforePark(t *testing.T) {
+	s := New(1)
+	done := false
+	s.Spawn("p", func(p *Proc) {
+		p.Unpark() // bank a token against ourselves
+		p.Park()   // must consume it and not block
+		done = true
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("banked unpark token lost")
+	}
+}
+
+func TestParkTimeout(t *testing.T) {
+	s := New(1)
+	var gotOK bool
+	var at Time
+	s.Spawn("p", func(p *Proc) {
+		gotOK = p.ParkTimeout(7 * time.Millisecond)
+		at = p.Now()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotOK {
+		t.Fatal("ParkTimeout reported unparked on timeout")
+	}
+	if at != Time(7*time.Millisecond) {
+		t.Fatalf("timed out at %v, want 7ms", at)
+	}
+}
+
+func TestParkTimeoutUnparked(t *testing.T) {
+	s := New(1)
+	var gotOK bool
+	var pr *Proc
+	pr = s.Spawn("p", func(p *Proc) {
+		gotOK = p.ParkTimeout(time.Second)
+	})
+	s.After(time.Millisecond, func() { pr.Unpark() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !gotOK {
+		t.Fatal("explicit unpark reported as timeout")
+	}
+	if s.Now() != Time(time.Millisecond) {
+		t.Fatalf("finished at %v, want 1ms", s.Now())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	s := New(1)
+	s.Spawn("stuck", func(p *Proc) { p.Park() })
+	if err := s.Run(); err == nil {
+		t.Fatal("expected deadlock error")
+	}
+}
+
+func TestDeadline(t *testing.T) {
+	s := New(1)
+	s.Deadline = Time(time.Second)
+	s.Every(time.Millisecond, func() {}) // ticks forever
+	s.Spawn("stuck", func(p *Proc) { p.Park() })
+	if err := s.Run(); err == nil {
+		t.Fatal("expected deadline error")
+	}
+}
+
+func TestCondSignalWakesInFIFO(t *testing.T) {
+	s := New(1)
+	var c Cond
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		s.Spawn(name, func(p *Proc) {
+			c.Wait(p)
+			order = append(order, name)
+		})
+	}
+	s.After(time.Millisecond, func() { c.Signal() })
+	s.After(2*time.Millisecond, func() { c.Signal() })
+	s.After(3*time.Millisecond, func() { c.Signal() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"a", "b", "c"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v", order)
+		}
+	}
+}
+
+func TestCondBroadcast(t *testing.T) {
+	s := New(1)
+	var c Cond
+	n := 0
+	for i := 0; i < 4; i++ {
+		s.Spawn("w", func(p *Proc) {
+			c.Wait(p)
+			n++
+		})
+	}
+	s.After(time.Millisecond, func() { c.Broadcast() })
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("woken = %d, want 4", n)
+	}
+}
+
+func TestCondWaitAbsorbsStrayToken(t *testing.T) {
+	s := New(1)
+	var c Cond
+	woken := false
+	var pr *Proc
+	pr = s.Spawn("w", func(p *Proc) {
+		p.Unpark() // stray token banked before the wait
+		c.Wait(p)
+		woken = true
+	})
+	_ = pr
+	s.After(time.Millisecond, func() {
+		if woken {
+			t.Error("Wait returned on a stray token instead of a signal")
+		}
+		c.Signal()
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !woken {
+		t.Fatal("never woke")
+	}
+}
+
+func TestCondWaitTimeout(t *testing.T) {
+	s := New(1)
+	var c Cond
+	var ok bool
+	s.Spawn("w", func(p *Proc) {
+		ok = c.WaitTimeout(p, 5*time.Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("WaitTimeout reported signal on timeout")
+	}
+	if c.Waiters() != 0 {
+		t.Fatal("timed-out waiter left on queue")
+	}
+}
+
+func TestChanFIFOAndBlocking(t *testing.T) {
+	s := New(1)
+	q := NewChan[int](2)
+	var got []int
+	s.Spawn("producer", func(p *Proc) {
+		for i := 0; i < 5; i++ {
+			q.Send(p, i) // must block when full
+		}
+		q.Close()
+	})
+	s.Spawn("consumer", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		for {
+			v, ok := q.Recv(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 5 {
+		t.Fatalf("received %d items, want 5", len(got))
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order: %v", got)
+		}
+	}
+}
+
+func TestChanRecvTimeout(t *testing.T) {
+	s := New(1)
+	q := NewChan[int](0)
+	var ok bool
+	s.Spawn("c", func(p *Proc) {
+		_, ok = q.RecvTimeout(p, 3*time.Millisecond)
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Fatal("RecvTimeout returned ok on empty queue")
+	}
+	if s.Now() != Time(3*time.Millisecond) {
+		t.Fatalf("timeout at %v, want 3ms", s.Now())
+	}
+}
+
+func TestResourceSerializes(t *testing.T) {
+	s := New(1)
+	var cpu Resource
+	var ends []Time
+	for i := 0; i < 3; i++ {
+		s.Spawn("user", func(p *Proc) {
+			cpu.Use(p, TaskPriority, 10*time.Millisecond)
+			ends = append(ends, p.Now())
+		})
+	}
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []Time{Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(30 * time.Millisecond)}
+	for i := range want {
+		if ends[i] != want[i] {
+			t.Fatalf("ends = %v, want %v", ends, want)
+		}
+	}
+	if cpu.BusyTime() != 30*time.Millisecond {
+		t.Fatalf("busy = %v", cpu.BusyTime())
+	}
+}
+
+func TestResourceInterruptPriority(t *testing.T) {
+	s := New(1)
+	var cpu Resource
+	var order []string
+	s.Spawn("t1", func(p *Proc) {
+		cpu.Use(p, TaskPriority, 10*time.Millisecond)
+		order = append(order, "t1")
+	})
+	s.Spawn("t2", func(p *Proc) {
+		p.Sleep(time.Millisecond)
+		cpu.Use(p, TaskPriority, 10*time.Millisecond)
+		order = append(order, "t2")
+	})
+	s.After(2*time.Millisecond, func() {
+		cpu.UseEvent(s, IntrPriority, time.Millisecond, func() {
+			order = append(order, "intr")
+		})
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"t1", "intr", "t2"}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWaitGroup(t *testing.T) {
+	s := New(1)
+	var wg WaitGroup
+	wg.Add(3)
+	done := false
+	for i := 1; i <= 3; i++ {
+		d := time.Duration(i) * time.Millisecond
+		s.Spawn("w", func(p *Proc) {
+			p.Sleep(d)
+			wg.Done()
+		})
+	}
+	s.Spawn("waiter", func(p *Proc) {
+		wg.Wait(p)
+		done = true
+		if p.Now() != Time(3*time.Millisecond) {
+			t.Errorf("wait finished at %v", p.Now())
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !done {
+		t.Fatal("Wait never returned")
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() []Time {
+		s := New(7)
+		var cpu Resource
+		var trace []Time
+		for i := 0; i < 8; i++ {
+			s.Spawn("w", func(p *Proc) {
+				d := time.Duration(s.Rand().Intn(1000)) * time.Microsecond
+				p.Sleep(d)
+				cpu.Use(p, TaskPriority, 100*time.Microsecond)
+				trace = append(trace, p.Now())
+			})
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatal("trace lengths differ")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("non-deterministic at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	s := New(1)
+	s.Spawn("boom", func(p *Proc) { panic("boom") })
+	defer func() {
+		if recover() == nil {
+			t.Fatal("panic in proc not propagated")
+		}
+	}()
+	_ = s.Run()
+}
+
+func TestRunUntilAdvancesClock(t *testing.T) {
+	s := New(1)
+	if err := s.RunUntil(Time(time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if s.Now() != Time(time.Second) {
+		t.Fatalf("now = %v", s.Now())
+	}
+}

@@ -1,0 +1,245 @@
+package sim
+
+import "time"
+
+// Cond is a virtual-time condition variable. Because the simulation is
+// logically single-threaded, no mutex is needed: a waiter's predicate
+// cannot change between testing it and calling Wait. The usual pattern
+// still applies:
+//
+//	for !pred() {
+//		cond.Wait(p)
+//	}
+type Cond struct {
+	waiters []*condWaiter
+}
+
+type condWaiter struct {
+	p     *Proc
+	woken bool
+}
+
+// Wait parks the calling process until Signal or Broadcast. Stray wakeup
+// tokens (for example, from an unrelated Unpark banked while the process
+// was running) are absorbed by re-parking, so Wait returns only on a real
+// signal.
+func (c *Cond) Wait(p *Proc) {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	for !w.woken {
+		p.Park()
+	}
+}
+
+// WaitTimeout parks for at most d; it reports whether the process was
+// signalled (true) rather than timed out (false).
+func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
+	w := &condWaiter{p: p}
+	c.waiters = append(c.waiters, w)
+	deadline := p.Now().Add(d)
+	for !w.woken {
+		remain := deadline.Sub(p.Now())
+		if remain <= 0 || !p.ParkTimeout(remain) && !w.woken {
+			if !w.woken {
+				c.remove(w)
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (c *Cond) remove(w *condWaiter) {
+	for i, x := range c.waiters {
+		if x == w {
+			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+			return
+		}
+	}
+}
+
+// Signal wakes the longest-waiting process, if any.
+func (c *Cond) Signal() {
+	if len(c.waiters) == 0 {
+		return
+	}
+	w := c.waiters[0]
+	c.waiters = c.waiters[1:]
+	w.woken = true
+	w.p.Unpark()
+}
+
+// Broadcast wakes all waiting processes.
+func (c *Cond) Broadcast() {
+	ws := c.waiters
+	c.waiters = nil
+	for _, w := range ws {
+		w.woken = true
+		w.p.Unpark()
+	}
+}
+
+// Waiters returns the number of processes currently waiting.
+func (c *Cond) Waiters() int { return len(c.waiters) }
+
+// WaitGroup counts outstanding work in virtual time.
+type WaitGroup struct {
+	n    int
+	cond Cond
+}
+
+// Add adds delta to the counter.
+func (wg *WaitGroup) Add(delta int) {
+	wg.n += delta
+	if wg.n < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.n == 0 {
+		wg.cond.Broadcast()
+	}
+}
+
+// Done decrements the counter by one.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait parks until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.n > 0 {
+		wg.cond.Wait(p)
+	}
+}
+
+// Chan is a bounded FIFO message queue in virtual time. A capacity of zero
+// means unbounded.
+type Chan[T any] struct {
+	cap      int
+	items    []T
+	closed   bool
+	notEmpty Cond
+	notFull  Cond
+}
+
+// NewChan returns a queue holding at most capacity items (0 = unbounded).
+func NewChan[T any](capacity int) *Chan[T] {
+	return &Chan[T]{cap: capacity}
+}
+
+// Len returns the number of queued items.
+func (q *Chan[T]) Len() int { return len(q.items) }
+
+// Close marks the queue closed. Receivers drain remaining items and then
+// see ok=false; senders panic, as on a native Go channel.
+func (q *Chan[T]) Close() {
+	q.closed = true
+	q.notEmpty.Broadcast()
+	q.notFull.Broadcast()
+}
+
+// Send enqueues v, parking while the queue is full.
+func (q *Chan[T]) Send(p *Proc, v T) {
+	for q.cap > 0 && len(q.items) >= q.cap && !q.closed {
+		q.notFull.Wait(p)
+	}
+	if q.closed {
+		panic("sim: send on closed Chan")
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+}
+
+// TrySend enqueues v if there is room, reporting whether it did.
+func (q *Chan[T]) TrySend(v T) bool {
+	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+		return false
+	}
+	q.items = append(q.items, v)
+	q.notEmpty.Signal()
+	return true
+}
+
+// Recv dequeues an item, parking while the queue is empty. ok is false if
+// the queue is closed and drained.
+func (q *Chan[T]) Recv(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 && !q.closed {
+		q.notEmpty.Wait(p)
+	}
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// TryRecv dequeues an item if one is available.
+func (q *Chan[T]) TryRecv() (v T, ok bool) {
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// RecvTimeout dequeues an item, waiting at most d. ok is false on timeout
+// or when the queue is closed and drained.
+func (q *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool) {
+	deadline := p.Now().Add(d)
+	for len(q.items) == 0 && !q.closed {
+		remain := deadline.Sub(p.Now())
+		if remain <= 0 {
+			return v, false
+		}
+		if !q.notEmpty.WaitTimeout(p, remain) && len(q.items) == 0 {
+			return v, false
+		}
+	}
+	if len(q.items) == 0 {
+		return v, false
+	}
+	v = q.items[0]
+	q.items = q.items[1:]
+	q.notFull.Signal()
+	return v, true
+}
+
+// Mutex is a virtual-time mutual-exclusion lock with FIFO handoff. The
+// protocol stack uses one as its splnet equivalent: cooperative
+// scheduling means threads only interleave at yields (CPU charges,
+// sleeps), but protocol entry points yield constantly, so protocol state
+// still needs explicit serialization exactly as it does in BSD.
+type Mutex struct {
+	held bool
+	cond Cond
+}
+
+// Lock acquires the mutex, parking until it is free.
+func (m *Mutex) Lock(t *Proc) {
+	for m.held {
+		m.cond.Wait(t)
+	}
+	m.held = true
+}
+
+// TryLock acquires the mutex if it is free.
+func (m *Mutex) TryLock() bool {
+	if m.held {
+		return false
+	}
+	m.held = true
+	return true
+}
+
+// Unlock releases the mutex and wakes the longest waiter.
+func (m *Mutex) Unlock() {
+	if !m.held {
+		panic("sim: unlock of unheld Mutex")
+	}
+	m.held = false
+	m.cond.Signal()
+}
+
+// Held reports whether the mutex is currently held.
+func (m *Mutex) Held() bool { return m.held }

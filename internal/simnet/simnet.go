@@ -1,0 +1,163 @@
+// Package simnet simulates a shared 10 Mb/s Ethernet segment.
+//
+// The model matches what the paper's measured network transit times imply:
+// transmission serializes on a half-duplex shared medium at 0.8 µs/byte
+// with a 64-byte minimum frame, and propagation delay on the LAN is
+// negligible. Frames queue FIFO for the medium (a simplification of
+// CSMA/CD that preserves the contention behaviour that matters here:
+// data and acknowledgements share the wire).
+//
+// Fault injection (loss, duplication, extra delay for reordering) is
+// available for exercising the protocol stack's recovery machinery.
+package simnet
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// ByteTime is the serialization time of one byte at 10 Mb/s.
+const ByteTime = 800 * time.Nanosecond
+
+// Frame is an Ethernet frame in flight: header plus payload, no CRC
+// (the CRC is accounted for in wire size only).
+type Frame struct {
+	Data []byte
+}
+
+// WireSize returns the frame's size on the wire, including CRC and
+// minimum-frame padding.
+func (f Frame) WireSize() int { return wire.FrameWireSize(len(f.Data) - wire.EthHeaderLen) }
+
+// Stats counts segment activity.
+type Stats struct {
+	FramesSent     int
+	BytesSent      int // wire bytes, including padding and CRC
+	FramesDropped  int
+	FramesDup      int
+	FramesDelayed  int
+	DeliveryEvents int
+}
+
+// Segment is a shared Ethernet segment.
+type Segment struct {
+	sim    *sim.Sim
+	medium sim.Resource
+	nics   []*NIC
+	stats  Stats
+
+	// ByteTime is the per-byte serialization time; defaults to 0.8 µs
+	// (10 Mb/s).
+	byteTime time.Duration
+
+	// Fault injection knobs. Rates are probabilities in [0, 1].
+	LossRate float64
+	DupRate  float64
+	// DelayRate is the probability a frame is held for DelayBy extra time
+	// after serialization, which reorders it behind later traffic.
+	DelayRate float64
+	DelayBy   time.Duration
+}
+
+// NewSegment returns an idle 10 Mb/s segment on s.
+func NewSegment(s *sim.Sim) *Segment {
+	return &Segment{sim: s, byteTime: ByteTime, medium: sim.Resource{Name: "ether"}}
+}
+
+// SetBitRate overrides the default 10 Mb/s serialization rate.
+func (g *Segment) SetBitRate(bitsPerSec int64) {
+	g.byteTime = time.Duration(8 * int64(time.Second) / bitsPerSec)
+}
+
+// Stats returns a copy of the segment counters.
+func (g *Segment) Stats() Stats { return g.stats }
+
+// NIC is a station attached to a segment. Rx is invoked in event context
+// when a frame addressed to this station (or broadcast, or anything in
+// promiscuous mode) finishes arriving; it models the start of the device
+// interrupt and must not block.
+type NIC struct {
+	seg     *Segment
+	mac     wire.MAC
+	Promisc bool
+	Rx      func(f Frame)
+
+	TxFrames int
+	RxFrames int
+}
+
+// Attach adds a new station with the given MAC to the segment.
+func (g *Segment) Attach(mac wire.MAC) *NIC {
+	n := &NIC{seg: g, mac: mac}
+	g.nics = append(g.nics, n)
+	return n
+}
+
+// MAC returns the station's hardware address.
+func (n *NIC) MAC() wire.MAC { return n.mac }
+
+// Transmit queues a frame for the shared medium. It may be called from
+// event or process context; the frame is delivered to receivers after the
+// medium has been acquired and the frame serialized. The data slice is
+// owned by the network after the call.
+func (n *NIC) Transmit(data []byte) error {
+	if len(data) < wire.EthHeaderLen {
+		return fmt.Errorf("simnet: frame shorter than Ethernet header (%d bytes)", len(data))
+	}
+	if len(data) > wire.EthHeaderLen+wire.EthMTU {
+		return fmt.Errorf("simnet: frame payload exceeds MTU (%d bytes)", len(data)-wire.EthHeaderLen)
+	}
+	f := Frame{Data: data}
+	g := n.seg
+	n.TxFrames++
+	txTime := time.Duration(f.WireSize()) * g.byteTime
+	g.medium.UseEvent(g.sim, sim.TaskPriority, txTime, func() {
+		g.stats.FramesSent++
+		g.stats.BytesSent += f.WireSize()
+		g.deliver(n, f)
+		if g.DupRate > 0 && g.sim.Rand().Float64() < g.DupRate {
+			g.stats.FramesDup++
+			g.deliver(n, f)
+		}
+	})
+	return nil
+}
+
+func (g *Segment) deliver(from *NIC, f Frame) {
+	if g.LossRate > 0 && g.sim.Rand().Float64() < g.LossRate {
+		g.stats.FramesDropped++
+		return
+	}
+	hdr, err := wire.UnmarshalEth(f.Data)
+	if err != nil {
+		g.stats.FramesDropped++
+		return
+	}
+	delay := time.Duration(0)
+	if g.DelayRate > 0 && g.sim.Rand().Float64() < g.DelayRate {
+		delay = g.DelayBy
+		g.stats.FramesDelayed++
+	}
+	for _, nic := range g.nics {
+		if nic == from {
+			continue // Ethernet does not deliver a frame to its sender
+		}
+		if !nic.Promisc && nic.mac != hdr.Dst && !hdr.Dst.IsBroadcast() {
+			continue
+		}
+		nic := nic
+		g.stats.DeliveryEvents++
+		nic.RxFrames++
+		if nic.Rx == nil {
+			continue
+		}
+		if delay == 0 {
+			nic.Rx(f)
+		} else {
+			g.sim.After(delay, func() { nic.Rx(f) })
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package simnet
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func frameTo(dst, src wire.MAC, payload int) []byte {
+	b := make([]byte, wire.EthHeaderLen+payload)
+	h := wire.EthHeader{Dst: dst, Src: src, Type: wire.EtherTypeIPv4}
+	h.Marshal(b)
+	return b
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	s := sim.New(1)
+	g := NewSegment(s)
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	c := g.Attach(wire.MAC{3})
+	var gotB, gotC int
+	b.Rx = func(Frame) { gotB++ }
+	c.Rx = func(Frame) { gotC++ }
+	if err := a.Transmit(frameTo(b.MAC(), a.MAC(), 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if gotB != 1 || gotC != 0 {
+		t.Fatalf("delivery: b=%d c=%d", gotB, gotC)
+	}
+}
+
+func TestBroadcastReachesAllButSender(t *testing.T) {
+	s := sim.New(1)
+	g := NewSegment(s)
+	var nics []*NIC
+	got := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		i := i
+		n := g.Attach(wire.MAC{byte(i + 1)})
+		n.Rx = func(Frame) { got[i]++ }
+		nics = append(nics, n)
+	}
+	nics[0].Transmit(frameTo(wire.BroadcastMAC, nics[0].MAC(), 28))
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 0 || got[1] != 1 || got[2] != 1 || got[3] != 1 {
+		t.Fatalf("broadcast delivery: %v", got)
+	}
+}
+
+func TestPromiscuousMode(t *testing.T) {
+	s := sim.New(1)
+	g := NewSegment(s)
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	snoop := g.Attach(wire.MAC{9})
+	snoop.Promisc = true
+	var snooped int
+	b.Rx = func(Frame) {}
+	snoop.Rx = func(Frame) { snooped++ }
+	a.Transmit(frameTo(b.MAC(), a.MAC(), 64))
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if snooped != 1 {
+		t.Fatalf("promiscuous NIC saw %d frames", snooped)
+	}
+}
+
+func TestSerializationTimeMatchesPaper(t *testing.T) {
+	// The paper's measured network transit: 51 µs for a minimum frame,
+	// 1214 µs for a 1460-byte TCP payload (1518-byte frame).
+	s := sim.New(1)
+	g := NewSegment(s)
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	var arrival sim.Time
+	b.Rx = func(Frame) { arrival = s.Now() }
+
+	a.Transmit(frameTo(b.MAC(), a.MAC(), 1)) // pads to 64-byte frame
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := arrival.Duration(); got != 51200*time.Nanosecond {
+		t.Fatalf("min frame transit = %v, want 51.2µs", got)
+	}
+
+	start := s.Now()
+	a.Transmit(frameTo(b.MAC(), a.MAC(), 1500)) // 1518-byte frame
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got := arrival.Sub(start); got != time.Duration(1518)*ByteTime {
+		t.Fatalf("max frame transit = %v, want %v", got, time.Duration(1518)*ByteTime)
+	}
+}
+
+func TestMediumSerializesTransmitters(t *testing.T) {
+	s := sim.New(1)
+	g := NewSegment(s)
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	c := g.Attach(wire.MAC{3})
+	var arrivals []sim.Time
+	c.Rx = func(Frame) { arrivals = append(arrivals, s.Now()) }
+	// Both stations transmit at t=0; the second must wait for the medium.
+	a.Transmit(frameTo(c.MAC(), a.MAC(), 46)) // 64-byte frame = 51.2µs
+	b.Transmit(frameTo(c.MAC(), b.MAC(), 46))
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(arrivals) != 2 {
+		t.Fatalf("arrivals = %d", len(arrivals))
+	}
+	if arrivals[0].Duration() != 51200*time.Nanosecond || arrivals[1].Duration() != 102400*time.Nanosecond {
+		t.Fatalf("arrivals = %v (medium not serialized)", arrivals)
+	}
+}
+
+func TestLossInjection(t *testing.T) {
+	s := sim.New(42)
+	g := NewSegment(s)
+	g.LossRate = 0.5
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	got := 0
+	b.Rx = func(Frame) { got++ }
+	const n = 400
+	s.Spawn("tx", func(p *sim.Proc) {
+		for i := 0; i < n; i++ {
+			a.Transmit(frameTo(b.MAC(), a.MAC(), 46))
+			p.Sleep(100 * time.Microsecond)
+		}
+	})
+	if err := s.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got < n/4 || got > 3*n/4 {
+		t.Fatalf("with 50%% loss, delivered %d of %d", got, n)
+	}
+	if g.Stats().FramesDropped != n-got {
+		t.Fatalf("drop accounting: dropped=%d delivered=%d", g.Stats().FramesDropped, got)
+	}
+}
+
+func TestDuplicationInjection(t *testing.T) {
+	s := sim.New(7)
+	g := NewSegment(s)
+	g.DupRate = 1.0
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	got := 0
+	b.Rx = func(Frame) { got++ }
+	a.Transmit(frameTo(b.MAC(), a.MAC(), 46))
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got != 2 {
+		t.Fatalf("duplicated frame delivered %d times", got)
+	}
+}
+
+func TestDelayReordersFrames(t *testing.T) {
+	s := sim.New(3)
+	g := NewSegment(s)
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	var sizes []int
+	b.Rx = func(f Frame) { sizes = append(sizes, len(f.Data)) }
+	g.DelayRate = 1.0
+	g.DelayBy = 10 * time.Millisecond
+	a.Transmit(frameTo(b.MAC(), a.MAC(), 100)) // delayed at delivery
+	if err := s.RunFor(time.Millisecond); err != nil {
+		t.Fatal(err) // frame 1 has serialized and is now held
+	}
+	g.DelayRate = 0
+	a.Transmit(frameTo(b.MAC(), a.MAC(), 200)) // arrives first
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(sizes) != 2 || sizes[0] != wire.EthHeaderLen+200 || sizes[1] != wire.EthHeaderLen+100 {
+		t.Fatalf("expected reordering, got sizes %v", sizes)
+	}
+}
+
+func TestTransmitValidation(t *testing.T) {
+	s := sim.New(1)
+	g := NewSegment(s)
+	a := g.Attach(wire.MAC{1})
+	if err := a.Transmit(make([]byte, 5)); err == nil {
+		t.Fatal("runt frame accepted")
+	}
+	if err := a.Transmit(make([]byte, wire.EthHeaderLen+wire.EthMTU+1)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestThroughputSaturation(t *testing.T) {
+	// Back-to-back max frames must achieve exactly the 10 Mb/s wire rate.
+	s := sim.New(1)
+	g := NewSegment(s)
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	bytes := 0
+	b.Rx = func(f Frame) { bytes += len(f.Data) - wire.EthHeaderLen }
+	const frames = 100
+	for i := 0; i < frames; i++ {
+		a.Transmit(frameTo(b.MAC(), a.MAC(), 1500))
+	}
+	if err := s.RunFor(10 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	elapsed := time.Duration(frames*1518) * ByteTime
+	gotKBps := float64(bytes) / elapsed.Seconds() / 1024
+	// 1500/1518 of 1.25 MB/s ≈ 1206 KB/s
+	if gotKBps < 1200 || gotKBps > 1210 {
+		t.Fatalf("saturated payload rate = %.0f KB/s", gotKBps)
+	}
+}

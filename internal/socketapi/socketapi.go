@@ -1,0 +1,151 @@
+// Package socketapi defines the BSD socket programming interface that all
+// three protocol implementations in this repository export: the
+// decomposed library architecture (internal/core), the in-kernel baseline
+// (internal/inkernel), and the server baseline (internal/uxserver).
+//
+// The paper's compatibility goal is that existing socket clients relink
+// against the new implementation unmodified; here that goal translates to
+// every implementation satisfying this one interface, so the benchmark
+// workloads and example applications run unchanged against any of them.
+//
+// Calls take the calling thread (a *sim.Proc) explicitly: the simulation
+// has no implicit "current thread".
+package socketapi
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// SockAddr is an Internet socket address (sockaddr_in).
+type SockAddr struct {
+	Addr wire.IPAddr
+	Port uint16
+}
+
+func (a SockAddr) String() string { return fmt.Sprintf("%v:%d", a.Addr, a.Port) }
+
+// IsZero reports whether the address is completely unspecified.
+func (a SockAddr) IsZero() bool { return a.Addr.IsZero() && a.Port == 0 }
+
+// Socket types.
+const (
+	SockStream = 1 // SOCK_STREAM
+	SockDgram  = 2 // SOCK_DGRAM
+)
+
+// Send/receive flags.
+const (
+	MsgOOB  = 0x1 // process out-of-band data
+	MsgPeek = 0x2 // peek at incoming data without consuming
+)
+
+// Shutdown directions.
+const (
+	ShutRd   = 0
+	ShutWr   = 1
+	ShutRdWr = 2
+)
+
+// Socket options.
+const (
+	SoRcvBuf = iota
+	SoSndBuf
+	SoReuseAddr
+	TCPNoDelay
+	SoKeepAlive
+)
+
+// Errors mirroring the errno values socket clients expect.
+var (
+	ErrBadFD        = errors.New("bad file descriptor (EBADF)")
+	ErrInvalid      = errors.New("invalid argument (EINVAL)")
+	ErrAddrInUse    = errors.New("address already in use (EADDRINUSE)")
+	ErrAddrNotAvail = errors.New("cannot assign requested address (EADDRNOTAVAIL)")
+	ErrConnRefused  = errors.New("connection refused (ECONNREFUSED)")
+	ErrConnReset    = errors.New("connection reset by peer (ECONNRESET)")
+	ErrNotConn      = errors.New("socket is not connected (ENOTCONN)")
+	ErrIsConn       = errors.New("socket is already connected (EISCONN)")
+	ErrPipe         = errors.New("broken pipe (EPIPE)")
+	ErrTimedOut     = errors.New("connection timed out (ETIMEDOUT)")
+	ErrMsgSize      = errors.New("message too long (EMSGSIZE)")
+	ErrShutdown     = errors.New("cannot send after socket shutdown (ESHUTDOWN)")
+	ErrHostUnreach  = errors.New("no route to host (EHOSTUNREACH)")
+	ErrNotSupported = errors.New("operation not supported (EOPNOTSUPP)")
+	ErrWouldBlock   = errors.New("operation would block (EWOULDBLOCK)")
+	ErrNetDown      = errors.New("network is down (ENETDOWN)")
+)
+
+// FDSet is a set of file descriptors for Select, in the spirit of fd_set.
+type FDSet map[int]bool
+
+// NewFDSet builds a set from a list of descriptors.
+func NewFDSet(fds ...int) FDSet {
+	s := make(FDSet, len(fds))
+	for _, fd := range fds {
+		s[fd] = true
+	}
+	return s
+}
+
+// API is the socket interface every protocol implementation exports. The
+// paper's Table 1 maps each of these calls onto proxy/server actions in
+// the decomposed architecture; the baselines implement them directly.
+//
+// The BSD interface has ten data-movement calls; the distinct semantics
+// are Send/SendTo/SendMsg and Recv/RecvFrom/RecvMsg, with Read/Write and
+// Readv/Writev expressible in terms of them (and provided by Base).
+type API interface {
+	Socket(t *sim.Proc, typ int) (int, error)
+	Bind(t *sim.Proc, fd int, addr SockAddr) error
+	Connect(t *sim.Proc, fd int, addr SockAddr) error
+	Listen(t *sim.Proc, fd int, backlog int) error
+	Accept(t *sim.Proc, fd int) (int, SockAddr, error)
+
+	Send(t *sim.Proc, fd int, b []byte, flags int) (int, error)
+	SendTo(t *sim.Proc, fd int, b []byte, flags int, to SockAddr) (int, error)
+	SendMsg(t *sim.Proc, fd int, iov [][]byte, flags int, to *SockAddr) (int, error)
+	Recv(t *sim.Proc, fd int, b []byte, flags int) (int, error)
+	RecvFrom(t *sim.Proc, fd int, b []byte, flags int) (int, SockAddr, error)
+	RecvMsg(t *sim.Proc, fd int, iov [][]byte, flags int) (int, SockAddr, error)
+
+	Close(t *sim.Proc, fd int) error
+	Shutdown(t *sim.Proc, fd int, how int) error
+	SetSockOpt(t *sim.Proc, fd int, opt int, value int) error
+	GetSockOpt(t *sim.Proc, fd int, opt int) (int, error)
+	GetSockName(t *sim.Proc, fd int) (SockAddr, error)
+	GetPeerName(t *sim.Proc, fd int) (SockAddr, error)
+
+	// Select blocks until one of the read/write sets is ready or the
+	// timeout expires (timeout < 0 blocks forever). It returns the ready
+	// subsets.
+	Select(t *sim.Proc, read, write FDSet, timeout time.Duration) (FDSet, FDSet, error)
+
+	// Fork returns a copy of the API bound to a new process whose
+	// descriptor table references the same open sessions, with BSD fork
+	// semantics. Implementations that decompose protocol state must
+	// return sessions to the operating system first (paper Table 1).
+	Fork(t *sim.Proc, childName string) (API, error)
+
+	// ExitProcess terminates the calling process without closing its
+	// descriptors cleanly (the paper's "unexpected shutdown" case).
+	ExitProcess(t *sim.Proc)
+}
+
+// ZeroCopyAPI is the paper's §4.2 modified interface (NEWAPI): send and
+// receive share buffers between the application and the protocol,
+// eliminating the socket-layer copy. Only the library implementation
+// provides it; the kernel and server baselines cannot without crossing
+// protection boundaries.
+type ZeroCopyAPI interface {
+	// SendZC transfers b without copying it into protocol buffers; the
+	// caller must not reuse b until the call returns.
+	SendZC(t *sim.Proc, fd int, b []byte, flags int) (int, error)
+	// RecvZC returns a view of received data owned by the protocol,
+	// valid until the next RecvZC on the same descriptor.
+	RecvZC(t *sim.Proc, fd int, max int, flags int) ([]byte, SockAddr, error)
+}

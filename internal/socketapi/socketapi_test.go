@@ -1,0 +1,45 @@
+package socketapi
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func TestSockAddr(t *testing.T) {
+	a := SockAddr{Addr: wire.IP(10, 0, 0, 1), Port: 80}
+	if a.String() != "10.0.0.1:80" {
+		t.Fatalf("String = %s", a)
+	}
+	if a.IsZero() {
+		t.Fatal("non-zero address reported zero")
+	}
+	if !(SockAddr{}).IsZero() {
+		t.Fatal("zero address not zero")
+	}
+}
+
+func TestNewFDSet(t *testing.T) {
+	s := NewFDSet(3, 5, 9)
+	if len(s) != 3 || !s[3] || !s[5] || !s[9] || s[4] {
+		t.Fatalf("set = %v", s)
+	}
+	if len(NewFDSet()) != 0 {
+		t.Fatal("empty set")
+	}
+}
+
+func TestErrorsAreDistinct(t *testing.T) {
+	errs := []error{
+		ErrBadFD, ErrInvalid, ErrAddrInUse, ErrAddrNotAvail, ErrConnRefused,
+		ErrConnReset, ErrNotConn, ErrIsConn, ErrPipe, ErrTimedOut, ErrMsgSize,
+		ErrShutdown, ErrHostUnreach, ErrNotSupported, ErrWouldBlock, ErrNetDown,
+	}
+	seen := map[string]bool{}
+	for _, e := range errs {
+		if e == nil || seen[e.Error()] {
+			t.Fatalf("duplicate or nil error: %v", e)
+		}
+		seen[e.Error()] = true
+	}
+}

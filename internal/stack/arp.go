@@ -1,0 +1,226 @@
+package stack
+
+import (
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// arpEngine implements ARP for stacks that own the network interface
+// directly (the in-kernel and server deployments, and the OS server of
+// the decomposed architecture). Library stacks do not run ARP: the kernel
+// packet filter routes ARP traffic to the OS server, and libraries
+// resolve through a caching proxy (§3.3) whose cache is warmed when a
+// session migrates in.
+//
+// Resolution never blocks: an unresolved output is queued on the cache
+// entry (as BSD holds a packet in la_hold) and emitted when the reply
+// arrives. This matters structurally — protocol input processing emits
+// ACKs, RSTs, and ICMP errors, and must not wait for ARP traffic that it
+// would itself have to process.
+type arpEngine struct {
+	st      *Stack
+	entries map[wire.IPAddr]*arpEntry
+	version int
+	// OnChange, when set, fires whenever an entry is added, updated or
+	// expired; the OS server uses it to invalidate library caches.
+	OnChange func(ip wire.IPAddr)
+
+	// PendingDropped counts output packets dropped because resolution
+	// failed or the per-entry queue overflowed.
+	PendingDropped int
+}
+
+type arpEntry struct {
+	mac      wire.MAC
+	resolved bool
+	ttlTicks int
+	retries  int
+	pending  []func(mac wire.MAC)
+}
+
+const (
+	arpEntryTTLTicks  = 40 // 20 s cache lifetime (compressed for simulation)
+	arpMaxRetries     = 5
+	arpRetryTicks     = 2 // re-request every second
+	arpMaxPendingPkts = 8
+)
+
+func newARPEngine(st *Stack) *arpEngine {
+	return &arpEngine{st: st, entries: make(map[wire.IPAddr]*arpEntry)}
+}
+
+// Version increments on every table change (library cache coherence).
+func (a *arpEngine) Version() int { return a.version }
+
+// LookupCached returns a resolved entry without generating traffic.
+func (a *arpEngine) LookupCached(ip wire.IPAddr) (wire.MAC, bool) {
+	if e, ok := a.entries[ip]; ok && e.resolved {
+		return e.mac, true
+	}
+	return wire.MAC{}, false
+}
+
+// Entries returns a snapshot of resolved mappings (the OS server exports
+// these to library caches).
+func (a *arpEngine) Entries() map[wire.IPAddr]wire.MAC {
+	out := make(map[wire.IPAddr]wire.MAC)
+	for ip, e := range a.entries {
+		if e.resolved {
+			out[ip] = e.mac
+		}
+	}
+	return out
+}
+
+// Insert installs a static/learned mapping directly.
+func (a *arpEngine) Insert(ip wire.IPAddr, mac wire.MAC) {
+	a.learn(ip, mac, true)
+}
+
+// ResolveOrQueue implements Resolver.
+func (a *arpEngine) ResolveOrQueue(t *sim.Proc, ip wire.IPAddr, emit func(mac wire.MAC)) (wire.MAC, bool) {
+	if ip.IsBroadcast() {
+		return wire.BroadcastMAC, true
+	}
+	if ip == a.st.cfg.LocalIP {
+		return a.st.cfg.LocalMAC, true
+	}
+	e, ok := a.entries[ip]
+	if ok && e.resolved {
+		return e.mac, true
+	}
+	if !ok {
+		e = &arpEntry{ttlTicks: arpEntryTTLTicks}
+		a.entries[ip] = e
+		a.sendRequest(ip)
+	}
+	if len(e.pending) >= arpMaxPendingPkts {
+		a.PendingDropped++
+		return wire.MAC{}, false
+	}
+	e.pending = append(e.pending, emit)
+	return wire.MAC{}, false
+}
+
+func (a *arpEngine) sendRequest(ip wire.IPAddr) {
+	pkt := wire.ARPPacket{
+		Op:        wire.ARPRequest,
+		SenderMAC: a.st.cfg.LocalMAC,
+		SenderIP:  a.st.cfg.LocalIP,
+		TargetIP:  ip,
+	}
+	a.transmit(wire.BroadcastMAC, pkt)
+}
+
+func (a *arpEngine) transmit(dst wire.MAC, pkt wire.ARPPacket) {
+	frame := make([]byte, wire.EthHeaderLen+wire.ARPLen)
+	eh := wire.EthHeader{Dst: dst, Src: a.st.cfg.LocalMAC, Type: wire.EtherTypeARP}
+	eh.Marshal(frame)
+	copy(frame[wire.EthHeaderLen:], pkt.Marshal())
+	a.st.cfg.Transmit(frame)
+}
+
+// learn records a mapping and flushes any output queued on it. force
+// creates the entry if absent (BSD creates entries for requests addressed
+// to us, so the reply we are about to send has a warm peer entry).
+func (a *arpEngine) learn(ip wire.IPAddr, mac wire.MAC, force bool) {
+	e, ok := a.entries[ip]
+	if !ok {
+		if !force {
+			return
+		}
+		e = &arpEntry{}
+		a.entries[ip] = e
+	}
+	changed := !e.resolved || e.mac != mac
+	e.mac = mac
+	e.resolved = true
+	e.ttlTicks = arpEntryTTLTicks
+	e.retries = 0
+	pending := e.pending
+	e.pending = nil
+	for _, emit := range pending {
+		emit(mac)
+	}
+	if changed {
+		a.version++
+		if a.OnChange != nil {
+			a.OnChange(ip)
+		}
+	}
+}
+
+// input processes a received ARP packet: replies to requests for our
+// address and completes pending resolutions from replies (and from
+// gratuitous information in requests, as BSD does).
+func (a *arpEngine) input(t *sim.Proc, body []byte) {
+	pkt, err := wire.UnmarshalARP(body)
+	if err != nil {
+		a.st.Stats.Drops++
+		return
+	}
+	forUs := pkt.TargetIP == a.st.cfg.LocalIP
+	a.learn(pkt.SenderIP, pkt.SenderMAC, forUs)
+	if pkt.Op == wire.ARPRequest && forUs {
+		reply := wire.ARPPacket{
+			Op:        wire.ARPReply,
+			SenderMAC: a.st.cfg.LocalMAC,
+			SenderIP:  a.st.cfg.LocalIP,
+			TargetMAC: pkt.SenderMAC,
+			TargetIP:  pkt.SenderIP,
+		}
+		a.transmit(pkt.SenderMAC, reply)
+	}
+}
+
+// timo ages cache entries and retries unresolved ones (driven by the slow
+// timer).
+func (a *arpEngine) timo(t *sim.Proc) {
+	for ip, e := range a.entries {
+		e.ttlTicks--
+		if !e.resolved {
+			if e.ttlTicks%arpRetryTicks == 0 {
+				e.retries++
+				if e.retries > arpMaxRetries {
+					// Give up: drop whatever was waiting.
+					a.PendingDropped += len(e.pending)
+					delete(a.entries, ip)
+					continue
+				}
+				a.sendRequest(ip)
+			}
+			continue
+		}
+		if e.ttlTicks <= 0 {
+			delete(a.entries, ip)
+			a.version++
+			if a.OnChange != nil {
+				a.OnChange(ip)
+			}
+		}
+	}
+}
+
+// ARP exposes the stack's ARP engine (nil for library stacks).
+func (st *Stack) ARP() *arpEngine { return st.arp }
+
+// Routes exposes the stack's routing table.
+func (st *Stack) Routes() *RouteTable { return st.cfg.Routes }
+
+// WaitResolve resolves ip, blocking the calling thread up to timeout.
+// It is safe only on threads that do not process this stack's input
+// (the OS server's RPC workers use it to answer library proxy_arp calls;
+// the ARP reply arrives on the server's separate input thread).
+func (a *arpEngine) WaitResolve(t *sim.Proc, ip wire.IPAddr, timeout time.Duration) (wire.MAC, bool) {
+	if mac, ok := a.LookupCached(ip); ok {
+		return mac, true
+	}
+	cv := &sim.Cond{}
+	if mac, ok := a.ResolveOrQueue(t, ip, func(wire.MAC) { cv.Broadcast() }); ok {
+		return mac, true
+	}
+	cv.WaitTimeout(t, timeout)
+	return a.LookupCached(ip)
+}

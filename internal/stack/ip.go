@@ -1,0 +1,332 @@
+package stack
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/costs"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/socketapi"
+	"repro/internal/wire"
+)
+
+// Route is one routing table entry.
+type Route struct {
+	Dest      wire.IPAddr
+	PrefixLen int
+	Gateway   wire.IPAddr // next hop; ignored when OnLink
+	OnLink    bool        // destination is directly reachable
+}
+
+// RouteTable is a longest-prefix-match IPv4 routing table. In the
+// decomposed architecture the authoritative table lives in the
+// operating-system server and libraries cache entries from it (§3.3).
+type RouteTable struct {
+	routes  []Route
+	version int
+}
+
+// NewRouteTable returns an empty table.
+func NewRouteTable() *RouteTable { return &RouteTable{} }
+
+// Add installs a route and bumps the table version (which invalidates
+// library caches).
+func (rt *RouteTable) Add(dest wire.IPAddr, prefixLen int, gw wire.IPAddr, onLink bool) {
+	rt.routes = append(rt.routes, Route{Dest: dest.Mask(prefixLen), PrefixLen: prefixLen, Gateway: gw, OnLink: onLink})
+	sort.SliceStable(rt.routes, func(i, j int) bool {
+		return rt.routes[i].PrefixLen > rt.routes[j].PrefixLen
+	})
+	rt.version++
+}
+
+// Version returns the table's modification counter.
+func (rt *RouteTable) Version() int { return rt.version }
+
+// Lookup returns the next hop for dst: dst itself for on-link routes, the
+// gateway otherwise.
+func (rt *RouteTable) Lookup(dst wire.IPAddr) (nextHop wire.IPAddr, ok bool) {
+	for _, r := range rt.routes {
+		if dst.Mask(r.PrefixLen) == r.Dest {
+			if r.OnLink {
+				return dst, true
+			}
+			return r.Gateway, true
+		}
+	}
+	return wire.IPAddr{}, false
+}
+
+// ipOutput encapsulates a transport segment and transmits it, fragmenting
+// when it exceeds the MTU (ip_output). n is the transport payload size
+// for cost accounting.
+func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, seg *mbuf.Chain, n int) error {
+	st.charge(t, tcp, costs.CompIPOutput, n)
+	st.Stats.IPOut++
+
+	nextHop, ok := st.cfg.Routes.Lookup(dst)
+	if !ok {
+		return socketapi.ErrHostUnreach
+	}
+
+	total := wire.IPv4HeaderLen + seg.Len()
+	if total <= wire.EthMTU {
+		return st.emitIP(t, tcp, wire.IPv4Header{
+			TotalLen: uint16(total),
+			ID:       st.nextIPID(),
+			TTL:      wire.DefaultTTL,
+			Proto:    proto,
+			Src:      st.cfg.LocalIP,
+			Dst:      dst,
+		}, nextHop, seg, n)
+	}
+
+	// Fragment. Fragment data lengths must be multiples of 8 bytes.
+	id := st.nextIPID()
+	maxData := (wire.EthMTU - wire.IPv4HeaderLen) &^ 7
+	off := 0
+	remaining := seg.Len()
+	for remaining > 0 {
+		take := maxData
+		more := true
+		if take >= remaining {
+			take = remaining
+			more = false
+		}
+		frag := seg.CopyRegion(off, take)
+		h := wire.IPv4Header{
+			TotalLen: uint16(wire.IPv4HeaderLen + take),
+			ID:       id,
+			TTL:      wire.DefaultTTL,
+			Proto:    proto,
+			Src:      st.cfg.LocalIP,
+			Dst:      dst,
+			FragOff:  uint16(off / 8),
+		}
+		if more {
+			h.Flags = wire.IPFlagMF
+		}
+		st.Stats.IPFragsOut++
+		if err := st.emitIP(t, tcp, h, nextHop, frag, take); err != nil {
+			return err
+		}
+		off += take
+		remaining -= take
+	}
+	return nil
+}
+
+// emitIP prepends the IP and Ethernet headers, charges the device-output
+// cost, and transmits — immediately when the next hop's hardware address
+// is known, otherwise when ARP resolution completes (the frame waits on
+// the ARP entry; this path never blocks).
+func (st *Stack) emitIP(t *sim.Proc, tcp bool, h wire.IPv4Header, nextHop wire.IPAddr, payload *mbuf.Chain, n int) error {
+	h.Marshal(payload.Prepend(wire.IPv4HeaderLen))
+	eh := wire.EthHeader{Src: st.cfg.LocalMAC, Type: wire.EtherTypeIPv4}
+	eh.Marshal(payload.Prepend(wire.EthHeaderLen))
+	st.charge(t, tcp, costs.CompEtherOutput, n)
+	frame := payload.Bytes()
+	if mac, ok := st.cfg.Resolver.ResolveOrQueue(t, nextHop, func(mac wire.MAC) {
+		copy(frame[0:6], mac[:])
+		st.cfg.Transmit(frame)
+	}); ok {
+		copy(frame[0:6], mac[:])
+		return st.cfg.Transmit(frame)
+	}
+	return nil // queued pending resolution (or dropped; upper layers recover)
+}
+
+// ipInput validates an incoming IP packet and dispatches it to the
+// transport protocols (ip_input).
+func (st *Stack) ipInput(t *sim.Proc, eh wire.EthHeader, pkt []byte) {
+	h, hlen, err := wire.UnmarshalIPv4(pkt)
+	if err != nil {
+		st.Stats.Drops++
+		return
+	}
+	if int(h.TotalLen) > len(pkt) {
+		st.Stats.Drops++
+		return
+	}
+	pkt = pkt[:h.TotalLen]
+	if h.Dst != st.cfg.LocalIP && !h.Dst.IsBroadcast() {
+		st.Stats.Drops++ // not for us (no forwarding in this stack)
+		return
+	}
+	st.Stats.IPIn++
+	body := pkt[hlen:]
+
+	tcp := h.Proto == wire.ProtoTCP
+	st.charge(t, tcp, costs.CompIPIntr, len(body))
+
+	if h.IsFragment() {
+		full, ok := st.ipReassemble(t, h, body)
+		if !ok {
+			return
+		}
+		body = full
+		h.FragOff = 0
+		h.Flags = 0
+	}
+
+	switch h.Proto {
+	case wire.ProtoTCP:
+		st.tcpInput(t, h, body)
+	case wire.ProtoUDP:
+		st.udpInput(t, h, body)
+	case wire.ProtoICMP:
+		st.icmpInput(t, h, body)
+	default:
+		st.Stats.Drops++
+	}
+}
+
+// --- Reassembly ---
+
+type reasmKey struct {
+	src, dst wire.IPAddr
+	proto    uint8
+	id       uint16
+}
+
+type reasmEntry struct {
+	frags   []ipFrag
+	gotLast bool
+	total   int
+	ttlTick int // slow-timer ticks until the entry expires
+}
+
+type ipFrag struct {
+	off  int
+	data []byte
+}
+
+const reasmTTLTicks = 30 // 15 s, BSD's IPFRAGTTL
+
+// ipReassemble collects fragments; when a datagram completes it returns
+// the full transport payload.
+func (st *Stack) ipReassemble(t *sim.Proc, h wire.IPv4Header, body []byte) ([]byte, bool) {
+	key := reasmKey{src: h.Src, dst: h.Dst, proto: h.Proto, id: h.ID}
+	e := st.reasm[key]
+	if e == nil {
+		e = &reasmEntry{ttlTick: reasmTTLTicks}
+		st.reasm[key] = e
+	}
+	off := int(h.FragOff) * 8
+	data := append([]byte(nil), body...)
+	e.frags = append(e.frags, ipFrag{off: off, data: data})
+	if !h.MoreFragments() {
+		e.gotLast = true
+		e.total = off + len(data)
+	}
+	if !e.gotLast {
+		return nil, false
+	}
+	// Check completeness.
+	sort.Slice(e.frags, func(i, j int) bool { return e.frags[i].off < e.frags[j].off })
+	full := make([]byte, e.total)
+	covered := 0
+	for _, f := range e.frags {
+		if f.off > covered {
+			return nil, false // hole remains
+		}
+		end := f.off + len(f.data)
+		if end > covered {
+			copy(full[f.off:end], f.data)
+			covered = end
+		}
+	}
+	if covered < e.total {
+		return nil, false
+	}
+	delete(st.reasm, key)
+	st.Stats.IPReasmOK++
+	return full, true
+}
+
+// ipReasmTimo expires stale reassembly state (driven by the slow timer).
+func (st *Stack) ipReasmTimo(t *sim.Proc) {
+	for k, e := range st.reasm {
+		e.ttlTick--
+		if e.ttlTick <= 0 {
+			delete(st.reasm, k)
+			st.Stats.IPReasmTimeout++
+		}
+	}
+}
+
+// --- ICMP ---
+
+// icmpInput handles ICMP messages: echo requests are answered; errors are
+// mapped onto the sockets they concern (icmp_input + PRC_* upcalls).
+func (st *Stack) icmpInput(t *sim.Proc, h wire.IPv4Header, body []byte) {
+	st.Stats.ICMPIn++
+	ih, payload, err := wire.UnmarshalICMP(body)
+	if err != nil {
+		st.Stats.Drops++
+		return
+	}
+	switch ih.Type {
+	case wire.ICMPEchoRequest:
+		reply := wire.ICMPHeader{Type: wire.ICMPEchoReply, ID: ih.ID, Seq: ih.Seq}
+		st.Stats.ICMPOut++
+		st.ipOutput(t, false, wire.ProtoICMP, h.Src, mbuf.FromBytesCopy(reply.Marshal(payload)), len(payload))
+	case wire.ICMPEchoReply:
+		if cv, ok := st.icmpEcho[ih.ID]; ok {
+			cv.Broadcast()
+		}
+	case wire.ICMPDestUnreachable:
+		// The payload holds the offending datagram's IP header + 8 bytes:
+		// enough to find the socket and deliver ECONNREFUSED, which is
+		// how BSD surfaces UDP port unreachables.
+		oh, ohl, err := wire.UnmarshalIPv4(payload)
+		if err != nil || len(payload) < ohl+8 {
+			return
+		}
+		tp := payload[ohl:]
+		sport := uint16(tp[0])<<8 | uint16(tp[1])
+		dport := uint16(tp[2])<<8 | uint16(tp[3])
+		local := Addr{IP: oh.Src, Port: sport}
+		remote := Addr{IP: oh.Dst, Port: dport}
+		if s := st.lookup(oh.Proto, local, remote); s != nil && !s.remote.IsZero() {
+			s.err = socketapi.ErrConnRefused
+			s.sorwakeup(t, 0)
+			s.sowwakeup(t, 0)
+		}
+	}
+}
+
+// icmpSendUnreachable reports an undeliverable datagram back to its
+// sender (icmp_error).
+func (st *Stack) icmpSendUnreachable(t *sim.Proc, code uint8, orig wire.IPv4Header, origBody []byte) {
+	// Quote the original IP header plus the first 8 payload bytes.
+	quote := make([]byte, wire.IPv4HeaderLen, wire.IPv4HeaderLen+8)
+	orig.Marshal(quote)
+	n := len(origBody)
+	if n > 8 {
+		n = 8
+	}
+	quote = append(quote, origBody[:n]...)
+	msg := wire.ICMPHeader{Type: wire.ICMPDestUnreachable, Code: code}
+	st.Stats.ICMPOut++
+	st.ipOutput(t, false, wire.ProtoICMP, orig.Src, mbuf.FromBytesCopy(msg.Marshal(quote)), 0)
+}
+
+// Ping sends an ICMP echo request and waits up to timeout for the reply,
+// reporting success. It exists for diagnostics and tests of the ICMP
+// machinery.
+func (st *Stack) Ping(t *sim.Proc, dst wire.IPAddr, id uint16, timeoutTicks int) bool {
+	st.lock(t)
+	cv := &sim.Cond{}
+	st.icmpEcho[id] = cv
+	defer delete(st.icmpEcho, id)
+	req := wire.ICMPHeader{Type: wire.ICMPEchoRequest, ID: id, Seq: 1}
+	st.Stats.ICMPOut++
+	if err := st.ipOutput(t, false, wire.ProtoICMP, dst, mbuf.FromBytesCopy(req.Marshal(nil)), 0); err != nil {
+		st.unlock()
+		return false
+	}
+	ok := st.condWaitTimeout(t, cv, time.Duration(timeoutTicks)*tcpSlowInterval)
+	st.unlock()
+	return ok
+}

@@ -1,0 +1,115 @@
+package stack
+
+import (
+	"repro/internal/socketapi"
+)
+
+// LocalPorts is a PortAllocator for a stack that owns its whole port
+// namespace (the in-kernel and server baselines, and the OS server of the
+// decomposed architecture, where it implements the paper's "local IP port
+// manager").
+type LocalPorts struct {
+	inUse     map[portKey]*portState
+	nextEphem uint16
+}
+
+type portKey struct {
+	proto uint8
+	port  uint16
+}
+
+type portState struct {
+	refs  int
+	reuse bool
+	// quarantinedUntil blocks rebinding of ports whose connections were
+	// aborted by a dying process (paper §3.2: "delay the reopening of any
+	// aborted connections").
+	quarantined bool
+}
+
+const (
+	ephemeralFirst = 1024
+	ephemeralLast  = 65535
+)
+
+// NewLocalPorts returns an empty namespace.
+func NewLocalPorts() *LocalPorts {
+	return &LocalPorts{inUse: make(map[portKey]*portState), nextEphem: ephemeralFirst}
+}
+
+// AllocEphemeral implements PortAllocator.
+func (lp *LocalPorts) AllocEphemeral(proto uint8) (uint16, error) {
+	for i := 0; i < ephemeralLast-ephemeralFirst; i++ {
+		p := lp.nextEphem
+		lp.nextEphem++
+		if lp.nextEphem == 0 {
+			lp.nextEphem = ephemeralFirst
+		}
+		if _, taken := lp.inUse[portKey{proto, p}]; !taken && p >= ephemeralFirst {
+			lp.inUse[portKey{proto, p}] = &portState{refs: 1}
+			return p, nil
+		}
+	}
+	return 0, socketapi.ErrAddrNotAvail
+}
+
+// Reserve implements PortAllocator.
+func (lp *LocalPorts) Reserve(proto uint8, port uint16, reuse bool) error {
+	if port == 0 {
+		return socketapi.ErrInvalid
+	}
+	k := portKey{proto, port}
+	if st, taken := lp.inUse[k]; taken {
+		if st.quarantined {
+			return socketapi.ErrAddrInUse
+		}
+		if st.reuse && reuse {
+			st.refs++
+			return nil
+		}
+		return socketapi.ErrAddrInUse
+	}
+	lp.inUse[k] = &portState{refs: 1, reuse: reuse}
+	return nil
+}
+
+// Release implements PortAllocator.
+func (lp *LocalPorts) Release(proto uint8, port uint16) {
+	k := portKey{proto, port}
+	if st, ok := lp.inUse[k]; ok {
+		st.refs--
+		if st.refs <= 0 {
+			delete(lp.inUse, k)
+		}
+	}
+}
+
+// Quarantine blocks a port from reuse until Unquarantine (used by the OS
+// server when it aborts a dead process's connections).
+func (lp *LocalPorts) Quarantine(proto uint8, port uint16) {
+	k := portKey{proto, port}
+	if st, ok := lp.inUse[k]; ok {
+		st.quarantined = true
+		st.refs++ // hold it
+		return
+	}
+	lp.inUse[k] = &portState{refs: 1, quarantined: true}
+}
+
+// Unquarantine lifts a quarantine.
+func (lp *LocalPorts) Unquarantine(proto uint8, port uint16) {
+	k := portKey{proto, port}
+	if st, ok := lp.inUse[k]; ok && st.quarantined {
+		st.quarantined = false
+		st.refs--
+		if st.refs <= 0 {
+			delete(lp.inUse, k)
+		}
+	}
+}
+
+// InUse reports whether a port is currently reserved.
+func (lp *LocalPorts) InUse(proto uint8, port uint16) bool {
+	_, ok := lp.inUse[portKey{proto, port}]
+	return ok
+}

@@ -1,0 +1,107 @@
+package stack
+
+import (
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+)
+
+// streamBuf is a byte-stream socket buffer (TCP), the equivalent of a BSD
+// sockbuf holding an mbuf chain.
+type streamBuf struct {
+	data  *mbuf.Chain
+	hiwat int
+	cond  sim.Cond // waiters for space (send) or data (receive)
+}
+
+func newStreamBuf(hiwat int) *streamBuf {
+	return &streamBuf{data: mbuf.New(), hiwat: hiwat}
+}
+
+func (sb *streamBuf) len() int   { return sb.data.Len() }
+func (sb *streamBuf) space() int { return sb.hiwat - sb.data.Len() }
+
+// appendChain moves a chain into the buffer (sbappend).
+func (sb *streamBuf) appendChain(c *mbuf.Chain) { sb.data.AppendChain(c) }
+
+// appendBytes copies b into the buffer.
+func (sb *streamBuf) appendBytes(b []byte) { sb.data.AppendBytes(b) }
+
+// appendRef appends b without copying (NEWAPI shared-buffer send).
+func (sb *streamBuf) appendRef(b []byte) { sb.data.AppendChain(mbuf.FromBytes(b)) }
+
+// drop discards n bytes from the front (sbdrop; TCP acked data).
+func (sb *streamBuf) drop(n int) { sb.data.TrimFront(n) }
+
+// region returns a storage-sharing copy of bytes [off, off+n) (m_copym;
+// TCP segment construction from the send queue).
+func (sb *streamBuf) region(off, n int) *mbuf.Chain { return sb.data.CopyRegion(off, n) }
+
+// readInto copies up to len(p) bytes out of the buffer, consuming them.
+func (sb *streamBuf) readInto(p []byte) int {
+	n := sb.data.ReadAt(p, 0)
+	sb.data.TrimFront(n)
+	return n
+}
+
+// readChain removes and returns up to max bytes as a chain (NEWAPI
+// shared-buffer receive: no copy).
+func (sb *streamBuf) readChain(max int) *mbuf.Chain {
+	if max >= sb.data.Len() {
+		c := sb.data
+		sb.data = mbuf.New()
+		return c
+	}
+	rest := sb.data.Split(max)
+	c := sb.data
+	sb.data = rest
+	return c
+}
+
+// datagram is one queued UDP datagram with its source address.
+type datagram struct {
+	from Addr
+	data *mbuf.Chain
+}
+
+// dgramBuf is a datagram socket buffer: a queue of datagrams bounded by
+// total byte count, like a BSD sockbuf with record boundaries.
+type dgramBuf struct {
+	q     []datagram
+	bytes int
+	hiwat int
+	cond  sim.Cond
+}
+
+func newDgramBuf(hiwat int) *dgramBuf { return &dgramBuf{hiwat: hiwat} }
+
+func (db *dgramBuf) len() int { return db.bytes }
+
+// enqueue adds a datagram if it fits; it reports whether it was accepted
+// (BSD drops the datagram and counts a full-socket error otherwise).
+func (db *dgramBuf) enqueue(from Addr, data *mbuf.Chain) bool {
+	if db.bytes+data.Len() > db.hiwat {
+		return false
+	}
+	db.q = append(db.q, datagram{from: from, data: data})
+	db.bytes += data.Len()
+	return true
+}
+
+// dequeue removes the next datagram.
+func (db *dgramBuf) dequeue() (datagram, bool) {
+	if len(db.q) == 0 {
+		return datagram{}, false
+	}
+	d := db.q[0]
+	db.q = db.q[1:]
+	db.bytes -= d.data.Len()
+	return d, true
+}
+
+// peek returns the next datagram without consuming it.
+func (db *dgramBuf) peek() (datagram, bool) {
+	if len(db.q) == 0 {
+		return datagram{}, false
+	}
+	return db.q[0], true
+}

@@ -1,0 +1,297 @@
+package stack
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+func testStack(t *testing.T) *Stack {
+	t.Helper()
+	s := sim.New(1)
+	return New(Config{
+		Sim:      s,
+		Name:     "t",
+		LocalIP:  wire.IP(10, 0, 0, 1),
+		LocalMAC: wire.MAC{1},
+		Transmit: func([]byte) error { return nil },
+		Ports:    NewLocalPorts(),
+	})
+}
+
+func TestSeqArithmetic(t *testing.T) {
+	cases := []struct {
+		a, b             uint32
+		lt, leq, gt, geq bool
+	}{
+		{1, 2, true, true, false, false},
+		{2, 2, false, true, false, true},
+		{3, 2, false, false, true, true},
+		// Wraparound: 0xffffffff is "before" 1.
+		{0xffffffff, 1, true, true, false, false},
+		{1, 0xffffffff, false, false, true, true},
+	}
+	for _, c := range cases {
+		if seqLT(c.a, c.b) != c.lt || seqLEQ(c.a, c.b) != c.leq ||
+			seqGT(c.a, c.b) != c.gt || seqGEQ(c.a, c.b) != c.geq {
+			t.Errorf("seq compare %d vs %d wrong", c.a, c.b)
+		}
+	}
+}
+
+func TestQuickSeqOrderingTotality(t *testing.T) {
+	f := func(a, b uint32) bool {
+		// Exactly one of <, ==, > must hold under modular comparison
+		// (when the distance is not exactly 2^31).
+		if a == b {
+			return seqLEQ(a, b) && seqGEQ(a, b) && !seqLT(a, b) && !seqGT(a, b)
+		}
+		if a-b == 1<<31 {
+			return true // ambiguous by construction; excluded by TCP windows
+		}
+		return seqLT(a, b) != seqGT(a, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// makeEstablishedTCB builds a socket+tcb pair in ESTABLISHED state with
+// rcvNxt at the given base, bypassing the handshake.
+func makeEstablishedTCB(st *Stack, base uint32) (*Socket, *tcpcb) {
+	s := st.NewSocket(wire.ProtoTCP)
+	s.local = Addr{IP: st.cfg.LocalIP, Port: 5000}
+	s.remote = Addr{IP: wire.IP(10, 0, 0, 2), Port: 6000}
+	tp := newTCPCB(st, s)
+	s.tcb = tp
+	tp.state = tcpEstablished
+	tp.rcvNxt = base
+	tp.rcvAdv = base + 8192
+	return s, tp
+}
+
+// TestQuickReassemblyDeliversStream drives random segmentations (with
+// duplication and overlap) through the reassembly queue and checks the
+// socket sees exactly the original byte stream.
+func TestQuickReassemblyDeliversStream(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		st := testStack(t)
+		const base = 1000
+		streamLen := 200 + rng.Intn(1800)
+		stream := make([]byte, streamLen)
+		rng.Read(stream)
+		s, tp := makeEstablishedTCB(st, base)
+
+		// Cut the stream into segments.
+		type segment struct{ off, n int }
+		var segs []segment
+		for off := 0; off < streamLen; {
+			n := 1 + rng.Intn(300)
+			if off+n > streamLen {
+				n = streamLen - off
+			}
+			segs = append(segs, segment{off, n})
+			off += n
+		}
+		// Shuffle, duplicate some, and extend some into overlaps.
+		rng.Shuffle(len(segs), func(i, j int) { segs[i], segs[j] = segs[j], segs[i] })
+		extra := segs
+		for _, sg := range segs {
+			if rng.Intn(4) == 0 {
+				extra = append(extra, sg) // duplicate
+			}
+			if rng.Intn(4) == 0 && sg.off+sg.n < streamLen {
+				n2 := sg.n + rng.Intn(streamLen-sg.off-sg.n) + 1
+				extra = append(extra, segment{sg.off, n2}) // overlapping
+			}
+		}
+		for _, sg := range extra {
+			st.tcpReassemble(nil, tp, base+uint32(sg.off), stream[sg.off:sg.off+sg.n], false)
+		}
+		if tp.rcvNxt != base+uint32(streamLen) {
+			return false
+		}
+		if len(tp.reasm) != 0 {
+			return false
+		}
+		got := make([]byte, streamLen)
+		n := s.rcv.readInto(got)
+		return n == streamLen && bytes.Equal(got, stream)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReassemblyHoleThenFill(t *testing.T) {
+	st := testStack(t)
+	s, tp := makeEstablishedTCB(st, 100)
+	st.tcpReassemble(nil, tp, 110, []byte("world"), false)
+	if s.rcv.len() != 0 || len(tp.reasm) != 1 {
+		t.Fatalf("ooo segment delivered early: rcv=%d reasm=%d", s.rcv.len(), len(tp.reasm))
+	}
+	if !tp.ackNow {
+		t.Fatal("out-of-order data must force an immediate (duplicate) ACK")
+	}
+	st.tcpReassemble(nil, tp, 100, []byte("hello "), false)
+	// 6 bytes delivered, then the hole is only partly filled (104..110
+	// still missing after "hello " covers 100..106): check precise edge.
+	if tp.rcvNxt != 106 {
+		t.Fatalf("rcvNxt = %d, want 106", tp.rcvNxt)
+	}
+	st.tcpReassemble(nil, tp, 106, []byte("...."), false)
+	if tp.rcvNxt != 115 {
+		t.Fatalf("rcvNxt = %d, want 115", tp.rcvNxt)
+	}
+	buf := make([]byte, 64)
+	n := s.rcv.readInto(buf)
+	if string(buf[:n]) != "hello ....world" {
+		t.Fatalf("stream = %q", buf[:n])
+	}
+}
+
+func TestReassemblyFinOutOfOrder(t *testing.T) {
+	st := testStack(t)
+	s, tp := makeEstablishedTCB(st, 100)
+	// FIN arrives with the second segment first.
+	st.tcpReassemble(nil, tp, 105, []byte("tail"), true)
+	if tp.sawFin {
+		t.Fatal("FIN processed before stream complete")
+	}
+	st.tcpReassemble(nil, tp, 100, []byte("head:"), false)
+	if !tp.sawFin {
+		t.Fatal("FIN not processed once stream completed")
+	}
+	if tp.state != tcpCloseWait {
+		t.Fatalf("state = %v, want CLOSE_WAIT", tp.state)
+	}
+	if tp.rcvNxt != 100+9+1 {
+		t.Fatalf("rcvNxt = %d (FIN must consume one sequence number)", tp.rcvNxt)
+	}
+	_ = s
+}
+
+func TestDelayedAckEverySecondSegment(t *testing.T) {
+	st := testStack(t)
+	_, tp := makeEstablishedTCB(st, 0)
+	st.tcpReassemble(nil, tp, 0, []byte("a"), false)
+	if tp.ackNow || !tp.delAck {
+		t.Fatal("first segment should set delayed ACK only")
+	}
+	st.tcpReassemble(nil, tp, 1, []byte("b"), false)
+	if !tp.ackNow {
+		t.Fatal("second segment should force an ACK")
+	}
+}
+
+func TestRttUpdateJacobson(t *testing.T) {
+	tp := &tcpcb{}
+	tp.rttUpdate(100 * 1e6) // 100 ms
+	if tp.srtt != 100e6 || tp.rttvar != 50e6 {
+		t.Fatalf("initial srtt=%v rttvar=%v", tp.srtt, tp.rttvar)
+	}
+	tp.rttUpdate(200e6)
+	// srtt += (200-100)/8 = 112.5ms; rttvar += (100-50)/4 = 62.5ms
+	if tp.srtt != 112.5e6 || tp.rttvar != 62.5e6 {
+		t.Fatalf("updated srtt=%v rttvar=%v", tp.srtt, tp.rttvar)
+	}
+	// Backoff growth and clamping.
+	tp.rexmtShift = 0
+	base := tp.rexmtTicks()
+	tp.rexmtShift = 3
+	if tp.rexmtTicks() != min(base*8, tcpMaxRexmtTicks) {
+		t.Fatalf("backoff: base=%d shifted=%d", base, tp.rexmtTicks())
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestPortAllocator(t *testing.T) {
+	lp := NewLocalPorts()
+	p1, err := lp.AllocEphemeral(wire.ProtoTCP)
+	if err != nil || p1 < ephemeralFirst {
+		t.Fatalf("ephemeral: %d %v", p1, err)
+	}
+	p2, _ := lp.AllocEphemeral(wire.ProtoTCP)
+	if p1 == p2 {
+		t.Fatal("duplicate ephemeral port")
+	}
+	if err := lp.Reserve(wire.ProtoTCP, 80, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Reserve(wire.ProtoTCP, 80, false); err == nil {
+		t.Fatal("double reserve allowed")
+	}
+	// Same port, different protocol is fine.
+	if err := lp.Reserve(wire.ProtoUDP, 80, false); err != nil {
+		t.Fatal(err)
+	}
+	lp.Release(wire.ProtoTCP, 80)
+	if err := lp.Reserve(wire.ProtoTCP, 80, false); err != nil {
+		t.Fatal("release did not free port")
+	}
+}
+
+func TestPortReuseAddr(t *testing.T) {
+	lp := NewLocalPorts()
+	if err := lp.Reserve(wire.ProtoTCP, 7000, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := lp.Reserve(wire.ProtoTCP, 7000, true); err != nil {
+		t.Fatal("SO_REUSEADDR pair rejected")
+	}
+	if err := lp.Reserve(wire.ProtoTCP, 7000, false); err == nil {
+		t.Fatal("non-reuse reserve of reuse port allowed")
+	}
+	lp.Release(wire.ProtoTCP, 7000)
+	lp.Release(wire.ProtoTCP, 7000)
+	if lp.InUse(wire.ProtoTCP, 7000) {
+		t.Fatal("refcount leak")
+	}
+}
+
+func TestPortQuarantine(t *testing.T) {
+	lp := NewLocalPorts()
+	lp.Reserve(wire.ProtoTCP, 9000, false)
+	lp.Quarantine(wire.ProtoTCP, 9000)
+	lp.Release(wire.ProtoTCP, 9000) // original owner goes away
+	if err := lp.Reserve(wire.ProtoTCP, 9000, false); err == nil {
+		t.Fatal("quarantined port rebindable")
+	}
+	lp.Unquarantine(wire.ProtoTCP, 9000)
+	if err := lp.Reserve(wire.ProtoTCP, 9000, false); err != nil {
+		t.Fatal("unquarantined port not rebindable")
+	}
+}
+
+func TestRouteTableLPM(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(wire.IPAddr{}, 0, wire.IP(10, 0, 0, 254), false) // default via gw
+	rt.Add(wire.IP(10, 0, 0, 0), 24, wire.IPAddr{}, true)   // on-link
+	rt.Add(wire.IP(10, 0, 1, 0), 24, wire.IP(10, 0, 0, 9), false)
+
+	if nh, ok := rt.Lookup(wire.IP(10, 0, 0, 7)); !ok || nh != wire.IP(10, 0, 0, 7) {
+		t.Fatalf("on-link lookup: %v %v", nh, ok)
+	}
+	if nh, ok := rt.Lookup(wire.IP(10, 0, 1, 7)); !ok || nh != wire.IP(10, 0, 0, 9) {
+		t.Fatalf("gateway lookup: %v %v", nh, ok)
+	}
+	if nh, ok := rt.Lookup(wire.IP(192, 168, 0, 1)); !ok || nh != wire.IP(10, 0, 0, 254) {
+		t.Fatalf("default lookup: %v %v", nh, ok)
+	}
+	v := rt.Version()
+	rt.Add(wire.IP(172, 16, 0, 0), 12, wire.IPAddr{}, true)
+	if rt.Version() == v {
+		t.Fatal("version must bump on change")
+	}
+}

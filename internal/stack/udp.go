@@ -1,0 +1,62 @@
+package stack
+
+import (
+	"repro/internal/costs"
+	"repro/internal/mbuf"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// udpOutput emits one datagram (udp_output). The payload chain is owned
+// by the call.
+func (st *Stack) udpOutput(t *sim.Proc, src, dst Addr, payload *mbuf.Chain) error {
+	n := payload.Len()
+	st.charge(t, false, costs.CompTransportOutput, n)
+	st.Stats.UDPOut++
+
+	h := wire.UDPHeader{
+		SrcPort: src.Port,
+		DstPort: dst.Port,
+		Length:  uint16(wire.UDPHeaderLen + n),
+	}
+	hb := make([]byte, wire.UDPHeaderLen)
+	h.Marshal(hb)
+	h.Checksum = wire.UDPChecksum(st.cfg.LocalIP, dst.IP, hb, payload.Bytes())
+	h.Marshal(hb)
+	seg := mbuf.FromBytesCopy(hb)
+	seg.AppendChain(payload)
+	return st.ipOutput(t, false, wire.ProtoUDP, dst.IP, seg, n)
+}
+
+// udpInput delivers a received datagram to the owning socket (udp_input).
+func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
+	st.Stats.UDPIn++
+	if !wire.VerifyUDPChecksum(ih.Src, ih.Dst, seg) {
+		st.Stats.ChecksumErrors++
+		return
+	}
+	h, err := wire.UnmarshalUDP(seg)
+	if err != nil || int(h.Length) > len(seg) {
+		st.Stats.Drops++
+		return
+	}
+	payload := seg[wire.UDPHeaderLen:h.Length]
+	st.charge(t, false, costs.CompTransportInput, len(payload))
+
+	local := Addr{IP: ih.Dst, Port: h.DstPort}
+	remote := Addr{IP: ih.Src, Port: h.SrcPort}
+	s := st.lookup(wire.ProtoUDP, local, remote)
+	if s == nil {
+		st.Stats.UDPNoPort++
+		if !ih.Dst.IsBroadcast() && !st.orphanQuiet(wire.ProtoUDP, local, remote) {
+			st.icmpSendUnreachable(t, wire.ICMPCodePortUnreachable, ih, seg)
+		}
+		return
+	}
+	st.charge(t, false, costs.CompMbufQueue, len(payload))
+	if !s.drcv.enqueue(remote, mbuf.FromBytesCopy(payload)) {
+		st.Stats.Drops++ // receive buffer full: datagram lost
+		return
+	}
+	s.sorwakeup(t, len(payload))
+}

@@ -1,0 +1,315 @@
+package uxserver
+
+import (
+	"time"
+
+	"repro/internal/kern"
+	"repro/internal/sim"
+	"repro/internal/socketapi"
+	"repro/internal/stack"
+)
+
+// API is the per-process socket interface: a thin shim translating each
+// socket call into an RPC on the protocol server, exactly as the UX
+// emulation library does. Descriptors map to server-side handles.
+type API struct {
+	sys  *System
+	Proc *kern.Process
+	fds  map[int]int // fd -> server handle
+	next int
+}
+
+var _ socketapi.API = (*API)(nil)
+var _ socketapi.ZeroCopyAPI = (*API)(nil)
+
+// NewAPI creates an application process bound to the server.
+func (sys *System) NewAPI(name string) *API {
+	return &API{sys: sys, Proc: sys.Host.NewProcess(name), fds: make(map[int]int), next: 3}
+}
+
+func (a *API) call(t *sim.Proc, method string, args any) (any, error) {
+	return a.sys.svc.Call(t, method, args)
+}
+
+func (a *API) lookup(fd int) (int, error) {
+	h, ok := a.fds[fd]
+	if !ok {
+		return 0, socketapi.ErrBadFD
+	}
+	return h, nil
+}
+
+// Socket implements socketapi.API.
+func (a *API) Socket(t *sim.Proc, typ int) (int, error) {
+	rep, err := a.call(t, "socket", sockArgs{typ: typ})
+	if err != nil {
+		return -1, err
+	}
+	fd := a.next
+	a.next++
+	a.fds[fd] = rep.(int)
+	return fd, nil
+}
+
+// Bind implements socketapi.API.
+func (a *API) Bind(t *sim.Proc, fd int, addr socketapi.SockAddr) error {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return err
+	}
+	_, err = a.call(t, "bind", addrArgs{h: h, addr: toStack(addr)})
+	return err
+}
+
+// Connect implements socketapi.API.
+func (a *API) Connect(t *sim.Proc, fd int, addr socketapi.SockAddr) error {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return err
+	}
+	_, err = a.call(t, "connect", addrArgs{h: h, addr: toStack(addr)})
+	return err
+}
+
+// Listen implements socketapi.API.
+func (a *API) Listen(t *sim.Proc, fd int, backlog int) error {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return err
+	}
+	_, err = a.call(t, "listen", fdArgs{h: h, n: backlog})
+	return err
+}
+
+// Accept implements socketapi.API.
+func (a *API) Accept(t *sim.Proc, fd int) (int, socketapi.SockAddr, error) {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return -1, socketapi.SockAddr{}, err
+	}
+	rep, err := a.call(t, "accept", fdArgs{h: h})
+	if err != nil {
+		return -1, socketapi.SockAddr{}, err
+	}
+	r := rep.(acceptReply)
+	nfd := a.next
+	a.next++
+	a.fds[nfd] = r.h
+	return nfd, socketapi.SockAddr{Addr: r.peer.IP, Port: r.peer.Port}, nil
+}
+
+// Send implements socketapi.API.
+func (a *API) Send(t *sim.Proc, fd int, b []byte, flags int) (int, error) {
+	return a.SendMsg(t, fd, [][]byte{b}, flags, nil)
+}
+
+// SendTo implements socketapi.API.
+func (a *API) SendTo(t *sim.Proc, fd int, b []byte, flags int, to socketapi.SockAddr) (int, error) {
+	return a.SendMsg(t, fd, [][]byte{b}, flags, &to)
+}
+
+// SendMsg implements socketapi.API.
+func (a *API) SendMsg(t *sim.Proc, fd int, iov [][]byte, flags int, to *socketapi.SockAddr) (int, error) {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	args := sendArgs{h: h, iov: iov, oob: flags&socketapi.MsgOOB != 0}
+	if to != nil {
+		sa := toStack(*to)
+		args.to = &sa
+	}
+	rep, err := a.call(t, "send", args)
+	if err != nil {
+		return 0, err
+	}
+	return rep.(int), nil
+}
+
+// Recv implements socketapi.API.
+func (a *API) Recv(t *sim.Proc, fd int, b []byte, flags int) (int, error) {
+	n, _, err := a.RecvFrom(t, fd, b, flags)
+	return n, err
+}
+
+// RecvFrom implements socketapi.API.
+func (a *API) RecvFrom(t *sim.Proc, fd int, b []byte, flags int) (int, socketapi.SockAddr, error) {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return 0, socketapi.SockAddr{}, err
+	}
+	rep, err := a.call(t, "recv", recvArgs{
+		h: h, max: len(b),
+		oob:  flags&socketapi.MsgOOB != 0,
+		peek: flags&socketapi.MsgPeek != 0,
+	})
+	if err != nil {
+		return 0, socketapi.SockAddr{}, err
+	}
+	r := rep.(recvReply)
+	n := copy(b, r.data)
+	return n, socketapi.SockAddr{Addr: r.from.IP, Port: r.from.Port}, nil
+}
+
+// RecvMsg implements socketapi.API.
+func (a *API) RecvMsg(t *sim.Proc, fd int, iov [][]byte, flags int) (int, socketapi.SockAddr, error) {
+	total := 0
+	var from socketapi.SockAddr
+	for i, b := range iov {
+		n, f, err := a.RecvFrom(t, fd, b, flags)
+		if i == 0 {
+			from = f
+		}
+		total += n
+		if err != nil {
+			return total, from, err
+		}
+		if n < len(b) {
+			break
+		}
+	}
+	return total, from, nil
+}
+
+// Close implements socketapi.API.
+func (a *API) Close(t *sim.Proc, fd int) error {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return err
+	}
+	delete(a.fds, fd)
+	_, err = a.call(t, "close", fdArgs{h: h})
+	return err
+}
+
+// Shutdown implements socketapi.API.
+func (a *API) Shutdown(t *sim.Proc, fd int, how int) error {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return err
+	}
+	_, err = a.call(t, "shutdown", fdArgs{h: h, n: how})
+	return err
+}
+
+// SetSockOpt implements socketapi.API.
+func (a *API) SetSockOpt(t *sim.Proc, fd int, opt, value int) error {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return err
+	}
+	_, err = a.call(t, "setopt", optArgs{h: h, opt: opt, value: value})
+	return err
+}
+
+// GetSockOpt implements socketapi.API.
+func (a *API) GetSockOpt(t *sim.Proc, fd int, opt int) (int, error) {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := a.call(t, "getopt", optArgs{h: h, opt: opt})
+	if err != nil {
+		return 0, err
+	}
+	return rep.(int), nil
+}
+
+// GetSockName implements socketapi.API.
+func (a *API) GetSockName(t *sim.Proc, fd int) (socketapi.SockAddr, error) {
+	return a.nameCall(t, fd, "sockname")
+}
+
+// GetPeerName implements socketapi.API.
+func (a *API) GetPeerName(t *sim.Proc, fd int) (socketapi.SockAddr, error) {
+	return a.nameCall(t, fd, "peername")
+}
+
+func (a *API) nameCall(t *sim.Proc, fd int, method string) (socketapi.SockAddr, error) {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return socketapi.SockAddr{}, err
+	}
+	rep, err := a.call(t, method, fdArgs{h: h})
+	if err != nil {
+		return socketapi.SockAddr{}, err
+	}
+	addr := rep.(stack.Addr)
+	return socketapi.SockAddr{Addr: addr.IP, Port: addr.Port}, nil
+}
+
+// toStack converts an API socket address to the stack's representation.
+func toStack(a socketapi.SockAddr) stack.Addr {
+	return stack.Addr{IP: a.Addr, Port: a.Port}
+}
+
+// Select implements socketapi.API: the whole select executes in the
+// server, which owns every descriptor.
+func (a *API) Select(t *sim.Proc, read, write socketapi.FDSet, timeout time.Duration) (socketapi.FDSet, socketapi.FDSet, error) {
+	args := selectArgs{timeout: timeout}
+	h2fd := make(map[int]int)
+	for fd := range read {
+		if h, ok := a.fds[fd]; ok {
+			args.read = append(args.read, h)
+			h2fd[h] = fd
+		}
+	}
+	for fd := range write {
+		if h, ok := a.fds[fd]; ok {
+			args.write = append(args.write, h)
+			h2fd[h] = fd
+		}
+	}
+	rep, err := a.call(t, "select", args)
+	if err != nil {
+		return nil, nil, err
+	}
+	r := rep.(selectReply)
+	rset, wset := socketapi.FDSet{}, socketapi.FDSet{}
+	for _, h := range r.read {
+		rset[h2fd[h]] = true
+	}
+	for _, h := range r.write {
+		wset[h2fd[h]] = true
+	}
+	return rset, wset, nil
+}
+
+// Fork implements socketapi.API: the child references the same server
+// handles.
+func (a *API) Fork(t *sim.Proc, childName string) (socketapi.API, error) {
+	child := &API{
+		sys:  a.sys,
+		Proc: a.sys.Host.NewProcess(childName),
+		fds:  make(map[int]int, len(a.fds)),
+		next: a.next,
+	}
+	for fd, h := range a.fds {
+		if _, err := a.call(t, "dup", fdArgs{h: h}); err != nil {
+			return nil, err
+		}
+		child.fds[fd] = h
+	}
+	return child, nil
+}
+
+// ExitProcess implements socketapi.API.
+func (a *API) ExitProcess(t *sim.Proc) {
+	for fd := range a.fds {
+		a.Close(t, fd)
+	}
+	a.Proc.Exit()
+}
+
+// SendZC implements socketapi.ZeroCopyAPI. A server-based implementation
+// cannot share buffers with the application, so this is the copying path.
+func (a *API) SendZC(t *sim.Proc, fd int, b []byte, flags int) (int, error) {
+	return a.Send(t, fd, b, flags)
+}
+
+// RecvZC implements socketapi.ZeroCopyAPI (copying fallback, see SendZC).
+func (a *API) RecvZC(t *sim.Proc, fd int, max int, flags int) ([]byte, socketapi.SockAddr, error) {
+	buf := make([]byte, max)
+	n, from, err := a.RecvFrom(t, fd, buf, flags)
+	return buf[:n], from, err
+}

@@ -1,0 +1,62 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ARP operation codes.
+const (
+	ARPRequest = 1
+	ARPReply   = 2
+)
+
+// ARPLen is the size of an ARP packet for Ethernet/IPv4.
+const ARPLen = 28
+
+// ARPPacket is an Ethernet/IPv4 ARP packet.
+type ARPPacket struct {
+	Op        uint16
+	SenderMAC MAC
+	SenderIP  IPAddr
+	TargetMAC MAC
+	TargetIP  IPAddr
+}
+
+// Marshal encodes the packet into a fresh slice.
+func (p *ARPPacket) Marshal() []byte {
+	b := make([]byte, ARPLen)
+	binary.BigEndian.PutUint16(b[0:2], 1)             // hardware type: Ethernet
+	binary.BigEndian.PutUint16(b[2:4], EtherTypeIPv4) // protocol type: IPv4
+	b[4] = 6                                          // hardware address length
+	b[5] = 4                                          // protocol address length
+	binary.BigEndian.PutUint16(b[6:8], p.Op)
+	copy(b[8:14], p.SenderMAC[:])
+	copy(b[14:18], p.SenderIP[:])
+	copy(b[18:24], p.TargetMAC[:])
+	copy(b[24:28], p.TargetIP[:])
+	return b
+}
+
+// UnmarshalARP parses an ARP packet.
+func UnmarshalARP(b []byte) (ARPPacket, error) {
+	var p ARPPacket
+	if len(b) < ARPLen {
+		return p, fmt.Errorf("wire: short ARP packet (%d bytes)", len(b))
+	}
+	if ht := binary.BigEndian.Uint16(b[0:2]); ht != 1 {
+		return p, fmt.Errorf("wire: ARP hardware type %d not Ethernet", ht)
+	}
+	if pt := binary.BigEndian.Uint16(b[2:4]); pt != EtherTypeIPv4 {
+		return p, fmt.Errorf("wire: ARP protocol type %#x not IPv4", pt)
+	}
+	if b[4] != 6 || b[5] != 4 {
+		return p, fmt.Errorf("wire: ARP address lengths %d/%d", b[4], b[5])
+	}
+	p.Op = binary.BigEndian.Uint16(b[6:8])
+	copy(p.SenderMAC[:], b[8:14])
+	copy(p.SenderIP[:], b[14:18])
+	copy(p.TargetMAC[:], b[18:24])
+	copy(p.TargetIP[:], b[24:28])
+	return p, nil
+}

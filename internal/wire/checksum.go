@@ -1,0 +1,62 @@
+package wire
+
+// Checksummer accumulates the Internet checksum (RFC 1071) over a sequence
+// of byte slices, correctly handling odd-length slices in the middle of
+// the sequence by tracking byte parity.
+type Checksummer struct {
+	sum uint32
+	odd bool
+}
+
+// Add folds b into the checksum.
+func (c *Checksummer) Add(b []byte) {
+	i := 0
+	if c.odd && len(b) > 0 {
+		// The previous slice ended mid-word; this byte is the low half.
+		c.sum += uint32(b[0])
+		i = 1
+		c.odd = false
+	}
+	for ; i+1 < len(b); i += 2 {
+		c.sum += uint32(b[i])<<8 | uint32(b[i+1])
+	}
+	if i < len(b) {
+		c.sum += uint32(b[i]) << 8
+		c.odd = true
+	}
+}
+
+// AddUint16 folds a 16-bit value into the checksum. It must only be called
+// on a word boundary (even number of bytes added so far).
+func (c *Checksummer) AddUint16(v uint16) {
+	if c.odd {
+		panic("wire: AddUint16 on odd byte boundary")
+	}
+	c.sum += uint32(v)
+}
+
+// Sum finishes the computation and returns the one's-complement checksum.
+func (c *Checksummer) Sum() uint16 {
+	s := c.sum
+	for s>>16 != 0 {
+		s = (s & 0xffff) + (s >> 16)
+	}
+	return ^uint16(s)
+}
+
+// Checksum returns the Internet checksum of b.
+func Checksum(b []byte) uint16 {
+	var c Checksummer
+	c.Add(b)
+	return c.Sum()
+}
+
+// PseudoHeader folds the IPv4 pseudo-header used by TCP and UDP checksums
+// into c: source address, destination address, protocol, and length of the
+// transport segment.
+func (c *Checksummer) PseudoHeader(src, dst IPAddr, proto uint8, length uint16) {
+	c.Add(src[:])
+	c.Add(dst[:])
+	c.AddUint16(uint16(proto))
+	c.AddUint16(length)
+}

@@ -1,0 +1,58 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// Ethernet framing constants for the simulated 10 Mb/s segment.
+const (
+	EthHeaderLen = 14 // dst(6) + src(6) + ethertype(2)
+	EthCRCLen    = 4
+	EthMinFrame  = 64   // minimum frame size including CRC
+	EthMaxFrame  = 1518 // maximum frame size including CRC
+	EthMTU       = 1500 // maximum payload
+)
+
+// EtherType values.
+const (
+	EtherTypeIPv4 = 0x0800
+	EtherTypeARP  = 0x0806
+)
+
+// EthHeader is an Ethernet II frame header.
+type EthHeader struct {
+	Dst  MAC
+	Src  MAC
+	Type uint16
+}
+
+// Marshal writes the header into b, which must be at least EthHeaderLen
+// bytes.
+func (h *EthHeader) Marshal(b []byte) {
+	copy(b[0:6], h.Dst[:])
+	copy(b[6:12], h.Src[:])
+	binary.BigEndian.PutUint16(b[12:14], h.Type)
+}
+
+// UnmarshalEth parses an Ethernet header from b.
+func UnmarshalEth(b []byte) (EthHeader, error) {
+	var h EthHeader
+	if len(b) < EthHeaderLen {
+		return h, fmt.Errorf("wire: short ethernet header (%d bytes)", len(b))
+	}
+	copy(h.Dst[:], b[0:6])
+	copy(h.Src[:], b[6:12])
+	h.Type = binary.BigEndian.Uint16(b[12:14])
+	return h, nil
+}
+
+// FrameWireSize returns the number of bytes a frame with the given payload
+// occupies on the wire (header + payload + CRC, padded to the minimum).
+func FrameWireSize(payloadLen int) int {
+	n := EthHeaderLen + payloadLen + EthCRCLen
+	if n < EthMinFrame {
+		n = EthMinFrame
+	}
+	return n
+}

@@ -1,0 +1,63 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// ICMPHeaderLen is the length of the fixed ICMP header.
+const ICMPHeaderLen = 8
+
+// ICMP message types and codes used by the stack.
+const (
+	ICMPEchoReply       = 0
+	ICMPDestUnreachable = 3
+	ICMPEchoRequest     = 8
+	ICMPTimeExceeded    = 11
+
+	ICMPCodePortUnreachable  = 3
+	ICMPCodeHostUnreachable  = 1
+	ICMPCodeFragNeeded       = 4
+	ICMPCodeTTLExceeded      = 0
+	ICMPCodeReassemblyExpiry = 1
+)
+
+// ICMPHeader is the fixed part of an ICMP message. For echo messages, ID
+// and Seq hold the identifier and sequence; for errors they are unused.
+type ICMPHeader struct {
+	Type uint8
+	Code uint8
+	ID   uint16
+	Seq  uint16
+}
+
+// Marshal encodes the header and payload into a fresh slice, computing the
+// ICMP checksum over the whole message.
+func (h *ICMPHeader) Marshal(payload []byte) []byte {
+	b := make([]byte, ICMPHeaderLen+len(payload))
+	b[0] = h.Type
+	b[1] = h.Code
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], h.Seq)
+	copy(b[ICMPHeaderLen:], payload)
+	ck := Checksum(b)
+	binary.BigEndian.PutUint16(b[2:4], ck)
+	return b
+}
+
+// UnmarshalICMP parses an ICMP message, verifying its checksum, and
+// returns the header and payload.
+func UnmarshalICMP(b []byte) (ICMPHeader, []byte, error) {
+	var h ICMPHeader
+	if len(b) < ICMPHeaderLen {
+		return h, nil, fmt.Errorf("wire: short ICMP message (%d bytes)", len(b))
+	}
+	if Checksum(b) != 0 {
+		return h, nil, fmt.Errorf("wire: ICMP checksum mismatch")
+	}
+	h.Type = b[0]
+	h.Code = b[1]
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	h.Seq = binary.BigEndian.Uint16(b[6:8])
+	return h, b[ICMPHeaderLen:], nil
+}

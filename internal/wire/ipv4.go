@@ -1,0 +1,95 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// IPv4HeaderLen is the length of an IPv4 header without options.
+const IPv4HeaderLen = 20
+
+// IPv4 fragmentation flag bits (in the flags/fragment-offset word).
+const (
+	IPFlagDF  = 0x4000 // don't fragment
+	IPFlagMF  = 0x2000 // more fragments
+	IPOffMask = 0x1fff
+)
+
+// DefaultTTL is the initial time-to-live for outgoing packets.
+const DefaultTTL = 64
+
+// IPv4Header is an IPv4 packet header (options unsupported, as in the
+// stack this repository models).
+type IPv4Header struct {
+	TOS      uint8
+	TotalLen uint16 // header + payload
+	ID       uint16
+	Flags    uint16 // DF/MF bits, in place (already shifted)
+	FragOff  uint16 // fragment offset in 8-byte units
+	TTL      uint8
+	Proto    uint8
+	Checksum uint16 // as parsed; recomputed on marshal
+	Src, Dst IPAddr
+}
+
+// Marshal writes the header into b (at least IPv4HeaderLen bytes),
+// computing the header checksum.
+func (h *IPv4Header) Marshal(b []byte) {
+	b[0] = 0x45 // version 4, IHL 5
+	b[1] = h.TOS
+	binary.BigEndian.PutUint16(b[2:4], h.TotalLen)
+	binary.BigEndian.PutUint16(b[4:6], h.ID)
+	binary.BigEndian.PutUint16(b[6:8], h.Flags|(h.FragOff&IPOffMask))
+	b[8] = h.TTL
+	b[9] = h.Proto
+	b[10], b[11] = 0, 0
+	copy(b[12:16], h.Src[:])
+	copy(b[16:20], h.Dst[:])
+	ck := Checksum(b[:IPv4HeaderLen])
+	binary.BigEndian.PutUint16(b[10:12], ck)
+	h.Checksum = ck
+}
+
+// UnmarshalIPv4 parses and validates an IPv4 header, returning the header
+// and the header length.
+func UnmarshalIPv4(b []byte) (IPv4Header, int, error) {
+	var h IPv4Header
+	if len(b) < IPv4HeaderLen {
+		return h, 0, fmt.Errorf("wire: short IPv4 header (%d bytes)", len(b))
+	}
+	if v := b[0] >> 4; v != 4 {
+		return h, 0, fmt.Errorf("wire: IP version %d", v)
+	}
+	ihl := int(b[0]&0x0f) * 4
+	if ihl < IPv4HeaderLen || len(b) < ihl {
+		return h, 0, fmt.Errorf("wire: bad IHL %d", ihl)
+	}
+	if Checksum(b[:ihl]) != 0 {
+		return h, 0, fmt.Errorf("wire: IPv4 header checksum mismatch")
+	}
+	h.TOS = b[1]
+	h.TotalLen = binary.BigEndian.Uint16(b[2:4])
+	h.ID = binary.BigEndian.Uint16(b[4:6])
+	fo := binary.BigEndian.Uint16(b[6:8])
+	h.Flags = fo &^ IPOffMask
+	h.FragOff = fo & IPOffMask
+	h.TTL = b[8]
+	h.Proto = b[9]
+	h.Checksum = binary.BigEndian.Uint16(b[10:12])
+	copy(h.Src[:], b[12:16])
+	copy(h.Dst[:], b[16:20])
+	if int(h.TotalLen) < ihl {
+		return h, 0, fmt.Errorf("wire: IPv4 total length %d < header %d", h.TotalLen, ihl)
+	}
+	return h, ihl, nil
+}
+
+// MoreFragments reports whether the MF bit is set.
+func (h *IPv4Header) MoreFragments() bool { return h.Flags&IPFlagMF != 0 }
+
+// DontFragment reports whether the DF bit is set.
+func (h *IPv4Header) DontFragment() bool { return h.Flags&IPFlagDF != 0 }
+
+// IsFragment reports whether the packet is any fragment other than a
+// complete datagram.
+func (h *IPv4Header) IsFragment() bool { return h.MoreFragments() || h.FragOff != 0 }

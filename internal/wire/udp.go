@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// UDPHeaderLen is the length of a UDP header.
+const UDPHeaderLen = 8
+
+// UDPHeader is a UDP datagram header.
+type UDPHeader struct {
+	SrcPort  uint16
+	DstPort  uint16
+	Length   uint16 // header + payload
+	Checksum uint16
+}
+
+// Marshal writes the header into b (at least UDPHeaderLen bytes) with a
+// zero checksum field; use PatchUDPChecksum to fill it in after the
+// payload is known.
+func (h *UDPHeader) Marshal(b []byte) {
+	binary.BigEndian.PutUint16(b[0:2], h.SrcPort)
+	binary.BigEndian.PutUint16(b[2:4], h.DstPort)
+	binary.BigEndian.PutUint16(b[4:6], h.Length)
+	binary.BigEndian.PutUint16(b[6:8], h.Checksum)
+}
+
+// UnmarshalUDP parses a UDP header.
+func UnmarshalUDP(b []byte) (UDPHeader, error) {
+	var h UDPHeader
+	if len(b) < UDPHeaderLen {
+		return h, fmt.Errorf("wire: short UDP header (%d bytes)", len(b))
+	}
+	h.SrcPort = binary.BigEndian.Uint16(b[0:2])
+	h.DstPort = binary.BigEndian.Uint16(b[2:4])
+	h.Length = binary.BigEndian.Uint16(b[4:6])
+	h.Checksum = binary.BigEndian.Uint16(b[6:8])
+	if h.Length < UDPHeaderLen {
+		return h, fmt.Errorf("wire: UDP length %d too small", h.Length)
+	}
+	return h, nil
+}
+
+// UDPChecksum computes the UDP checksum over the pseudo-header, the
+// marshalled header bytes hdr (checksum field zero), and the payload
+// slices. A computed value of zero is transmitted as 0xffff per RFC 768.
+func UDPChecksum(src, dst IPAddr, hdr []byte, payload ...[]byte) uint16 {
+	var c Checksummer
+	length := len(hdr)
+	for _, p := range payload {
+		length += len(p)
+	}
+	c.PseudoHeader(src, dst, ProtoUDP, uint16(length))
+	c.Add(hdr)
+	for _, p := range payload {
+		c.Add(p)
+	}
+	s := c.Sum()
+	if s == 0 {
+		s = 0xffff
+	}
+	return s
+}
+
+// VerifyUDPChecksum checks a received UDP segment (header + payload in
+// seg). A zero checksum field means "not computed" and passes.
+func VerifyUDPChecksum(src, dst IPAddr, seg []byte) bool {
+	if len(seg) < UDPHeaderLen {
+		return false
+	}
+	if binary.BigEndian.Uint16(seg[6:8]) == 0 {
+		return true
+	}
+	var c Checksummer
+	c.PseudoHeader(src, dst, ProtoUDP, uint16(len(seg)))
+	c.Add(seg)
+	return c.Sum() == 0
+}

@@ -1,0 +1,214 @@
+// Package psd is the public face of the protocol-service-decomposition
+// library: it assembles simulated networks of hosts, each running one of
+// the three protocol architectures from Maeda & Bershad's SOSP '93 paper,
+// and hands out BSD socket interfaces to application code.
+//
+// A minimal program:
+//
+//	n := psd.New(1)
+//	a := n.Host("alice", "10.0.0.1", psd.Decomposed())
+//	b := n.Host("bob", "10.0.0.2", psd.Decomposed())
+//	app := b.NewApp("echo-server")
+//	n.Spawn("server", func(t *psd.Thread) { ... app.Socket(t, psd.SockDgram) ... })
+//	...
+//	n.Run()
+//
+// Application code is written against the standard socket calls (socket,
+// bind, connect, listen, accept, the send/recv family, select, fork) and
+// runs unchanged on any architecture — which is the paper's compatibility
+// claim, enforced here by the shared socketapi.API interface.
+package psd
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/costs"
+	"repro/internal/inkernel"
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/socketapi"
+	"repro/internal/uxserver"
+	"repro/internal/wire"
+)
+
+// Re-exported application-facing types.
+type (
+	// App is the socket interface an application process uses.
+	App = socketapi.API
+	// ZeroCopyApp is the optional NEWAPI shared-buffer interface (§4.2);
+	// only Decomposed hosts provide a meaningful implementation.
+	ZeroCopyApp = socketapi.ZeroCopyAPI
+	// Thread is a simulated thread of execution.
+	Thread = sim.Proc
+	// SockAddr is an Internet socket address.
+	SockAddr = socketapi.SockAddr
+	// FDSet names descriptors for Select.
+	FDSet = socketapi.FDSet
+)
+
+// Socket types and flags, re-exported for application code.
+const (
+	SockStream = socketapi.SockStream
+	SockDgram  = socketapi.SockDgram
+	MsgOOB     = socketapi.MsgOOB
+	MsgPeek    = socketapi.MsgPeek
+	ShutRd     = socketapi.ShutRd
+	ShutWr     = socketapi.ShutWr
+	ShutRdWr   = socketapi.ShutRdWr
+	SoRcvBuf   = socketapi.SoRcvBuf
+	SoSndBuf   = socketapi.SoSndBuf
+	TCPNoDelay = socketapi.TCPNoDelay
+)
+
+// Arch selects a host's protocol architecture.
+type Arch struct {
+	kind int // 0 decomposed, 1 kernel, 2 server
+	prof costs.Profile
+	srv  costs.Profile
+}
+
+// Decomposed is the paper's architecture: an OS server plus per-
+// application protocol libraries over the integrated packet filter
+// (Library-SHM-IPF cost profile).
+func Decomposed() Arch {
+	return Arch{kind: 0, prof: costs.CalibrateTable2(costs.DECLibrarySHMIPF()), srv: costs.DECServerUX()}
+}
+
+// DecomposedIPC is the decomposed architecture over per-packet IPC
+// delivery.
+func DecomposedIPC() Arch {
+	return Arch{kind: 0, prof: costs.CalibrateTable2(costs.DECLibraryIPC()), srv: costs.DECServerUX()}
+}
+
+// InKernel is the Mach 2.5 / Ultrix baseline: protocols in the kernel.
+func InKernel() Arch { return Arch{kind: 1, prof: costs.CalibrateTable2(costs.DECKernelMach25())} }
+
+// ServerBased is the UX baseline: protocols in a single user-level
+// server.
+func ServerBased() Arch { return Arch{kind: 2, prof: costs.CalibrateTable2(costs.DECServerUX())} }
+
+// Network is a simulated 10 Mb/s Ethernet with attached hosts.
+type Network struct {
+	sim  *sim.Sim
+	seg  *simnet.Segment
+	next byte
+}
+
+// New creates a network; runs are deterministic for a given seed.
+func New(seed int64) *Network {
+	s := sim.New(seed)
+	s.Deadline = sim.Time(2 * time.Hour)
+	return &Network{sim: s, seg: simnet.NewSegment(s)}
+}
+
+// Sim exposes the underlying simulator for advanced use (timers, custom
+// processes).
+func (n *Network) Sim() *sim.Sim { return n.sim }
+
+// SetLossRate injects random frame loss (exercises TCP's recovery).
+func (n *Network) SetLossRate(rate float64) { n.seg.LossRate = rate }
+
+// Host attaches a machine running the given architecture. addr is a
+// dotted IPv4 address, e.g. "10.0.0.1".
+func (n *Network) Host(name, addr string, arch Arch) *Host {
+	ip, err := ParseIP(addr)
+	if err != nil {
+		panic(err)
+	}
+	n.next++
+	mac := wire.MAC{0x02, 0, 0, 0, 0, n.next}
+	h := &Host{name: name, ip: ip}
+	switch arch.kind {
+	case 0:
+		sys := core.New(n.sim, n.seg, name, mac, ip, arch.prof, arch.srv)
+		h.newApp = func(app string) App { return sys.NewLibrary(app) }
+		h.core = sys
+	case 1:
+		sys := inkernel.New(n.sim, n.seg, name, mac, ip, arch.prof)
+		h.newApp = func(app string) App { return sys.NewAPI(app) }
+	case 2:
+		sys := uxserver.New(n.sim, n.seg, name, mac, ip, arch.prof)
+		h.newApp = func(app string) App { return sys.NewAPI(app) }
+	}
+	return h
+}
+
+// Spawn starts an application thread; Run waits for all spawned threads.
+func (n *Network) Spawn(name string, fn func(t *Thread)) { n.sim.Spawn(name, fn) }
+
+// Run executes the simulation until every spawned thread finishes.
+func (n *Network) Run() error { return n.sim.Run() }
+
+// RunFor advances virtual time by d regardless of thread state.
+func (n *Network) RunFor(d time.Duration) error { return n.sim.RunFor(d) }
+
+// Now returns the current virtual time.
+func (n *Network) Now() time.Duration { return n.sim.Now().Duration() }
+
+// Host is one simulated machine.
+type Host struct {
+	name   string
+	ip     wire.IPAddr
+	newApp func(string) App
+	core   *core.System
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Addr returns the host's IP as a SockAddr with the given port.
+func (h *Host) Addr(port uint16) SockAddr { return SockAddr{Addr: h.ip, Port: port} }
+
+// NewApp creates an application process on the host and returns its
+// socket interface. On a Decomposed host this links a protocol library
+// into the new address space; on the baselines it is a plain process.
+func (h *Host) NewApp(name string) App { return h.newApp(name) }
+
+// ServerStats reports the OS server's session-management counters on a
+// Decomposed host (zeroes otherwise): sessions currently tracked,
+// migrations into applications, returns to the server, and orphan aborts.
+func (h *Host) ServerStats() (sessions, migrations, returns, orphans int) {
+	if h.core == nil {
+		return
+	}
+	srv := h.core.Server
+	return srv.Sessions(), srv.Migrations, srv.Returns, srv.OrphansAborted
+}
+
+// ParseIP parses a dotted IPv4 address.
+func ParseIP(s string) (wire.IPAddr, error) {
+	parts := strings.Split(s, ".")
+	if len(parts) != 4 {
+		return wire.IPAddr{}, fmt.Errorf("psd: bad IPv4 address %q", s)
+	}
+	var ip wire.IPAddr
+	for i, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil || v < 0 || v > 255 {
+			return wire.IPAddr{}, fmt.Errorf("psd: bad IPv4 address %q", s)
+		}
+		ip[i] = byte(v)
+	}
+	return ip, nil
+}
+
+// Addr builds a SockAddr from a dotted address and port, panicking on a
+// malformed address (a convenience for example programs).
+func Addr(ip string, port uint16) SockAddr {
+	a, err := ParseIP(ip)
+	if err != nil {
+		panic(err)
+	}
+	return SockAddr{Addr: a, Port: port}
+}
+
+// NewFDSet builds a descriptor set for Select.
+func NewFDSet(fds ...int) FDSet { return socketapi.NewFDSet(fds...) }
+
+// Segment exposes the raw Ethernet segment for monitoring tools
+// (promiscuous capture); applications should not touch the wire directly.
+func (n *Network) Segment() *simnet.Segment { return n.seg }
