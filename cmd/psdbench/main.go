@@ -21,6 +21,7 @@ import (
 	"os"
 
 	"repro/internal/bench"
+	"repro/internal/fault"
 )
 
 func main() {
@@ -32,7 +33,37 @@ func main() {
 	all := flag.Bool("all", false, "run everything")
 	rounds := flag.Int("rounds", 300, "round trips per latency cell")
 	mb := flag.Int("mb", 16, "ttcp transfer size in MB")
+	loss := flag.Float64("loss", 0, "frame drop probability on every link")
+	dup := flag.Float64("dup", 0, "frame duplication probability")
+	corrupt := flag.Float64("corrupt", 0, "single-bit corruption probability")
+	reorder := flag.Float64("reorder", 0, "frame reordering probability")
+	reorderBy := flag.Duration("reorderby", 0, "extra delay given to reordered frames (default 2ms)")
+	delay := flag.Duration("delay", 0, "fixed extra delay on every frame")
+	jitter := flag.Duration("jitter", 0, "uniform random delay added per frame")
+	faultPlan := flag.String("faultplan", "", "fault plan (DSL, see EXPERIMENTS.md), e.g. '@2s partition A|B for=500ms'")
 	flag.Parse()
+
+	for _, p := range []struct {
+		name string
+		v    float64
+	}{{"loss", *loss}, {"dup", *dup}, {"corrupt", *corrupt}, {"reorder", *reorder}} {
+		if p.v < 0 || p.v > 1 {
+			fmt.Fprintf(os.Stderr, "-%s=%g: want probability in [0,1]\n", p.name, p.v)
+			os.Exit(1)
+		}
+	}
+	fcfg := bench.FaultConfig{
+		Rates: fault.Rates{
+			Drop: *loss, Dup: *dup, Corrupt: *corrupt,
+			Reorder: *reorder, ReorderBy: *reorderBy,
+			Delay: *delay, Jitter: *jitter,
+		},
+		Plan: *faultPlan,
+	}
+	if err := bench.SetFaults(fcfg); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 
 	opt := bench.Options{LatRounds: *rounds, TotalBytes: *mb << 20}
 	ran := false
@@ -84,6 +115,11 @@ func main() {
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if bench.FaultsActive() {
+		if rep := bench.FaultReport(); rep != "" {
+			fmt.Println(rep)
+		}
 	}
 }
 

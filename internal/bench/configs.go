@@ -177,6 +177,7 @@ func (c SysConfig) Build(seed int64) *World {
 			a.Observer, b.Observer = fn, fn
 		}
 	}
+	applyFaults(w)
 	if buildHook != nil {
 		buildHook(w)
 	}

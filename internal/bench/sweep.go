@@ -3,6 +3,8 @@ package bench
 import (
 	"fmt"
 	"strings"
+
+	"repro/internal/fault"
 )
 
 // SweepPoint is one receive-buffer-size measurement.
@@ -115,7 +117,7 @@ func runTTCPWithLoss(cfg SysConfig, rcvBufKB, totalBytes int, loss float64) TTCP
 	// whose segment drops frames.
 	saved := buildHook
 	buildHook = func(w *World) {
-		w.Seg.LossRate = loss
+		w.Seg.Faults().SetDefaultRates(fault.Rates{Drop: loss})
 		w.Sim.Deadline = 0 // default hour; loss runs take longer
 	}
 	defer func() { buildHook = saved }()

@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/socketapi"
 	"repro/internal/wire"
@@ -27,7 +28,7 @@ func TestForkMidTransferUnderLoss(t *testing.T) {
 		t.Run(name, func(t *testing.T) {
 			w := newWorld(51)
 			w.s.Deadline = sim.Time(2 * time.Hour)
-			w.seg.LossRate = loss
+			w.seg.Faults().SetDefaultRates(fault.Rates{Drop: loss})
 
 			const phase1, phase2 = 32 * 1024, 16 * 1024
 			payload := make([]byte, phase1+phase2)

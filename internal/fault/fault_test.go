@@ -1,0 +1,272 @@
+package fault
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// drawSequence records the injector's verdicts for n frames on a link.
+func drawSequence(in *Injector, link string, n int) []Decision {
+	out := make([]Decision, n)
+	for i := range out {
+		out[i] = in.Outbound(link, 1000)
+	}
+	return out
+}
+
+func TestStreamsAreSeedDeterministic(t *testing.T) {
+	r := Rates{Drop: 0.1, Dup: 0.1, Corrupt: 0.1, Reorder: 0.1, Jitter: time.Millisecond}
+	mk := func(seed int64) []Decision {
+		in := NewInjector(sim.New(seed))
+		in.SetDefaultRates(r)
+		return drawSequence(in, "a", 500)
+	}
+	a, b := mk(7), mk(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at frame %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	c := mk(8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatalf("different seeds produced identical 500-frame decision sequences")
+	}
+}
+
+func TestLinkStreamsAreIndependent(t *testing.T) {
+	r := Rates{Drop: 0.2, Dup: 0.2, Corrupt: 0.2, Jitter: time.Millisecond}
+
+	// Baseline: link "a" alone.
+	in1 := NewInjector(sim.New(42))
+	in1.SetDefaultRates(r)
+	alone := drawSequence(in1, "a", 200)
+
+	// Interleave heavy traffic on "b" between every "a" frame; "a"'s
+	// stream must not notice.
+	in2 := NewInjector(sim.New(42))
+	in2.SetDefaultRates(r)
+	mixed := make([]Decision, 200)
+	for i := range mixed {
+		drawSequence(in2, "b", 5)
+		mixed[i] = in2.Outbound("a", 1000)
+	}
+	for i := range alone {
+		if alone[i] != mixed[i] {
+			t.Fatalf("link a's stream perturbed by link b traffic at frame %d", i)
+		}
+	}
+}
+
+func TestPartitionCutsBothDirectionsAndHeals(t *testing.T) {
+	in := NewInjector(sim.New(1))
+	p := in.Partition([]string{"a"}, []string{"b", "c"})
+	for _, pair := range [][2]string{{"a", "b"}, {"b", "a"}, {"a", "c"}, {"c", "a"}} {
+		if !in.Cut(pair[0], pair[1]) {
+			t.Errorf("partition should cut %s->%s", pair[0], pair[1])
+		}
+	}
+	if in.Cut("b", "c") {
+		t.Errorf("partition cut traffic within a group")
+	}
+	if in.Cut("a", "d") {
+		t.Errorf("partition cut traffic to an uninvolved link")
+	}
+	p.Heal()
+	if in.Cut("a", "b") {
+		t.Errorf("healed partition still cutting traffic")
+	}
+	if got := in.Counters("a").PartDrops; got != 2 {
+		t.Errorf("a PartDrops = %d, want 2 (a->b, a->c)", got)
+	}
+	if got := in.Counters("b").PartDrops; got != 1 {
+		t.Errorf("b PartDrops = %d, want 1", got)
+	}
+}
+
+func TestDownLinkDropsAndCounts(t *testing.T) {
+	in := NewInjector(sim.New(1))
+	in.SetDown("a", true)
+	if d := in.Outbound("a", 0); !d.Drop {
+		t.Fatalf("down link transmitted")
+	}
+	if !in.Cut("b", "a") {
+		t.Fatalf("delivery to down link not cut")
+	}
+	in.SetDown("a", false)
+	if d := in.Outbound("a", 0); d.Drop {
+		t.Fatalf("revived link still dropping")
+	}
+	if in.Cut("b", "a") {
+		t.Fatalf("delivery to revived link still cut")
+	}
+	if got := in.Counters("a").DownDrops; got != 2 {
+		t.Errorf("a DownDrops = %d, want 2 (one tx, one rx)", got)
+	}
+}
+
+func TestRatesZeroMeansPristine(t *testing.T) {
+	in := NewInjector(sim.New(3))
+	for i, d := range drawSequence(in, "a", 100) {
+		if d.Drop || d.Dup || d.CorruptBit >= 0 || d.Delay != 0 {
+			t.Fatalf("zero-rate injector interfered with frame %d: %+v", i, d)
+		}
+	}
+	if in.Active() {
+		t.Errorf("zero-rate injector claims to be active")
+	}
+	in.SetDefaultRates(Rates{Drop: 0.5})
+	if !in.Active() {
+		t.Errorf("injector with drop rate claims to be inactive")
+	}
+}
+
+func TestParsePlan(t *testing.T) {
+	p, err := ParsePlan("@0 rates drop=0.05 dup=0.02 jitter=1ms; @2s partition a,b|c for=500ms; @3s heal; @1s down a for=200ms every=1s; @4s up a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 5 {
+		t.Fatalf("got %d events, want 5", len(p.Events))
+	}
+	ev := p.Events[0]
+	if ev.Verb != "rates" || ev.At != 0 || ev.Rates.Drop != 0.05 || ev.Rates.Dup != 0.02 || ev.Rates.Jitter != time.Millisecond {
+		t.Errorf("rates event parsed wrong: %+v", ev)
+	}
+	ev = p.Events[1]
+	if ev.Verb != "partition" || ev.At != 2*time.Second || ev.For != 500*time.Millisecond ||
+		len(ev.A) != 2 || ev.A[0] != "a" || ev.A[1] != "b" || len(ev.B) != 1 || ev.B[0] != "c" {
+		t.Errorf("partition event parsed wrong: %+v", ev)
+	}
+	if p.Events[2].Verb != "heal" {
+		t.Errorf("heal event parsed wrong: %+v", p.Events[2])
+	}
+	ev = p.Events[3]
+	if ev.Verb != "down" || ev.Link != "a" || ev.Every != time.Second || ev.For != 200*time.Millisecond {
+		t.Errorf("flap event parsed wrong: %+v", ev)
+	}
+	if p.Events[4].Verb != "up" || p.Events[4].Link != "a" {
+		t.Errorf("up event parsed wrong: %+v", p.Events[4])
+	}
+
+	for _, bad := range []string{
+		"rates drop=0.5",        // missing @time
+		"@0 rates drop=2",       // probability out of range
+		"@0 partition a b",      // missing |
+		"@0 nonsense",           // unknown verb
+		"@0 down",               // missing link
+		"@x heal",               // bad time
+		"@0 rates drop",         // not key=value
+		"@0 rates volume=11",    // unknown key
+		"@0 heal extra",         // heal takes no args
+		"@0 partition |b",       // empty group
+		"@0 down a for=banana",  // bad duration
+		"@0 down a every=cheez", // bad period
+	} {
+		if _, err := ParsePlan(bad); err == nil {
+			t.Errorf("ParsePlan(%q) accepted invalid input", bad)
+		}
+	}
+
+	// Comments and newlines are tolerated.
+	p, err = ParsePlan("# warmup\n@0 rates drop=0.1\n\n@1s heal")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Events) != 2 {
+		t.Fatalf("got %d events, want 2", len(p.Events))
+	}
+}
+
+func TestScheduleAppliesAndReverts(t *testing.T) {
+	s := sim.New(1)
+	in := NewInjector(s)
+	var p Plan
+	p.RatesAt(0, "", Rates{Drop: 0.5}).
+		PartitionAt(time.Second, 500*time.Millisecond, []string{"a"}, []string{"b"}).
+		DownAt(2*time.Second, 300*time.Millisecond, "a")
+	in.Schedule(&p)
+
+	check := func(at time.Duration, f func()) {
+		s.At(sim.Time(int64(at)), f)
+	}
+	check(time.Millisecond, func() {
+		if in.DefaultRates().Drop != 0.5 {
+			t.Errorf("t=1ms: rates not applied")
+		}
+	})
+	check(1200*time.Millisecond, func() {
+		if !in.Partitioned("a", "b") {
+			t.Errorf("t=1.2s: partition not active")
+		}
+	})
+	check(1600*time.Millisecond, func() {
+		if in.Partitioned("a", "b") {
+			t.Errorf("t=1.6s: partition did not auto-heal")
+		}
+	})
+	check(2100*time.Millisecond, func() {
+		if !in.Down("a") {
+			t.Errorf("t=2.1s: link a not down")
+		}
+	})
+	check(2400*time.Millisecond, func() {
+		if in.Down("a") {
+			t.Errorf("t=2.4s: link a did not come back up")
+		}
+	})
+	// Timer events are daemons; drive the clock explicitly.
+	if err := s.RunFor(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFlapSchedule(t *testing.T) {
+	s := sim.New(1)
+	in := NewInjector(s)
+	var p Plan
+	p.FlapEvery(time.Second, time.Second, 200*time.Millisecond, "a")
+	in.Schedule(&p)
+
+	downs := 0
+	s.Every(50*time.Millisecond, func() {
+		if in.Down("a") {
+			downs++
+		}
+	})
+	if err := s.RunFor(4 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Down 200ms of every 1s starting at t=1s: 3 full flaps in 4s,
+	// each observed by ~4 of the 50ms probes.
+	if downs < 9 || downs > 15 {
+		t.Errorf("observed %d down-probes, want ~12 (3 flaps x 4 probes)", downs)
+	}
+}
+
+func TestCountersAggregate(t *testing.T) {
+	in := NewInjector(sim.New(9))
+	in.SetDefaultRates(Rates{Drop: 1})
+	in.Outbound("a", 0)
+	in.Outbound("b", 0)
+	in.Outbound("b", 0)
+	tot := in.TotalCounters()
+	if tot.Frames != 3 || tot.Dropped != 3 {
+		t.Errorf("totals = %+v, want 3 frames / 3 dropped", tot)
+	}
+	if got := in.Links(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("Links() = %v", got)
+	}
+	rep := in.Report()
+	if rep == "" || len(rep) < 20 {
+		t.Errorf("empty report")
+	}
+}

@@ -1,0 +1,258 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+// Injector makes fault decisions for every link of one network segment.
+// Links are identified by name and materialize on first use; each gets
+// a PRNG stream derived from (simulation seed, link name) so decisions
+// are bit-reproducible and independent across links.
+type Injector struct {
+	sim      *sim.Sim
+	seed     int64
+	defaults Rates
+	links    map[string]*link
+	order    []string // link creation order, for stable reports
+	parts    []*Partition
+}
+
+type link struct {
+	name  string
+	rng   *rand.Rand
+	rates *Rates // nil: use the injector default
+	down  bool
+	c     Counters
+}
+
+// NewInjector returns an idle injector drawing per-link seeds from s.
+func NewInjector(s *sim.Sim) *Injector {
+	return &Injector{sim: s, seed: s.Seed(), links: make(map[string]*link)}
+}
+
+// link materializes per-link state. The stream seed depends only on the
+// sim seed and the name, never on creation order or traffic.
+func (in *Injector) link(name string) *link {
+	l, ok := in.links[name]
+	if !ok {
+		l = &link{name: name, rng: rand.New(rand.NewSource(streamSeed(in.seed, name)))}
+		in.links[name] = l
+		in.order = append(in.order, name)
+	}
+	return l
+}
+
+// streamSeed mixes the simulation seed with a link name (FNV-1a over the
+// name, then a splitmix64 finalizer) into an independent stream seed.
+func streamSeed(seed int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	z := uint64(seed) ^ h
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// SetDefaultRates installs the rates used by links with no override.
+func (in *Injector) SetDefaultRates(r Rates) { in.defaults = r }
+
+// DefaultRates returns the injector-wide rates.
+func (in *Injector) DefaultRates() Rates { return in.defaults }
+
+// SetLinkRates overrides the rates for one link.
+func (in *Injector) SetLinkRates(name string, r Rates) { in.link(name).rates = &r }
+
+// ClearLinkRates removes a per-link override.
+func (in *Injector) ClearLinkRates(name string) { in.link(name).rates = nil }
+
+// SetDown forces a link down (all its traffic lost, both directions) or
+// back up.
+func (in *Injector) SetDown(name string, down bool) { in.link(name).down = down }
+
+// Down reports whether a link is administratively down.
+func (in *Injector) Down(name string) bool { return in.link(name).down }
+
+// Partition cuts all traffic between group a and group b (both
+// directions) until the returned handle is healed. Traffic within a
+// group, or involving links in neither group, is unaffected. Partitions
+// stack: traffic is cut if any active partition separates the pair.
+type Partition struct {
+	in     *Injector
+	a, b   map[string]bool
+	active bool
+}
+
+// Partition installs a partition between the two link groups.
+func (in *Injector) Partition(a, b []string) *Partition {
+	p := &Partition{in: in, a: nameSet(a), b: nameSet(b), active: true}
+	in.parts = append(in.parts, p)
+	return p
+}
+
+func nameSet(names []string) map[string]bool {
+	m := make(map[string]bool, len(names))
+	for _, n := range names {
+		m[n] = true
+	}
+	return m
+}
+
+// Heal removes the partition. Healing twice is a no-op.
+func (p *Partition) Heal() {
+	if !p.active {
+		return
+	}
+	p.active = false
+	live := p.in.parts[:0]
+	for _, q := range p.in.parts {
+		if q.active {
+			live = append(live, q)
+		}
+	}
+	p.in.parts = live
+}
+
+// HealAll removes every active partition.
+func (in *Injector) HealAll() {
+	for _, p := range in.parts {
+		p.active = false
+	}
+	in.parts = nil
+}
+
+// Partitioned reports whether an active partition separates two links.
+func (in *Injector) Partitioned(x, y string) bool {
+	for _, p := range in.parts {
+		if p.active && ((p.a[x] && p.b[y]) || (p.b[x] && p.a[y])) {
+			return true
+		}
+	}
+	return false
+}
+
+func (l *link) effective(def Rates) Rates {
+	if l.rates != nil {
+		return *l.rates
+	}
+	return def
+}
+
+// Outbound decides the fate of one frame serialized onto the medium by
+// the named link. corruptibleBits is the size in bits of the region a
+// corruption may touch (0 disables corruption for this frame). All
+// random draws come from the link's own stream, in a fixed order, so
+// the decision sequence for a link depends only on the seed and that
+// link's own traffic.
+func (in *Injector) Outbound(linkName string, corruptibleBits int) Decision {
+	l := in.link(linkName)
+	l.c.Frames++
+	d := Decision{CorruptBit: -1}
+	if l.down {
+		l.c.DownDrops++
+		d.Drop = true
+		return d
+	}
+	r := l.effective(in.defaults)
+	if r.IsZero() {
+		return d
+	}
+	if r.Drop > 0 && l.rng.Float64() < r.Drop {
+		l.c.Dropped++
+		d.Drop = true
+		return d
+	}
+	if r.Dup > 0 && l.rng.Float64() < r.Dup {
+		l.c.Duplicated++
+		d.Dup = true
+	}
+	if r.Corrupt > 0 && corruptibleBits > 0 && l.rng.Float64() < r.Corrupt {
+		l.c.Corrupted++
+		d.CorruptBit = l.rng.Intn(corruptibleBits)
+	}
+	if r.Reorder > 0 && l.rng.Float64() < r.Reorder {
+		l.c.Reordered++
+		by := r.ReorderBy
+		if by == 0 {
+			by = DefaultReorderBy
+		}
+		d.Delay += by
+	}
+	d.Delay += r.Delay
+	if r.Jitter > 0 {
+		d.Delay += time.Duration(l.rng.Int63n(int64(r.Jitter)))
+	}
+	if d.Delay > 0 {
+		l.c.Delayed++
+	}
+	return d
+}
+
+// Cut reports whether delivery from one link to another is suppressed
+// by a partition or by the receiver being down, counting the loss.
+// (A down sender never reaches Cut: Outbound already dropped the frame.)
+func (in *Injector) Cut(from, to string) bool {
+	if in.link(to).down {
+		in.link(to).c.DownDrops++
+		return true
+	}
+	if in.Partitioned(from, to) {
+		in.link(from).c.PartDrops++
+		return true
+	}
+	return false
+}
+
+// Active reports whether the injector currently interferes with any
+// traffic at all (rates, overrides, downed links, or partitions).
+func (in *Injector) Active() bool {
+	if !in.defaults.IsZero() || len(in.parts) > 0 {
+		return true
+	}
+	for _, l := range in.links {
+		if l.down || (l.rates != nil && !l.rates.IsZero()) {
+			return true
+		}
+	}
+	return false
+}
+
+// Links returns the names of all links seen so far, in creation order.
+func (in *Injector) Links() []string { return append([]string(nil), in.order...) }
+
+// Counters returns a copy of one link's fault counters.
+func (in *Injector) Counters(name string) Counters { return in.link(name).c }
+
+// TotalCounters sums the counters of every link.
+func (in *Injector) TotalCounters() Counters {
+	var t Counters
+	for _, l := range in.links {
+		t.Add(l.c)
+	}
+	return t
+}
+
+// Report formats the per-link fault counters as a small table, sorted
+// by link name.
+func (in *Injector) Report() string {
+	names := append([]string(nil), in.order...)
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-16s %8s %7s %5s %7s %7s %7s %6s %6s\n",
+		"link", "frames", "drop", "dup", "corrupt", "reorder", "delayed", "down", "part")
+	for _, n := range names {
+		c := in.links[n].c
+		fmt.Fprintf(&b, "%-16s %8d %7d %5d %7d %7d %7d %6d %6d\n",
+			n, c.Frames, c.Dropped, c.Duplicated, c.Corrupted, c.Reordered, c.Delayed, c.DownDrops, c.PartDrops)
+	}
+	return b.String()
+}

@@ -65,7 +65,7 @@ func NewHost(s *sim.Sim, seg *simnet.Segment, name string, mac wire.MAC, ip wire
 		nextPID: 1,
 		procs:   make(map[int]*Process),
 	}
-	h.NIC = seg.Attach(mac)
+	h.NIC = seg.AttachNamed(name, mac)
 	h.NIC.Rx = h.rx
 	return h
 }

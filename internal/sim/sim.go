@@ -121,7 +121,8 @@ type Sim struct {
 	// default of one virtual hour.
 	Deadline Time
 
-	rng *rand.Rand
+	seed int64
+	rng  *rand.Rand
 }
 
 // New returns a simulator with a deterministic random source derived from
@@ -130,12 +131,18 @@ func New(seed int64) *Sim {
 	return &Sim{
 		yield: make(chan struct{}),
 		procs: make(map[*Proc]struct{}),
+		seed:  seed,
 		rng:   rand.New(rand.NewSource(seed)),
 	}
 }
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
+
+// Seed returns the seed the simulator was created with. Components that
+// need their own deterministic random streams (for example per-link
+// fault injection) derive them from this.
+func (s *Sim) Seed() int64 { return s.seed }
 
 // Rand returns the simulation's deterministic random source.
 func (s *Sim) Rand() *rand.Rand { return s.rng }

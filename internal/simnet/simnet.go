@@ -7,14 +7,17 @@
 // CSMA/CD that preserves the contention behaviour that matters here:
 // data and acknowledgements share the wire).
 //
-// Fault injection (loss, duplication, extra delay for reordering) is
-// available for exercising the protocol stack's recovery machinery.
+// Fault injection (loss, duplication, single-bit corruption, reordering,
+// delay/jitter, link down, partitions) is provided by the deterministic
+// internal/fault layer: every attached station is a named link with its
+// own seed-derived random stream. See Segment.Faults.
 package simnet
 
 import (
 	"fmt"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -34,12 +37,14 @@ func (f Frame) WireSize() int { return wire.FrameWireSize(len(f.Data) - wire.Eth
 
 // Stats counts segment activity.
 type Stats struct {
-	FramesSent     int
-	BytesSent      int // wire bytes, including padding and CRC
-	FramesDropped  int
-	FramesDup      int
-	FramesDelayed  int
-	DeliveryEvents int
+	FramesSent      int
+	BytesSent       int // wire bytes, including padding and CRC
+	FramesDropped   int // lost to injected loss or a down link
+	FramesDup       int
+	FramesCorrupted int // delivered with an injected bit flip
+	FramesDelayed   int
+	PartitionDrops  int // deliveries suppressed by partition / down receiver
+	DeliveryEvents  int
 }
 
 // Segment is a shared Ethernet segment.
@@ -48,18 +53,11 @@ type Segment struct {
 	medium sim.Resource
 	nics   []*NIC
 	stats  Stats
+	inj    *fault.Injector // nil until Faults() is first called
 
 	// ByteTime is the per-byte serialization time; defaults to 0.8 µs
 	// (10 Mb/s).
 	byteTime time.Duration
-
-	// Fault injection knobs. Rates are probabilities in [0, 1].
-	LossRate float64
-	DupRate  float64
-	// DelayRate is the probability a frame is held for DelayBy extra time
-	// after serialization, which reorders it behind later traffic.
-	DelayRate float64
-	DelayBy   time.Duration
 }
 
 // NewSegment returns an idle 10 Mb/s segment on s.
@@ -75,12 +73,23 @@ func (g *Segment) SetBitRate(bitsPerSec int64) {
 // Stats returns a copy of the segment counters.
 func (g *Segment) Stats() Stats { return g.stats }
 
+// Faults returns the segment's fault injector, creating it on first
+// use. Station names given to AttachNamed are the link names the
+// injector sees.
+func (g *Segment) Faults() *fault.Injector {
+	if g.inj == nil {
+		g.inj = fault.NewInjector(g.sim)
+	}
+	return g.inj
+}
+
 // NIC is a station attached to a segment. Rx is invoked in event context
 // when a frame addressed to this station (or broadcast, or anything in
 // promiscuous mode) finishes arriving; it models the start of the device
 // interrupt and must not block.
 type NIC struct {
 	seg     *Segment
+	name    string
 	mac     wire.MAC
 	Promisc bool
 	Rx      func(f Frame)
@@ -89,15 +98,26 @@ type NIC struct {
 	RxFrames int
 }
 
-// Attach adds a new station with the given MAC to the segment.
+// Attach adds a new station with the given MAC to the segment, named
+// after the MAC.
 func (g *Segment) Attach(mac wire.MAC) *NIC {
-	n := &NIC{seg: g, mac: mac}
+	return g.AttachNamed(mac.String(), mac)
+}
+
+// AttachNamed adds a new station with the given link name and MAC. The
+// name identifies the station to the fault injector ("partition a from
+// b", per-link rates, per-link counters).
+func (g *Segment) AttachNamed(name string, mac wire.MAC) *NIC {
+	n := &NIC{seg: g, name: name, mac: mac}
 	g.nics = append(g.nics, n)
 	return n
 }
 
 // MAC returns the station's hardware address.
 func (n *NIC) MAC() wire.MAC { return n.mac }
+
+// Name returns the station's link name.
+func (n *NIC) Name() string { return n.name }
 
 // Transmit queues a frame for the shared medium. It may be called from
 // event or process context; the frame is delivered to receivers after the
@@ -117,35 +137,58 @@ func (n *NIC) Transmit(data []byte) error {
 	g.medium.UseEvent(g.sim, sim.TaskPriority, txTime, func() {
 		g.stats.FramesSent++
 		g.stats.BytesSent += f.WireSize()
-		g.deliver(n, f)
-		if g.DupRate > 0 && g.sim.Rand().Float64() < g.DupRate {
-			g.stats.FramesDup++
-			g.deliver(n, f)
-		}
+		g.inject(n, f)
 	})
 	return nil
 }
 
-func (g *Segment) deliver(from *NIC, f Frame) {
-	if g.LossRate > 0 && g.sim.Rand().Float64() < g.LossRate {
+// inject applies the fault layer's verdict to a serialized frame and
+// hands the surviving copies to deliver.
+func (g *Segment) inject(from *NIC, f Frame) {
+	if g.inj == nil {
+		g.deliver(from, f, 0)
+		return
+	}
+	// Only bits past the Ethernet header are corruptible: a real NIC's
+	// frame CRC would catch link-header damage, so modeling it would
+	// only test the simulator, not the protocol stack.
+	d := g.inj.Outbound(from.name, (len(f.Data)-wire.EthHeaderLen)*8)
+	if d.Drop {
 		g.stats.FramesDropped++
 		return
 	}
+	if d.CorruptBit >= 0 {
+		data := make([]byte, len(f.Data))
+		copy(data, f.Data)
+		data[wire.EthHeaderLen+d.CorruptBit/8] ^= 1 << (d.CorruptBit % 8)
+		f = Frame{Data: data}
+		g.stats.FramesCorrupted++
+	}
+	if d.Delay > 0 {
+		g.stats.FramesDelayed++
+	}
+	g.deliver(from, f, d.Delay)
+	if d.Dup {
+		g.stats.FramesDup++
+		g.deliver(from, f, d.Delay)
+	}
+}
+
+func (g *Segment) deliver(from *NIC, f Frame, delay time.Duration) {
 	hdr, err := wire.UnmarshalEth(f.Data)
 	if err != nil {
 		g.stats.FramesDropped++
 		return
-	}
-	delay := time.Duration(0)
-	if g.DelayRate > 0 && g.sim.Rand().Float64() < g.DelayRate {
-		delay = g.DelayBy
-		g.stats.FramesDelayed++
 	}
 	for _, nic := range g.nics {
 		if nic == from {
 			continue // Ethernet does not deliver a frame to its sender
 		}
 		if !nic.Promisc && nic.mac != hdr.Dst && !hdr.Dst.IsBroadcast() {
+			continue
+		}
+		if g.inj != nil && g.inj.Cut(from.name, nic.name) {
+			g.stats.PartitionDrops++
 			continue
 		}
 		nic := nic

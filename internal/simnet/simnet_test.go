@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -127,7 +128,7 @@ func TestMediumSerializesTransmitters(t *testing.T) {
 func TestLossInjection(t *testing.T) {
 	s := sim.New(42)
 	g := NewSegment(s)
-	g.LossRate = 0.5
+	g.Faults().SetDefaultRates(fault.Rates{Drop: 0.5})
 	a := g.Attach(wire.MAC{1})
 	b := g.Attach(wire.MAC{2})
 	got := 0
@@ -153,7 +154,7 @@ func TestLossInjection(t *testing.T) {
 func TestDuplicationInjection(t *testing.T) {
 	s := sim.New(7)
 	g := NewSegment(s)
-	g.DupRate = 1.0
+	g.Faults().SetDefaultRates(fault.Rates{Dup: 1})
 	a := g.Attach(wire.MAC{1})
 	b := g.Attach(wire.MAC{2})
 	got := 0
@@ -174,13 +175,12 @@ func TestDelayReordersFrames(t *testing.T) {
 	b := g.Attach(wire.MAC{2})
 	var sizes []int
 	b.Rx = func(f Frame) { sizes = append(sizes, len(f.Data)) }
-	g.DelayRate = 1.0
-	g.DelayBy = 10 * time.Millisecond
+	g.Faults().SetDefaultRates(fault.Rates{Reorder: 1, ReorderBy: 10 * time.Millisecond})
 	a.Transmit(frameTo(b.MAC(), a.MAC(), 100)) // delayed at delivery
 	if err := s.RunFor(time.Millisecond); err != nil {
 		t.Fatal(err) // frame 1 has serialized and is now held
 	}
-	g.DelayRate = 0
+	g.Faults().SetDefaultRates(fault.Rates{})
 	a.Transmit(frameTo(b.MAC(), a.MAC(), 200)) // arrives first
 	if err := s.RunFor(time.Second); err != nil {
 		t.Fatal(err)

@@ -1,6 +1,8 @@
 package stack
 
 import (
+	"bytes"
+	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -176,9 +178,18 @@ func (a *arpEngine) input(t *sim.Proc, body []byte) {
 }
 
 // timo ages cache entries and retries unresolved ones (driven by the slow
-// timer).
+// timer). Entries are walked in address order: map order is randomized,
+// and the retry broadcasts this loop sends contend for the shared
+// medium, so an unordered walk would let two runs with the same seed
+// send them in different orders and diverge.
 func (a *arpEngine) timo(t *sim.Proc) {
-	for ip, e := range a.entries {
+	ips := make([]wire.IPAddr, 0, len(a.entries))
+	for ip := range a.entries {
+		ips = append(ips, ip)
+	}
+	sort.Slice(ips, func(i, j int) bool { return bytes.Compare(ips[i][:], ips[j][:]) < 0 })
+	for _, ip := range ips {
+		e := a.entries[ip]
 		e.ttlTicks--
 		if !e.resolved {
 			if e.ttlTicks%arpRetryTicks == 0 {

@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/wire"
@@ -15,7 +16,7 @@ import (
 // dumps protocol state when the transfer wedges.
 func TestDebugLoss(t *testing.T) {
 	w := newWorld(3)
-	w.seg.LossRate = 0.05
+	w.seg.Faults().SetDefaultRates(fault.Rates{Drop: 0.05})
 	const total = 64 * 1024
 	payload := make([]byte, total)
 	w.s.Rand().Read(payload)

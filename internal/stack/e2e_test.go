@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/costs"
+	"repro/internal/fault"
 	"repro/internal/kern"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -210,7 +211,7 @@ func TestTCPConnectTransferClose(t *testing.T) {
 
 func TestTCPSurvivesPacketLoss(t *testing.T) {
 	w := newWorld(3)
-	w.seg.LossRate = 0.05
+	w.seg.Faults().SetDefaultRates(fault.Rates{Drop: 0.05})
 	const total = 64 * 1024
 	payload := make([]byte, total)
 	w.s.Rand().Read(payload)

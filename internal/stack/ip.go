@@ -1,6 +1,8 @@
 package stack
 
 import (
+	"bytes"
+	"errors"
 	"sort"
 	"time"
 
@@ -141,6 +143,10 @@ func (st *Stack) emitIP(t *sim.Proc, tcp bool, h wire.IPv4Header, nextHop wire.I
 func (st *Stack) ipInput(t *sim.Proc, eh wire.EthHeader, pkt []byte) {
 	h, hlen, err := wire.UnmarshalIPv4(pkt)
 	if err != nil {
+		if errors.Is(err, wire.ErrChecksum) {
+			st.Stats.ChecksumErrors++
+			st.Stats.IPChecksumErrors++
+		}
 		st.Stats.Drops++
 		return
 	}
@@ -245,14 +251,35 @@ func (st *Stack) ipReassemble(t *sim.Proc, h wire.IPv4Header, body []byte) ([]by
 }
 
 // ipReasmTimo expires stale reassembly state (driven by the slow timer).
+// Keys are walked in sorted order so that expiry — and any traffic it
+// ever triggers — happens in the same order on every run.
 func (st *Stack) ipReasmTimo(t *sim.Proc) {
-	for k, e := range st.reasm {
+	keys := make([]reasmKey, 0, len(st.reasm))
+	for k := range st.reasm {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	for _, k := range keys {
+		e := st.reasm[k]
 		e.ttlTick--
 		if e.ttlTick <= 0 {
 			delete(st.reasm, k)
 			st.Stats.IPReasmTimeout++
 		}
 	}
+}
+
+func (k reasmKey) less(o reasmKey) bool {
+	if c := bytes.Compare(k.src[:], o.src[:]); c != 0 {
+		return c < 0
+	}
+	if c := bytes.Compare(k.dst[:], o.dst[:]); c != 0 {
+		return c < 0
+	}
+	if k.proto != o.proto {
+		return k.proto < o.proto
+	}
+	return k.id < o.id
 }
 
 // --- ICMP ---
@@ -263,6 +290,10 @@ func (st *Stack) icmpInput(t *sim.Proc, h wire.IPv4Header, body []byte) {
 	st.Stats.ICMPIn++
 	ih, payload, err := wire.UnmarshalICMP(body)
 	if err != nil {
+		if errors.Is(err, wire.ErrChecksum) {
+			st.Stats.ChecksumErrors++
+			st.Stats.ICMPChecksumErrors++
+		}
 		st.Stats.Drops++
 		return
 	}

@@ -13,6 +13,7 @@ import (
 // receive queue.
 type Socket struct {
 	st    *Stack
+	uid   uint64 // creation order, for deterministic timer iteration
 	Proto uint8
 
 	local, remote Addr
@@ -51,8 +52,10 @@ type Socket struct {
 // NewSocket creates an unbound socket for proto (wire.ProtoTCP or
 // wire.ProtoUDP).
 func (st *Stack) NewSocket(proto uint8) *Socket {
+	st.sockSeq++
 	s := &Socket{
 		st:         st,
+		uid:        st.sockSeq,
 		Proto:      proto,
 		sndbufSize: st.cfg.SndBuf,
 		rcvbufSize: st.cfg.RcvBuf,

@@ -135,6 +135,7 @@ type Stack struct {
 	binds   map[tuple]*Socket // wildcard-remote sockets (listeners, unconnected UDP)
 	ipID    uint16
 	issSeed uint32
+	sockSeq uint64 // socket creation counter (deterministic iteration order)
 
 	reasm     map[reasmKey]*reasmEntry
 	arp       *arpEngine // nil for library stacks (server resolves)
@@ -166,8 +167,15 @@ type Stats struct {
 	UDPIn, UDPOut         int
 	UDPNoPort             int
 	ICMPIn, ICMPOut       int
-	ChecksumErrors        int
-	Drops                 int
+	// ChecksumErrors is the total number of inbound packets discarded
+	// for a bad checksum; the per-protocol counters below break it down
+	// (IP header, TCP segment, UDP datagram, ICMP message).
+	ChecksumErrors     int
+	IPChecksumErrors   int
+	TCPChecksumErrors  int
+	UDPChecksumErrors  int
+	ICMPChecksumErrors int
+	Drops              int
 }
 
 // New builds a stack. The caller must arrange for Input to be fed frames

@@ -14,6 +14,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	st.Stats.TCPIn++
 	if !wire.VerifyTCPChecksum(ih.Src, ih.Dst, seg) {
 		st.Stats.ChecksumErrors++
+		st.Stats.TCPChecksumErrors++
 		return
 	}
 	th, hlen, err := wire.UnmarshalTCP(seg)

@@ -1,6 +1,8 @@
 package stack
 
 import (
+	"sort"
+
 	"repro/internal/sim"
 	"repro/internal/socketapi"
 )
@@ -48,7 +50,10 @@ func (st *Stack) tcpSlowTimo(t *sim.Proc) {
 }
 
 // allTCP snapshots the TCP sockets under management (the timer callbacks
-// can mutate the maps).
+// can mutate the maps), in socket-creation order. The ordering matters:
+// Go map iteration is randomized, and timer actions (retransmissions,
+// delayed ACKs) race for the shared medium, so an unordered walk makes
+// runs with the same seed diverge.
 func (st *Stack) allTCP() []*Socket {
 	var out []*Socket
 	for _, s := range st.conns {
@@ -61,6 +66,7 @@ func (st *Stack) allTCP() []*Socket {
 			out = append(out, s)
 		}
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].uid < out[j].uid })
 	return out
 }
 

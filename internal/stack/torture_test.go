@@ -6,48 +6,60 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/sim"
 	"repro/internal/stack"
 	"repro/internal/wire"
 )
 
+// tortureCases is the fault matrix both the stack-level torture test
+// and the deployment-level robustness matrix (psd package) run over:
+// loss, duplication, reordering, their combination, and a mid-transfer
+// partition that heals before TCP gives up. Plans use the fault-plan
+// DSL; host/link names in this file's world are "A" and "B".
+var tortureCases = []struct {
+	Name  string
+	Rates fault.Rates
+	Plan  string
+}{
+	{"clean", fault.Rates{}, ""},
+	{"loss2", fault.Rates{Drop: 0.02}, ""},
+	{"loss10", fault.Rates{Drop: 0.10}, ""},
+	{"dup5", fault.Rates{Dup: 0.05}, ""},
+	{"reorder10", fault.Rates{Reorder: 0.10, ReorderBy: 3 * time.Millisecond}, ""},
+	{"everything", fault.Rates{Drop: 0.05, Dup: 0.05, Reorder: 0.10, ReorderBy: 3 * time.Millisecond}, ""},
+	{"partheal", fault.Rates{}, "@150ms partition A|B for=400ms"},
+}
+
 // TestTCPTortureMatrix runs bidirectional TCP transfers under combined
-// loss, duplication, and reordering across many seeds, asserting the
-// byte streams arrive intact in both directions. This is the stack's
-// main robustness property: whatever the network does (short of
-// corruption, which checksums catch), TCP delivers the exact stream.
+// loss, duplication, reordering, and partition-and-heal across many
+// seeds, asserting the byte streams arrive intact in both directions.
+// This is the stack's main robustness property: whatever the network
+// does (short of corruption, which checksums catch), TCP delivers the
+// exact stream.
 func TestTCPTortureMatrix(t *testing.T) {
-	cases := []struct {
-		name  string
-		loss  float64
-		dup   float64
-		delay float64
-	}{
-		{"clean", 0, 0, 0},
-		{"loss2", 0.02, 0, 0},
-		{"loss10", 0.10, 0, 0},
-		{"dup5", 0, 0.05, 0},
-		{"reorder10", 0, 0, 0.10},
-		{"everything", 0.05, 0.05, 0.10},
-	}
-	for _, c := range cases {
+	for _, c := range tortureCases {
 		c := c
-		t.Run(c.name, func(t *testing.T) {
+		t.Run(c.Name, func(t *testing.T) {
 			for seed := int64(1); seed <= 3; seed++ {
-				runTorture(t, seed, c.loss, c.dup, c.delay)
+				runTorture(t, seed, c.Rates, c.Plan)
 			}
 		})
 	}
 }
 
-func runTorture(t *testing.T, seed int64, loss, dup, delay float64) {
+func runTorture(t *testing.T, seed int64, rates fault.Rates, planText string) {
 	t.Helper()
 	w := newWorld(seed)
 	w.s.Deadline = sim.Time(3 * time.Hour)
-	w.seg.LossRate = loss
-	w.seg.DupRate = dup
-	w.seg.DelayRate = delay
-	w.seg.DelayBy = 3 * time.Millisecond
+	w.seg.Faults().SetDefaultRates(rates)
+	if planText != "" {
+		plan, err := fault.ParsePlan(planText)
+		if err != nil {
+			t.Fatalf("bad fault plan: %v", err)
+		}
+		w.seg.Faults().Schedule(plan)
+	}
 
 	const fwdBytes, revBytes = 48 * 1024, 24 * 1024
 	fwd := make([]byte, fwdBytes)
@@ -296,7 +308,7 @@ func TestTCPRexmitBackoffGivesUp(t *testing.T) {
 		}
 		p.Sleep(100 * time.Millisecond)
 		// Partition the network: everything is lost from here on.
-		w.seg.LossRate = 1.0
+		w.seg.Faults().Partition([]string{"A"}, []string{"B"})
 		if _, err := w.a.st.Send(p, s, [][]byte{[]byte("into the void")}, stack.SendOpts{}); err != nil {
 			sendErr = err
 			return
@@ -440,7 +452,7 @@ func TestKeepaliveDetectsDeadPeer(t *testing.T) {
 				return
 			}
 			if partition {
-				w.seg.LossRate = 1.0
+				w.seg.Faults().Partition([]string{"A"}, []string{"B"})
 			}
 			// Sit idle far past the keepalive threshold (60 s idle +
 			// 8 probes x 10 s). A live peer keeps the connection up; a

@@ -33,6 +33,7 @@ func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	st.Stats.UDPIn++
 	if !wire.VerifyUDPChecksum(ih.Src, ih.Dst, seg) {
 		st.Stats.ChecksumErrors++
+		st.Stats.UDPChecksumErrors++
 		return
 	}
 	h, err := wire.UnmarshalUDP(seg)

@@ -1,5 +1,12 @@
 package wire
 
+import "errors"
+
+// ErrChecksum marks a parse failure caused by a checksum mismatch, as
+// opposed to a malformed header. Callers use errors.Is to count
+// corruption discards separately from garbage.
+var ErrChecksum = errors.New("checksum mismatch")
+
 // Checksummer accumulates the Internet checksum (RFC 1071) over a sequence
 // of byte slices, correctly handling odd-length slices in the middle of
 // the sequence by tracking byte parity.

@@ -53,7 +53,7 @@ func UnmarshalICMP(b []byte) (ICMPHeader, []byte, error) {
 		return h, nil, fmt.Errorf("wire: short ICMP message (%d bytes)", len(b))
 	}
 	if Checksum(b) != 0 {
-		return h, nil, fmt.Errorf("wire: ICMP checksum mismatch")
+		return h, nil, fmt.Errorf("wire: ICMP %w", ErrChecksum)
 	}
 	h.Type = b[0]
 	h.Code = b[1]

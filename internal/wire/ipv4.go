@@ -65,7 +65,7 @@ func UnmarshalIPv4(b []byte) (IPv4Header, int, error) {
 		return h, 0, fmt.Errorf("wire: bad IHL %d", ihl)
 	}
 	if Checksum(b[:ihl]) != 0 {
-		return h, 0, fmt.Errorf("wire: IPv4 header checksum mismatch")
+		return h, 0, fmt.Errorf("wire: IPv4 header %w", ErrChecksum)
 	}
 	h.TOS = b[1]
 	h.TotalLen = binary.BigEndian.Uint16(b[2:4])

@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costs"
+	"repro/internal/fault"
 	"repro/internal/inkernel"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -109,8 +110,30 @@ func New(seed int64) *Network {
 // processes).
 func (n *Network) Sim() *sim.Sim { return n.sim }
 
-// SetLossRate injects random frame loss (exercises TCP's recovery).
-func (n *Network) SetLossRate(rate float64) { n.seg.LossRate = rate }
+// Faults returns the network's deterministic fault injector: per-link
+// drop/duplication/corruption/reorder/delay rates, link down, and
+// partitions, all reproducible for a given seed. Host names are the
+// link names.
+func (n *Network) Faults() *fault.Injector { return n.seg.Faults() }
+
+// SetLossRate injects uniform random frame loss (exercises TCP's
+// recovery). It is shorthand for setting a Drop rate on Faults.
+func (n *Network) SetLossRate(rate float64) {
+	r := n.seg.Faults().DefaultRates()
+	r.Drop = rate
+	n.seg.Faults().SetDefaultRates(r)
+}
+
+// ApplyFaultPlan parses a fault plan in the compact text form (see
+// fault.ParsePlan) and schedules it on the network.
+func (n *Network) ApplyFaultPlan(text string) error {
+	plan, err := fault.ParsePlan(text)
+	if err != nil {
+		return err
+	}
+	n.seg.Faults().Schedule(plan)
+	return nil
+}
 
 // Host attaches a machine running the given architecture. addr is a
 // dotted IPv4 address, e.g. "10.0.0.1".
