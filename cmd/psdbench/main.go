@@ -41,7 +41,12 @@ func main() {
 	delay := flag.Duration("delay", 0, "fixed extra delay on every frame")
 	jitter := flag.Duration("jitter", 0, "uniform random delay added per frame")
 	faultPlan := flag.String("faultplan", "", "fault plan (DSL, see EXPERIMENTS.md), e.g. '@2s partition A|B for=500ms'")
+	traceDir := flag.String("trace", "", "record every run on the flight recorder and dump the slowest run's trace (text, pcap, Chrome JSON) into this directory")
 	flag.Parse()
+
+	if *traceDir != "" {
+		bench.EnableTrace(0)
+	}
 
 	for _, p := range []struct {
 		name string
@@ -120,6 +125,14 @@ func main() {
 		if rep := bench.FaultReport(); rep != "" {
 			fmt.Println(rep)
 		}
+	}
+	if *traceDir != "" {
+		msg, err := bench.DumpSlowest(*traceDir)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Println(msg)
 	}
 }
 

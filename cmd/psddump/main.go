@@ -1,125 +1,110 @@
-// Command psddump is a tcpdump-style monitor for the simulated network:
-// it attaches a promiscuous station to the Ethernet segment, decodes
-// every frame (Ethernet, ARP, IPv4, UDP, TCP, ICMP), and prints a
-// one-line trace with virtual timestamps.
+// Command psddump is a tcpdump-style monitor for the simulated network,
+// driven by the deterministic flight recorder: it enables tracing on the
+// selected layers, runs a small canned scenario on the decomposed
+// architecture — an ARP exchange, a UDP round trip, and a TCP
+// connect/transfer/close — and prints every recorded event with virtual
+// timestamps. Transmitted frames are decoded inline (Ethernet, ARP,
+// IPv4, UDP, TCP, ICMP), so the whole packet-level story of the paper's
+// design is visible next to the stack's state transitions and the OS
+// server's session migrations.
 //
-// It runs a small canned scenario on the decomposed architecture — an
-// ARP exchange, a UDP round trip, and a TCP connect/transfer/close — so
-// the whole packet-level story of the paper's design is visible:
-// connection establishment driven by the OS servers, data segments
-// flowing application-to-application, and the FIN handshake after the
-// sessions migrate back.
+// The same trace can be exported for other tools:
 //
-// Usage: go run ./cmd/psddump [-loss 0.02]
+//	psddump -pcap out.pcap     # frame stream, openable in Wireshark
+//	psddump -trace out.json    # Chrome trace_event, chrome://tracing
+//
+// Usage: go run ./cmd/psddump [-seed 11] [-loss 0.02] [-layers net,stack,core]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
+	"strings"
 	"time"
 
 	"repro/internal/sim"
-	"repro/internal/simnet"
-	"repro/internal/wire"
+	"repro/internal/trace"
 	"repro/psd"
 )
 
 func main() {
+	seed := flag.Int64("seed", 11, "simulation seed")
 	loss := flag.Float64("loss", 0, "frame loss rate to inject")
+	layers := flag.String("layers", "net,stack,core",
+		"comma-separated trace layers (sim,net,filter,stack,core; net is needed for -pcap)")
+	pcapPath := flag.String("pcap", "", "write the transmitted-frame stream to this pcap file")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
 	flag.Parse()
 
-	n := psd.New(11)
-	n.SetLossRate(*loss)
+	rec, err := run(os.Stdout, *seed, *loss, *layers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *pcapPath != "" {
+		export(*pcapPath, rec.WritePcap)
+	}
+	if *tracePath != "" {
+		export(*tracePath, rec.WriteChromeTrace)
+	}
+}
+
+// export writes one trace rendering to path.
+func export(path string, write func(io.Writer) error) {
+	f, err := os.Create(path)
+	if err == nil {
+		err = write(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", path)
+}
+
+// run executes the canned scenario with tracing enabled and writes the
+// textual trace to w. It is the whole program minus flag parsing and
+// file output, so tests can run it against a golden file.
+func run(w io.Writer, seed int64, loss float64, layerSpec string) (*psd.Recorder, error) {
+	var layers []psd.TraceLayer
+	for _, name := range strings.Split(layerSpec, ",") {
+		l, err := trace.ParseLayer(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		layers = append(layers, l)
+	}
+
+	n := psd.NewConfig(psd.Config{Seed: seed, Trace: layers})
+	n.SetLossRate(loss)
 	a := n.Host("alpha", "10.0.0.1", psd.Decomposed())
 	b := n.Host("beta", "10.0.0.2", psd.Decomposed())
 
-	attachMonitor(n)
-	scenario(n, a, b)
-
+	total := scenario(n, a, b)
 	if err := n.Run(); err != nil {
-		panic(err)
+		return nil, err
 	}
-	fmt.Printf("\n[%v] scenario complete\n", n.Now())
+
+	rec := n.Trace()
+	if err := rec.WriteText(w); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(w, "\n[%v] scenario complete: server received %d TCP bytes, %d events recorded\n",
+		n.Now(), *total, rec.Len())
+	return rec, nil
 }
 
-// attachMonitor adds a promiscuous NIC that decodes and prints frames.
-func attachMonitor(n *psd.Network) {
-	seg := segmentOf(n)
-	mon := seg.Attach(wire.MAC{0xfe, 0xed, 0, 0, 0, 0xff})
-	mon.Promisc = true
-	mon.Rx = func(f simnet.Frame) {
-		fmt.Printf("%12v  %s\n", n.Sim().Now().Duration(), decode(f.Data))
-	}
-}
+// scenario runs a UDP echo and then a small TCP transfer between the two
+// hosts; the returned pointer holds the server's received byte count
+// once the simulation has run.
+func scenario(n *psd.Network, a, b *psd.Host) *int {
+	total := new(int)
 
-// segmentOf digs the segment out of the network. The psd facade does not
-// export it (applications have no business on the raw wire), but the
-// monitor is exactly the kind of tool that does; Sim access plus one
-// accessor keeps this honest.
-func segmentOf(n *psd.Network) *simnet.Segment { return n.Segment() }
-
-func decode(frame []byte) string {
-	eh, err := wire.UnmarshalEth(frame)
-	if err != nil {
-		return fmt.Sprintf("malformed frame (%d bytes)", len(frame))
-	}
-	switch eh.Type {
-	case wire.EtherTypeARP:
-		p, err := wire.UnmarshalARP(frame[wire.EthHeaderLen:])
-		if err != nil {
-			return "malformed ARP"
-		}
-		if p.Op == wire.ARPRequest {
-			return fmt.Sprintf("ARP who-has %v tell %v", p.TargetIP, p.SenderIP)
-		}
-		return fmt.Sprintf("ARP reply %v is-at %v", p.SenderIP, p.SenderMAC)
-	case wire.EtherTypeIPv4:
-		h, hl, err := wire.UnmarshalIPv4(frame[wire.EthHeaderLen:])
-		if err != nil {
-			return "malformed IPv4"
-		}
-		body := frame[wire.EthHeaderLen+hl:]
-		if int(h.TotalLen) <= len(frame)-wire.EthHeaderLen {
-			body = frame[wire.EthHeaderLen+hl : wire.EthHeaderLen+int(h.TotalLen)]
-		}
-		if h.IsFragment() {
-			return fmt.Sprintf("IP %v > %v: %s fragment off=%d mf=%v len=%d",
-				h.Src, h.Dst, wire.ProtoName(h.Proto), int(h.FragOff)*8, h.MoreFragments(), len(body))
-		}
-		switch h.Proto {
-		case wire.ProtoUDP:
-			u, err := wire.UnmarshalUDP(body)
-			if err != nil {
-				return "malformed UDP"
-			}
-			return fmt.Sprintf("UDP %v:%d > %v:%d len=%d",
-				h.Src, u.SrcPort, h.Dst, u.DstPort, int(u.Length)-wire.UDPHeaderLen)
-		case wire.ProtoTCP:
-			th, hl2, err := wire.UnmarshalTCP(body)
-			if err != nil {
-				return "malformed TCP"
-			}
-			payload := len(body) - hl2
-			extra := ""
-			if th.MSS != 0 {
-				extra = fmt.Sprintf(" mss=%d", th.MSS)
-			}
-			return fmt.Sprintf("TCP %v:%d > %v:%d [%s] seq=%d ack=%d win=%d len=%d%s",
-				h.Src, th.SrcPort, h.Dst, th.DstPort,
-				wire.FlagString(th.Flags), th.Seq, th.Ack, th.Window, payload, extra)
-		case wire.ProtoICMP:
-			ih, _, err := wire.UnmarshalICMP(body)
-			if err != nil {
-				return "malformed ICMP"
-			}
-			return fmt.Sprintf("ICMP %v > %v type=%d code=%d", h.Src, h.Dst, ih.Type, ih.Code)
-		}
-		return fmt.Sprintf("IP %v > %v proto=%d", h.Src, h.Dst, h.Proto)
-	}
-	return fmt.Sprintf("ethertype %#04x (%d bytes)", eh.Type, len(frame))
-}
-
-func scenario(n *psd.Network, a, b *psd.Host) {
 	srv := b.NewApp("demo-server")
 	n.Spawn("demo-server", func(t *sim.Proc) {
 		// UDP echo once.
@@ -137,16 +122,14 @@ func scenario(n *psd.Network, a, b *psd.Host) {
 		check(srv.Listen(t, ls, 1))
 		fd, _, err := srv.Accept(t, ls)
 		check(err)
-		total := 0
 		for {
 			nr, err := srv.Recv(t, fd, buf, 0)
 			check(err)
 			if nr == 0 {
 				break
 			}
-			total += nr
+			*total += nr
 		}
-		fmt.Printf("             -- server received %d TCP bytes --\n", total)
 		srv.Close(t, fd)
 		srv.Close(t, ls)
 	})
@@ -168,6 +151,7 @@ func scenario(n *psd.Network, a, b *psd.Host) {
 		check(err)
 		cli.Close(t, fd)
 	})
+	return total
 }
 
 func check(err error) {

@@ -16,6 +16,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
+	"repro/internal/trace"
 	"repro/internal/uxserver"
 	"repro/internal/wire"
 )
@@ -131,8 +132,13 @@ type World struct {
 	NewA func(name string) socketapi.API
 	NewB func(name string) socketapi.API
 
+	// Rec is the world's flight recorder when harness tracing is
+	// enabled (see EnableTrace); nil otherwise.
+	Rec *trace.Recorder
+
 	hostA, hostB *kern.Host
 	setObs       func(fn func(comp costs.Component, d time.Duration))
+	setTrace     func(r *trace.Recorder)
 }
 
 // Build instantiates the configuration on a fresh simulator.
@@ -158,6 +164,7 @@ func (c SysConfig) Build(seed int64) *World {
 		w.setObs = func(fn func(costs.Component, time.Duration)) {
 			a.Observer, b.Observer = fn, fn
 		}
+		w.setTrace = func(r *trace.Recorder) { a.SetTrace(r); b.SetTrace(r) }
 	case KindServer:
 		a := uxserver.New(s, seg, "A", macA, w.IPA, c.Prof)
 		b := uxserver.New(s, seg, "B", macB, w.IPB, c.Prof)
@@ -167,6 +174,7 @@ func (c SysConfig) Build(seed int64) *World {
 		w.setObs = func(fn func(costs.Component, time.Duration)) {
 			a.Observer, b.Observer = fn, fn
 		}
+		w.setTrace = func(r *trace.Recorder) { a.SetTrace(r); b.SetTrace(r) }
 	case KindCore:
 		a := core.New(s, seg, "A", macA, w.IPA, c.Prof, c.SrvProf)
 		b := core.New(s, seg, "B", macB, w.IPB, c.Prof, c.SrvProf)
@@ -176,8 +184,10 @@ func (c SysConfig) Build(seed int64) *World {
 		w.setObs = func(fn func(costs.Component, time.Duration)) {
 			a.Observer, b.Observer = fn, fn
 		}
+		w.setTrace = func(r *trace.Recorder) { a.SetTrace(r); b.SetTrace(r) }
 	}
 	applyFaults(w)
+	attachTrace(w)
 	if buildHook != nil {
 		buildHook(w)
 	}

@@ -138,6 +138,7 @@ func RunTTCP(cfg SysConfig, rcvBufKB int, totalBytes int) TTCPResult {
 	if res.Err == nil && res.Bytes != totalBytes {
 		res.Err = fmt.Errorf("ttcp: received %d of %d bytes", res.Bytes, totalBytes)
 	}
+	noteRun(cfg.Name+" ttcp", res.Duration, w.Rec)
 	return res
 }
 
@@ -164,7 +165,14 @@ func RunProtolat(cfg SysConfig, udp bool, msgSize, rounds int) LatResult {
 		return LatResult{NA: true}
 	}
 	w := cfg.Build(7)
-	return runProtolatOn(w, cfg, !udp, msgSize, rounds, nil)
+	res := runProtolatOn(w, cfg, !udp, msgSize, rounds, nil)
+	proto := "tcp"
+	if udp {
+		proto = "udp"
+	}
+	noteRun(fmt.Sprintf("%s protolat-%s-%d", cfg.Name, proto, msgSize),
+		time.Duration(res.Rounds)*res.Avg, w.Rec)
+	return res
 }
 
 // runProtolatOn runs the latency workload on an already-built world.

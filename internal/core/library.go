@@ -69,7 +69,8 @@ func (sys *System) NewLibrary(name string) *Library {
 	lib.cache = NewMetaCache(lib)
 	lib.St = stack.New(stack.Config{
 		Sim:      sys.Host.Sim,
-		Name:     name + ".lib",
+		Name:     sys.Host.Name + "." + name + ".lib",
+		Trace:    sys.Trace,
 		LocalIP:  sys.Host.IP,
 		LocalMAC: sys.Host.NIC.MAC(),
 		Costs:    &sys.LibProf.Costs,

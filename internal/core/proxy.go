@@ -8,6 +8,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/socketapi"
 	"repro/internal/stack"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -139,6 +140,9 @@ func (srv *Server) handle(t *sim.Proc, method string, args any) (any, error) {
 		sess.srvSock = sock
 		sess.local = sock.LocalAddr()
 		sess.local.IP = srv.St.LocalIP()
+		if srv.traceOn() {
+			srv.traceEmit(trace.EvPortOp, protoName(sess.proto), "bind", int64(sess.local.Port), int64(sess.id))
+		}
 		if sess.proto == wire.ProtoUDP {
 			// UDP sessions migrate to the application at bind (Table 1).
 			ep, err := srv.migrateUDP(sess, a.lib)
@@ -190,6 +194,9 @@ func (srv *Server) handle(t *sim.Proc, method string, args any) (any, error) {
 		newSess.local = ns.LocalAddr()
 		newSess.remote = ns.RemoteAddr()
 		newSess.srvSock = ns
+		if srv.traceOn() {
+			srv.traceEmit(trace.EvConnSetup, sessName(newSess), "accept", int64(newSess.id), 0)
+		}
 		mac, _ := srv.St.ARP().WaitResolve(t, newSess.remote.IP, 10*time.Second)
 		ep, state, err := srv.migrateTCP(t, newSess, a.lib)
 		if err != nil {
@@ -419,6 +426,9 @@ func (srv *Server) connect(t *sim.Proc, sess *session, raddr stack.Addr, lib *Li
 		}
 		sess.local = sess.srvSock.LocalAddr()
 		sess.remote = sess.srvSock.RemoteAddr()
+		if srv.traceOn() {
+			srv.traceEmit(trace.EvConnSetup, sessName(sess), "connect", int64(sess.id), 0)
+		}
 		mac, _ := srv.St.ARP().WaitResolve(t, raddr.IP, 10*time.Second)
 		ep, state, err := srv.migrateTCP(t, sess, lib)
 		if err != nil {
@@ -453,6 +463,9 @@ func (srv *Server) migrateUDP(sess *session, lib *Library) (*kern.Endpoint, erro
 	sess.loc = atApp
 	sess.owner = lib
 	srv.Migrations++
+	if srv.traceOn() {
+		srv.traceEmit(trace.EvMigrate, sessName(sess), "to-app", int64(sess.id), 0)
+	}
 	return ep, nil
 }
 
@@ -487,6 +500,9 @@ func (srv *Server) migrateTCP(t *sim.Proc, sess *session, lib *Library) (*kern.E
 	sess.loc = atApp
 	sess.owner = lib
 	srv.Migrations++
+	if srv.traceOn() {
+		srv.traceEmit(trace.EvMigrate, sessName(sess), "to-app", int64(sess.id), 0)
+	}
 	return ep, state, nil
 }
 
@@ -501,6 +517,9 @@ func (srv *Server) returnSession(t *sim.Proc, sess *session, state *stack.TCPSes
 	srv.dropAppSide(sess)
 	sess.loc = atServer
 	sess.owner = nil
+	if srv.traceOn() {
+		srv.traceEmit(trace.EvMigrate, sessName(sess), "to-server", int64(sess.id), 0)
+	}
 	switch sess.proto {
 	case wire.ProtoUDP:
 		if closing {
@@ -554,6 +573,9 @@ func (srv *Server) deathNotice(t *sim.Proc, a pxDeath) {
 			continue
 		}
 		srv.OrphansAborted++
+		if srv.traceOn() {
+			srv.traceEmit(trace.EvOrphanAbort, sessName(sess), "", int64(sid), 0)
+		}
 		srv.dropAppSide(sess)
 		sock := srv.St.ImportTCPSession(t, state)
 		srv.St.Abort(t, sock) // RST to the remote peer
@@ -564,6 +586,9 @@ func (srv *Server) deathNotice(t *sim.Proc, a pxDeath) {
 		if held && port != 0 {
 			srv.Ports.Release(wire.ProtoTCP, port)
 			srv.Ports.Quarantine(wire.ProtoTCP, port)
+			if srv.traceOn() {
+				srv.traceEmit(trace.EvPortOp, "tcp", "quarantine", int64(port), 0)
+			}
 			srv.sys.Host.Sim.After(2*30*time.Second, func() {
 				srv.Ports.Unquarantine(wire.ProtoTCP, port)
 			})

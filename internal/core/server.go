@@ -18,6 +18,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stack"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -80,6 +82,50 @@ type System struct {
 	// Observer, when set, receives every protocol-layer charge made by
 	// library stacks (Table 4 instrumentation).
 	Observer func(comp costs.Component, d time.Duration)
+
+	// Trace, when set, is the flight recorder for this system's core
+	// events (sessions, ports, migration) and is propagated to the
+	// kernel host, the server stack, and every library stack.
+	Trace *trace.Recorder
+}
+
+// SetTrace attaches a flight recorder to the whole system: the kernel
+// host's filter layer, the OS server's stack, and every library stack —
+// both those already created and those created afterwards.
+func (sys *System) SetTrace(r *trace.Recorder) {
+	sys.Trace = r
+	sys.Host.Trace = r
+	sys.Server.St.SetTrace(r)
+	for _, lib := range sys.Server.libs {
+		lib.St.SetTrace(r)
+	}
+}
+
+// traceOn reports whether core-layer tracing is live for this server.
+func (srv *Server) traceOn() bool { return srv.sys.Trace.On(trace.LayerCore) }
+
+// traceEmit records one core-layer event tagged with the host name.
+func (srv *Server) traceEmit(e trace.Event, name, aux string, a0, a1 int64) {
+	srv.sys.Trace.Emit(trace.LayerCore, e, srv.sys.Host.Name, name, aux, a0, a1, 0)
+}
+
+// protoName renders a transport protocol number for trace records.
+func protoName(proto uint8) string {
+	switch proto {
+	case wire.ProtoTCP:
+		return "tcp"
+	case wire.ProtoUDP:
+		return "udp"
+	}
+	return "proto?"
+}
+
+// sessName renders a session's flow for trace records.
+func sessName(sess *session) string {
+	if sess.remote.IsZero() {
+		return fmt.Sprintf("%v:%d", sess.local.IP, sess.local.Port)
+	}
+	return fmt.Sprintf("%v:%d>%v:%d", sess.local.IP, sess.local.Port, sess.remote.IP, sess.remote.Port)
 }
 
 // Server is the operating-system server.
@@ -305,6 +351,9 @@ func (srv *Server) newSession(proto uint8) *session {
 	sess := &session{id: srv.nextSID, proto: proto, refs: 1, loc: atServer}
 	srv.nextSID++
 	srv.sessions[sess.id] = sess
+	if srv.traceOn() {
+		srv.traceEmit(trace.EvSession, protoName(proto), "new", int64(sess.id), 0)
+	}
 	return sess
 }
 
@@ -335,9 +384,15 @@ func (srv *Server) reapSession(sess *session) {
 	}
 	delete(srv.sessions, sess.id)
 	srv.dropAppSide(sess)
+	if srv.traceOn() {
+		srv.traceEmit(trace.EvConnTeardown, sessName(sess), "", int64(sess.id), 0)
+	}
 	if sess.portHeld && sess.local.Port != 0 {
 		srv.Ports.Release(sess.proto, sess.local.Port)
 		sess.portHeld = false
+		if srv.traceOn() {
+			srv.traceEmit(trace.EvPortOp, protoName(sess.proto), "release", int64(sess.local.Port), 0)
+		}
 	}
 }
 

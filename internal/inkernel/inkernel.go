@@ -19,6 +19,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
 	"repro/internal/stack"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -37,6 +38,13 @@ type System struct {
 	// Observer, when set, receives every protocol-layer charge (Table 4
 	// instrumentation).
 	Observer func(comp costs.Component, d time.Duration)
+}
+
+// SetTrace attaches a flight recorder to the system: the kernel host's
+// packet-filter layer and the in-kernel protocol stack.
+func (sys *System) SetTrace(r *trace.Recorder) {
+	sys.Host.Trace = r
+	sys.St.SetTrace(r)
 }
 
 // New attaches a host running prof's in-kernel stack to the segment.

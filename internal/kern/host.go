@@ -18,6 +18,7 @@ import (
 	"repro/internal/filter"
 	"repro/internal/sim"
 	"repro/internal/simnet"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -44,6 +45,10 @@ type Host struct {
 	// Meter, when set, receives every kernel-side receive-path charge for
 	// the Table 4 per-layer breakdown.
 	Meter Meter
+
+	// Trace, when set, records packet-filter verdicts (match with filter
+	// ID and bytes examined, or miss) on the flight recorder.
+	Trace *trace.Recorder
 
 	// Stats.
 	RxFrames      int
@@ -124,10 +129,16 @@ func (h *Host) rx(f simnet.Frame) {
 	h.chargeRx(costs.CompDeviceIntrRead, pc[costs.CompDeviceIntrRead].At(n), func() {
 		// Software interrupt: demultiplex via the packet filter.
 		h.chargeRx(costs.CompNetisrPF, pc[costs.CompNetisrPF].At(n), func() {
-			m, _ := h.Filters.Match(f.Data)
+			m, examined := h.Filters.Match(f.Data)
 			if m == nil {
 				h.RxNoMatch++
+				if h.Trace.On(trace.LayerFilter) {
+					h.Trace.Emit(trace.LayerFilter, trace.EvFilterMiss, h.Name, "", "", 0, int64(examined), 0)
+				}
 				return
+			}
+			if h.Trace.On(trace.LayerFilter) {
+				h.Trace.Emit(trace.LayerFilter, trace.EvFilterMatch, h.Name, "", "", int64(m.ID), int64(examined), 0)
 			}
 			ep := m.Owner.(*Endpoint)
 			// Delivery: copy into the endpoint (IPC message, shared ring,

@@ -108,6 +108,9 @@ func (p *Proc) Park() {
 		p.unparkPending = false
 		return
 	}
+	if p.sim.tracer != nil {
+		p.sim.tracer.ProcPark(p.sim.now, p.name)
+	}
 	p.parked = true
 	p.yieldToScheduler()
 	p.parked = false
@@ -138,6 +141,9 @@ func (p *Proc) ParkTimeout(d time.Duration) bool {
 func (p *Proc) Unpark() {
 	if p.exited {
 		return
+	}
+	if p.sim.tracer != nil {
+		p.sim.tracer.ProcUnpark(p.sim.now, p.name)
 	}
 	if !p.parked {
 		p.unparkPending = true

@@ -114,6 +114,7 @@ type Sim struct {
 	running bool
 	stopped bool
 	panicV  any
+	tracer  Tracer
 
 	// Deadline is the virtual time at which Run gives up and returns an
 	// error. It guards against livelock (for example, protocol timers that
@@ -138,6 +139,21 @@ func New(seed int64) *Sim {
 
 // Now returns the current virtual time.
 func (s *Sim) Now() Time { return s.now }
+
+// Tracer receives scheduler-level callbacks: one per dispatched event
+// and one per explicit process park/unpark. Implementations must be
+// passive — they may record but must not schedule events or advance
+// time, or determinism is lost. The flight recorder (internal/trace)
+// implements this.
+type Tracer interface {
+	EventDispatch(at Time, proc string)
+	ProcPark(at Time, proc string)
+	ProcUnpark(at Time, proc string)
+}
+
+// SetTracer installs t as the scheduler tracer (nil to disable). When no
+// tracer is installed the hooks cost a single nil check.
+func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
 
 // Seed returns the seed the simulator was created with. Components that
 // need their own deterministic random streams (for example per-link
@@ -289,6 +305,13 @@ func (s *Sim) RunUntil(t Time) error {
 }
 
 func (s *Sim) dispatch(ev *event) {
+	if s.tracer != nil {
+		name := ""
+		if ev.proc != nil {
+			name = ev.proc.name
+		}
+		s.tracer.EventDispatch(s.now, name)
+	}
 	if ev.proc != nil {
 		p := ev.proc
 		p.pendingResume = nil

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/fault"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -54,6 +55,7 @@ type Segment struct {
 	nics   []*NIC
 	stats  Stats
 	inj    *fault.Injector // nil until Faults() is first called
+	tr     *trace.Recorder // nil unless tracing; see SetTrace
 
 	// ByteTime is the per-byte serialization time; defaults to 0.8 µs
 	// (10 Mb/s).
@@ -72,6 +74,12 @@ func (g *Segment) SetBitRate(bitsPerSec int64) {
 
 // Stats returns a copy of the segment counters.
 func (g *Segment) Stats() Stats { return g.stats }
+
+// SetTrace attaches a flight recorder to the segment (nil to detach).
+// The net layer records frame transmissions (with the frame bytes, for
+// pcap export), receptions, and every fault-layer intervention with its
+// attribution.
+func (g *Segment) SetTrace(r *trace.Recorder) { g.tr = r }
 
 // Faults returns the segment's fault injector, creating it on first
 // use. Station names given to AttachNamed are the link names the
@@ -137,6 +145,9 @@ func (n *NIC) Transmit(data []byte) error {
 	g.medium.UseEvent(g.sim, sim.TaskPriority, txTime, func() {
 		g.stats.FramesSent++
 		g.stats.BytesSent += f.WireSize()
+		if g.tr.On(trace.LayerNet) {
+			g.tr.EmitFrame(trace.EvFrameTx, n.name, "", f.Data, int64(f.WireSize()))
+		}
 		g.inject(n, f)
 	})
 	return nil
@@ -153,8 +164,16 @@ func (g *Segment) inject(from *NIC, f Frame) {
 	// frame CRC would catch link-header damage, so modeling it would
 	// only test the simulator, not the protocol stack.
 	d := g.inj.Outbound(from.name, (len(f.Data)-wire.EthHeaderLen)*8)
+	on := g.tr.On(trace.LayerNet)
 	if d.Drop {
 		g.stats.FramesDropped++
+		if on {
+			reason := "loss"
+			if g.inj.Down(from.name) {
+				reason = "down"
+			}
+			g.tr.Emit(trace.LayerNet, trace.EvFrameDrop, from.name, "", reason, 0, 0, 0)
+		}
 		return
 	}
 	if d.CorruptBit >= 0 {
@@ -163,13 +182,22 @@ func (g *Segment) inject(from *NIC, f Frame) {
 		data[wire.EthHeaderLen+d.CorruptBit/8] ^= 1 << (d.CorruptBit % 8)
 		f = Frame{Data: data}
 		g.stats.FramesCorrupted++
+		if on {
+			g.tr.Emit(trace.LayerNet, trace.EvFrameCorrupt, from.name, "", "", int64(d.CorruptBit), 0, 0)
+		}
 	}
 	if d.Delay > 0 {
 		g.stats.FramesDelayed++
+		if on {
+			g.tr.Emit(trace.LayerNet, trace.EvFrameDelay, from.name, "", "", int64(d.Delay), 0, 0)
+		}
 	}
 	g.deliver(from, f, d.Delay)
 	if d.Dup {
 		g.stats.FramesDup++
+		if on {
+			g.tr.Emit(trace.LayerNet, trace.EvFrameDup, from.name, "", "", 0, 0, 0)
+		}
 		g.deliver(from, f, d.Delay)
 	}
 }
@@ -178,6 +206,9 @@ func (g *Segment) deliver(from *NIC, f Frame, delay time.Duration) {
 	hdr, err := wire.UnmarshalEth(f.Data)
 	if err != nil {
 		g.stats.FramesDropped++
+		if g.tr.On(trace.LayerNet) {
+			g.tr.Emit(trace.LayerNet, trace.EvFrameDrop, from.name, "", "malformed", 0, 0, 0)
+		}
 		return
 	}
 	for _, nic := range g.nics {
@@ -189,6 +220,9 @@ func (g *Segment) deliver(from *NIC, f Frame, delay time.Duration) {
 		}
 		if g.inj != nil && g.inj.Cut(from.name, nic.name) {
 			g.stats.PartitionDrops++
+			if g.tr.On(trace.LayerNet) {
+				g.tr.Emit(trace.LayerNet, trace.EvPartitionDrop, from.name, nic.name, "", 0, 0, 0)
+			}
 			continue
 		}
 		nic := nic
@@ -198,9 +232,18 @@ func (g *Segment) deliver(from *NIC, f Frame, delay time.Duration) {
 			continue
 		}
 		if delay == 0 {
+			if g.tr.On(trace.LayerNet) {
+				g.tr.Emit(trace.LayerNet, trace.EvFrameRx, nic.name, from.name, "", int64(len(f.Data)), 0, 0)
+			}
 			nic.Rx(f)
 		} else {
-			g.sim.After(delay, func() { nic.Rx(f) })
+			fromName := from.name
+			g.sim.After(delay, func() {
+				if g.tr.On(trace.LayerNet) {
+					g.tr.Emit(trace.LayerNet, trace.EvFrameRx, nic.name, fromName, "", int64(len(f.Data)), 0, 0)
+				}
+				nic.Rx(f)
+			})
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 	"repro/internal/mbuf"
 	"repro/internal/sim"
 	"repro/internal/socketapi"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -146,6 +147,9 @@ func (st *Stack) ipInput(t *sim.Proc, eh wire.EthHeader, pkt []byte) {
 		if errors.Is(err, wire.ErrChecksum) {
 			st.Stats.ChecksumErrors++
 			st.Stats.IPChecksumErrors++
+			if st.traceOn() {
+				st.traceEmit(trace.EvChecksumDrop, "", "ip", int64(len(pkt)), 0, 0)
+			}
 		}
 		st.Stats.Drops++
 		return
@@ -293,6 +297,9 @@ func (st *Stack) icmpInput(t *sim.Proc, h wire.IPv4Header, body []byte) {
 		if errors.Is(err, wire.ErrChecksum) {
 			st.Stats.ChecksumErrors++
 			st.Stats.ICMPChecksumErrors++
+			if st.traceOn() {
+				st.traceEmit(trace.EvChecksumDrop, "", "icmp", int64(len(body)), 0, 0)
+			}
 		}
 		st.Stats.Drops++
 		return

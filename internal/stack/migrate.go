@@ -102,7 +102,7 @@ func (st *Stack) ExportTCPSession(t *sim.Proc, s *Socket) (*TCPSessionState, err
 	// Detach without releasing the port.
 	s.portReserved = false
 	s.migratedElsewhere = true
-	tp.state = tcpClosed
+	tp.setState(tcpClosed)
 	for i := range tp.timers {
 		tp.timers[i] = 0
 	}
@@ -133,7 +133,7 @@ func (st *Stack) ImportTCPSession(t *sim.Proc, ss *TCPSessionState) *Socket {
 
 	tp := newTCPCB(st, s)
 	s.tcb = tp
-	tp.state = tcpState(ss.State)
+	tp.setState(tcpState(ss.State))
 	tp.sndUna, tp.sndNxt, tp.sndMax = ss.SndUna, ss.SndNxt, ss.SndMax
 	tp.sndWnd, tp.sndUp = ss.SndWnd, ss.SndUp
 	tp.sndWl1, tp.sndWl2, tp.iss = ss.SndWl1, ss.SndWl2, ss.ISS

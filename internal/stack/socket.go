@@ -189,7 +189,7 @@ func (st *Stack) Listen(s *Socket, backlog int) error {
 	s.listenBacklog = backlog
 	if s.tcb == nil {
 		s.tcb = newTCPCB(st, s)
-		s.tcb.state = tcpListen
+		s.tcb.setState(tcpListen)
 	}
 	return nil
 }
@@ -523,7 +523,7 @@ func (st *Stack) Close(t *sim.Proc, s *Socket) error {
 	s.accepting.Broadcast()
 	switch {
 	case s.tcb != nil && s.tcb.state == tcpListen:
-		s.tcb.state = tcpClosed
+		s.tcb.setState(tcpClosed)
 		st.deregister(s)
 	case s.tcb != nil:
 		if s.tcb.state < tcpEstablished {

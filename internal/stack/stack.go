@@ -27,6 +27,7 @@ import (
 	"repro/internal/costs"
 	"repro/internal/mbuf"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -125,6 +126,12 @@ type Config struct {
 	// connection; the peer's retransmission will reach the right address
 	// space.
 	OrphanFilter func(proto uint8, local, remote Addr) bool
+
+	// Trace, when set, is the flight recorder stack-layer events are
+	// emitted on: TCP state transitions, retransmissions, cwnd and RTT
+	// samples, and checksum discards. Tracing is passive — it charges no
+	// virtual CPU — and free when unset.
+	Trace *trace.Recorder
 }
 
 // Stack is one instance of the protocol stack.
@@ -225,6 +232,20 @@ func (st *Stack) charge(t *sim.Proc, tcp bool, comp costs.Component, n int) {
 	if st.cfg.Charge != nil {
 		st.cfg.Charge(t, tcp, comp, n)
 	}
+}
+
+// SetTrace attaches (or, with nil, detaches) a flight recorder after
+// construction. Deployments call it when the harness enables tracing.
+func (st *Stack) SetTrace(r *trace.Recorder) { st.cfg.Trace = r }
+
+// traceOn reports whether stack-layer tracing is live; every
+// instrumentation site guards on it so disabled tracing allocates
+// nothing.
+func (st *Stack) traceOn() bool { return st.cfg.Trace.On(trace.LayerStack) }
+
+// traceEmit records one stack-layer event tagged with the stack's name.
+func (st *Stack) traceEmit(e trace.Event, name, aux string, a0, a1, a2 int64) {
+	st.cfg.Trace.Emit(trace.LayerStack, e, st.cfg.Name, name, aux, a0, a1, a2)
 }
 
 func (st *Stack) lock(t *sim.Proc) { st.mu.Lock(t) }

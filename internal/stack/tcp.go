@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/mbuf"
 	"repro/internal/sim"
+	"repro/internal/trace"
 )
 
 // tcpState follows the BSD ordering so that `state >= tcpEstablished`
@@ -154,6 +155,38 @@ func newTCPCB(st *Stack, s *Socket) *tcpcb {
 	}
 }
 
+// connName renders the connection 4-tuple for trace records.
+func (tp *tcpcb) connName() string {
+	s := tp.sock
+	return fmt.Sprintf("%v:%d>%v:%d", s.local.IP, s.local.Port, s.remote.IP, s.remote.Port)
+}
+
+// traceOn is the stack guard, safe on a tcb with no stack attached
+// (unit tests build bare control blocks).
+func (tp *tcpcb) traceOn() bool { return tp.st != nil && tp.st.traceOn() }
+
+// setState moves the TCP state machine to ns, recording the transition
+// on the flight recorder. Every transition after tcb creation goes
+// through here; keeping the write in one place is what makes the trace
+// a complete state-machine oracle.
+func (tp *tcpcb) setState(ns tcpState) {
+	if tp.state == ns {
+		return
+	}
+	if tp.traceOn() {
+		tp.st.traceEmit(trace.EvTCPState, tp.connName(), tp.state.String()+" -> "+ns.String(), 0, 0, 0)
+	}
+	tp.state = ns
+}
+
+// traceCwnd records a congestion-window sample after any cwnd/ssthresh
+// change (growth, fast recovery, RTO collapse).
+func (tp *tcpcb) traceCwnd() {
+	if tp.traceOn() {
+		tp.st.traceEmit(trace.EvTCPCwnd, tp.connName(), "", int64(tp.cwnd), int64(tp.ssthresh), 0)
+	}
+}
+
 // effMSS applies deployment quirks to the MSS.
 func (tp *tcpcb) effMSS() int {
 	m := tp.mss
@@ -174,7 +207,7 @@ func (tp *tcpcb) connect(t *sim.Proc) error {
 	tp.iss = tp.st.iss()
 	tp.sndUna, tp.sndNxt, tp.sndMax = tp.iss, tp.iss, tp.iss
 	tp.sndUp = tp.iss
-	tp.state = tcpSynSent
+	tp.setState(tcpSynSent)
 	tp.timers[timerKeep] = tcpKeepInitTicks
 	tp.st.tcpOutput(t, tp)
 	return nil
@@ -186,11 +219,11 @@ func (tp *tcpcb) connect(t *sim.Proc) error {
 func (tp *tcpcb) usrClosed(t *sim.Proc) {
 	switch tp.state {
 	case tcpEstablished:
-		tp.state = tcpFinWait1
+		tp.setState(tcpFinWait1)
 	case tcpCloseWait:
-		tp.state = tcpLastAck
+		tp.setState(tcpLastAck)
 	case tcpSynRcvd:
-		tp.state = tcpFinWait1
+		tp.setState(tcpFinWait1)
 	}
 	tp.st.tcpOutput(t, tp)
 }
@@ -208,7 +241,7 @@ func (tp *tcpcb) drop(t *sim.Proc, err error) {
 // close releases the tcb and detaches the socket from the stack
 // (tcp_close).
 func (tp *tcpcb) close(t *sim.Proc) {
-	tp.state = tcpClosed
+	tp.setState(tcpClosed)
 	for i := range tp.timers {
 		tp.timers[i] = 0
 	}
@@ -247,6 +280,10 @@ func (tp *tcpcb) rttUpdate(rtt time.Duration) {
 		tp.rttvar = m / 2
 	}
 	tp.rexmtShift = 0
+	if tp.traceOn() {
+		tp.st.traceEmit(trace.EvTCPRTT, tp.connName(), "",
+			int64(rtt), int64(tp.srtt), int64(tp.rttvar))
+	}
 }
 
 // rexmtTicks returns the current retransmission timeout in slow ticks,

@@ -5,6 +5,7 @@ import (
 	"repro/internal/mbuf"
 	"repro/internal/sim"
 	"repro/internal/socketapi"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -15,6 +16,9 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	if !wire.VerifyTCPChecksum(ih.Src, ih.Dst, seg) {
 		st.Stats.ChecksumErrors++
 		st.Stats.TCPChecksumErrors++
+		if st.traceOn() {
+			st.traceEmit(trace.EvChecksumDrop, "", "tcp", int64(len(seg)), 0, 0)
+		}
 		return
 	}
 	th, hlen, err := wire.UnmarshalTCP(seg)
@@ -82,7 +86,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 		ntp.sndUp = ntp.iss
 		ntp.sndWnd = uint32(th.Window)
 		ntp.sndWl1, ntp.sndWl2 = th.Seq, 0
-		ntp.state = tcpSynRcvd
+		ntp.setState(tcpSynRcvd)
 		ntp.timers[timerKeep] = tcpKeepInitTicks
 		st.tcpOutput(t, ntp) // SYN|ACK
 		return
@@ -115,7 +119,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 		if th.Flags&flagACK != 0 && seqGT(th.Ack, tp.iss) {
 			// Our SYN is acknowledged: connection complete.
 			tp.sndUna = th.Ack
-			tp.state = tcpEstablished
+			tp.setState(tcpEstablished)
 			tp.timers[timerRexmt] = 0
 			tp.timers[timerKeep] = 0
 			tp.ackNow = true
@@ -124,7 +128,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 			st.tcpOutput(t, tp)
 		} else {
 			// Simultaneous open.
-			tp.state = tcpSynRcvd
+			tp.setState(tcpSynRcvd)
 			tp.ackNow = true
 			st.tcpOutput(t, tp)
 		}
@@ -209,7 +213,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 			st.tcpRespond(t, local, remote, th.Ack, 0, flagRST)
 			return
 		}
-		tp.state = tcpEstablished
+		tp.setState(tcpEstablished)
 		tp.timers[timerKeep] = 0
 		s.stateChanged.Broadcast()
 		if l := s.listener; l != nil && !l.closed {
@@ -243,6 +247,9 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 				// missing segment, inflate for the segments the dupacks
 				// acknowledge.
 				st.Stats.TCPFastRexmit++
+				if st.traceOn() {
+					st.traceEmit(trace.EvTCPRexmit, tp.connName(), "fast", int64(tp.dupAcks), 0, 0)
+				}
 				onxt := tp.sndNxt
 				win := tp.sndWnd
 				if tp.cwnd < win {
@@ -259,6 +266,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 				tp.cwnd = uint32(tp.effMSS())
 				st.tcpOutput(t, tp)
 				tp.cwnd = tp.ssthresh + 3*uint32(tp.effMSS())
+				tp.traceCwnd()
 				if seqGT(onxt, tp.sndNxt) {
 					tp.sndNxt = onxt
 				}
@@ -296,6 +304,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 		if tp.cwnd > 65535 {
 			tp.cwnd = 65535
 		}
+		tp.traceCwnd()
 
 		// Remove acknowledged bytes from the send buffer, accounting for
 		// SYN/FIN sequence numbers.
@@ -332,12 +341,12 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 		switch tp.state {
 		case tcpFinWait1:
 			if ourFinAcked {
-				tp.state = tcpFinWait2
+				tp.setState(tcpFinWait2)
 				s.stateChanged.Broadcast()
 			}
 		case tcpClosing:
 			if ourFinAcked {
-				tp.state = tcpTimeWait
+				tp.setState(tcpTimeWait)
 				tp.canonTimeWait()
 				s.stateChanged.Broadcast()
 			}
@@ -527,13 +536,13 @@ func (st *Stack) tcpHandleFin(t *sim.Proc, tp *tcpcb) {
 	s.sorwakeup(t, 0) // readers see EOF after draining
 	switch tp.state {
 	case tcpSynRcvd, tcpEstablished:
-		tp.state = tcpCloseWait
+		tp.setState(tcpCloseWait)
 	case tcpFinWait1:
 		// Our FIN not yet acked (or this segment acked it; the ACK path
 		// already moved us to FIN_WAIT_2 in that case).
-		tp.state = tcpClosing
+		tp.setState(tcpClosing)
 	case tcpFinWait2:
-		tp.state = tcpTimeWait
+		tp.setState(tcpTimeWait)
 		tp.canonTimeWait()
 	}
 	s.stateChanged.Broadcast()

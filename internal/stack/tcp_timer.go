@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/sim"
 	"repro/internal/socketapi"
+	"repro/internal/trace"
 )
 
 // tcpFastTimo runs every 200 ms and flushes delayed ACKs
@@ -77,6 +78,9 @@ func (st *Stack) tcpTimerFired(t *sim.Proc, tp *tcpcb, which int) {
 	case timerPersist:
 		// Probe the zero window, then re-arm with backoff.
 		st.Stats.TCPRexmit++
+		if st.traceOn() {
+			st.traceEmit(trace.EvTCPRexmit, tp.connName(), "persist", int64(tp.rexmtShift), 0, 0)
+		}
 		tp.force = true
 		st.tcpOutput(t, tp)
 		tp.force = false
@@ -119,6 +123,9 @@ func (st *Stack) tcpRexmtTimo(t *sim.Proc, tp *tcpcb) {
 		return
 	}
 	st.Stats.TCPRexmit++
+	if st.traceOn() {
+		st.traceEmit(trace.EvTCPRexmit, tp.connName(), "rto", int64(tp.rexmtShift), 0, 0)
+	}
 	tp.timers[timerRexmt] = tp.rexmtTicks()
 
 	// Karn: do not sample RTT across a retransmission.
@@ -136,6 +143,7 @@ func (st *Stack) tcpRexmtTimo(t *sim.Proc, tp *tcpcb) {
 	tp.ssthresh = half
 	tp.cwnd = uint32(tp.effMSS())
 	tp.dupAcks = 0
+	tp.traceCwnd()
 
 	tp.sndNxt = tp.sndUna
 	st.tcpOutput(t, tp)

@@ -4,6 +4,7 @@ import (
 	"repro/internal/costs"
 	"repro/internal/mbuf"
 	"repro/internal/sim"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -34,6 +35,9 @@ func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	if !wire.VerifyUDPChecksum(ih.Src, ih.Dst, seg) {
 		st.Stats.ChecksumErrors++
 		st.Stats.UDPChecksumErrors++
+		if st.traceOn() {
+			st.traceEmit(trace.EvChecksumDrop, "", "udp", int64(len(seg)), 0, 0)
+		}
 		return
 	}
 	h, err := wire.UnmarshalUDP(seg)

@@ -1,0 +1,80 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteChromeTrace exports the records as Chrome trace_event JSON
+// (load in chrome://tracing or https://ui.perfetto.dev). Each host
+// becomes a "process" (pid in first-appearance order), each layer a
+// "thread" within it, and every record an instant event carrying its
+// detail line; congestion-window samples additionally emit counter
+// events so cwnd/ssthresh render as a graph. The output is built
+// deterministically: same records, same bytes.
+func WriteChromeTrace(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	pids := map[string]int{}
+	var hosts []string
+	pidOf := func(host string) int {
+		if host == "" {
+			host = "(sim)"
+		}
+		if pid, ok := pids[host]; ok {
+			return pid
+		}
+		pid := len(pids) + 1
+		pids[host] = pid
+		hosts = append(hosts, host)
+		return pid
+	}
+
+	if _, err := io.WriteString(bw, "{\"traceEvents\":[\n"); err != nil {
+		return err
+	}
+	first := true
+	emit := func(line string) {
+		if !first {
+			bw.WriteString(",\n")
+		}
+		first = false
+		bw.WriteString(line)
+	}
+
+	// Pass 1: name the processes and threads in deterministic order.
+	for i := range recs {
+		pidOf(recs[i].Host)
+	}
+	for _, host := range hosts {
+		pid := pids[host]
+		emit(fmt.Sprintf(`{"name":"process_name","ph":"M","pid":%d,"tid":0,"args":{"name":%s}}`,
+			pid, strconv.Quote(host)))
+		for l := Layer(0); l < numLayers; l++ {
+			emit(fmt.Sprintf(`{"name":"thread_name","ph":"M","pid":%d,"tid":%d,"args":{"name":%s}}`,
+				pid, int(l), strconv.Quote(l.String())))
+		}
+	}
+
+	for i := range recs {
+		r := &recs[i]
+		pid := pidOf(r.Host)
+		ts := strconv.FormatFloat(float64(r.At)/1e3, 'f', 3, 64) // ns -> µs
+		emit(fmt.Sprintf(`{"name":%s,"ph":"i","s":"t","ts":%s,"pid":%d,"tid":%d,"args":{"detail":%s}}`,
+			strconv.Quote(r.Event.String()), ts, pid, int(r.Layer), strconv.Quote(r.Detail())))
+		if r.Event == EvTCPCwnd {
+			emit(fmt.Sprintf(`{"name":%s,"ph":"C","ts":%s,"pid":%d,"tid":%d,"args":{"cwnd":%d,"ssthresh":%d}}`,
+				strconv.Quote("cwnd "+r.Name), ts, pid, int(r.Layer), r.Arg0, r.Arg1))
+		}
+	}
+	if _, err := io.WriteString(bw, "\n],\"displayTimeUnit\":\"ns\"}\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// WriteChromeTrace exports the recorder's records as trace_event JSON.
+func (r *Recorder) WriteChromeTrace(w io.Writer) error {
+	return WriteChromeTrace(w, r.Records())
+}

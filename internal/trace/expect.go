@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Want describes one step of an expected event sequence. Event is
+// required. Host, when non-empty, must be a prefix of the record's Host
+// — so "alpha" matches both the link "alpha" and the stacks
+// "alpha.os-server" / "alpha.demo-client.lib". Contains, when
+// non-empty, must be a substring of the record's Detail() line.
+type Want struct {
+	Event    Event
+	Host     string
+	Contains string
+}
+
+func (w Want) String() string {
+	s := w.Event.String()
+	if w.Host != "" {
+		s += " host=" + w.Host
+	}
+	if w.Contains != "" {
+		s += fmt.Sprintf(" detail~%q", w.Contains)
+	}
+	return s
+}
+
+// Matches reports whether rec satisfies the step.
+func (w Want) Matches(rec *Record) bool {
+	if rec.Event != w.Event {
+		return false
+	}
+	if w.Host != "" && !strings.HasPrefix(rec.Host, w.Host) {
+		return false
+	}
+	if w.Contains != "" && !strings.Contains(rec.Detail(), w.Contains) {
+		return false
+	}
+	return true
+}
+
+// Expect checks that wants occurs as an ordered subsequence of recs:
+// each step must match a record strictly after the previous step's
+// match, with any number of other records in between. This is the
+// test-oracle form of "SYN, then SYN-ACK, then ACK, then ESTABLISHED":
+// it pins relative order without overconstraining unrelated traffic.
+//
+// On failure the error names the first unmatched step and lists the
+// candidate records of the same event type, so the mismatch is
+// diagnosable from the test log alone.
+func Expect(recs []Record, wants ...Want) error {
+	i := 0
+	for step, w := range wants {
+		found := -1
+		for ; i < len(recs); i++ {
+			if w.Matches(&recs[i]) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			return expectErr(recs, wants, step, w)
+		}
+		i = found + 1
+	}
+	return nil
+}
+
+func expectErr(recs []Record, wants []Want, step int, w Want) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace: step %d/%d not found: %s", step+1, len(wants), w)
+	var near []string
+	for i := range recs {
+		if recs[i].Event == w.Event {
+			near = append(near, recs[i].String())
+		}
+	}
+	if len(near) == 0 {
+		fmt.Fprintf(&b, "\n  (no %s records at all in %d records)", w.Event, len(recs))
+	} else {
+		if len(near) > 8 {
+			near = near[len(near)-8:]
+		}
+		fmt.Fprintf(&b, "\n  %s records seen (any position):", w.Event)
+		for _, s := range near {
+			fmt.Fprintf(&b, "\n    %s", s)
+		}
+	}
+	return fmt.Errorf("%s", b.String())
+}
+
+// Find returns every record matching w, in order.
+func Find(recs []Record, w Want) []Record {
+	var out []Record
+	for i := range recs {
+		if w.Matches(&recs[i]) {
+			out = append(out, recs[i])
+		}
+	}
+	return out
+}
+
+// Count returns the number of records matching w.
+func Count(recs []Record, w Want) int {
+	n := 0
+	for i := range recs {
+		if w.Matches(&recs[i]) {
+			n++
+		}
+	}
+	return n
+}

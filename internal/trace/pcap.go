@@ -1,0 +1,102 @@
+package trace
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/sim"
+)
+
+// Pcap constants: the classic libpcap file format with the
+// nanosecond-resolution magic, so Wireshark shows virtual timestamps
+// exactly. Link type 1 is Ethernet.
+const (
+	pcapMagicNanos   = 0xa1b23c4d
+	pcapVersionMajor = 2
+	pcapVersionMinor = 4
+	pcapSnapLen      = 65535
+	pcapLinkEthernet = 1
+)
+
+// WritePcap writes every captured frame (EvFrameTx records) as a pcap
+// stream. Timestamps are the virtual transmit times, so the capture is
+// byte-identical across runs with the same seed.
+func WritePcap(w io.Writer, recs []Record) error {
+	var hdr [24]byte
+	le := binary.LittleEndian
+	le.PutUint32(hdr[0:], pcapMagicNanos)
+	le.PutUint16(hdr[4:], pcapVersionMajor)
+	le.PutUint16(hdr[6:], pcapVersionMinor)
+	// thiszone and sigfigs stay zero.
+	le.PutUint32(hdr[16:], pcapSnapLen)
+	le.PutUint32(hdr[20:], pcapLinkEthernet)
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	var rec [16]byte
+	for i := range recs {
+		r := &recs[i]
+		if r.Event != EvFrameTx {
+			continue
+		}
+		ns := int64(r.At)
+		le.PutUint32(rec[0:], uint32(ns/1e9))
+		le.PutUint32(rec[4:], uint32(ns%1e9))
+		le.PutUint32(rec[8:], uint32(len(r.Frame)))
+		le.PutUint32(rec[12:], uint32(len(r.Frame)))
+		if _, err := w.Write(rec[:]); err != nil {
+			return err
+		}
+		if _, err := w.Write(r.Frame); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WritePcap exports the recorder's frame stream as pcap.
+func (r *Recorder) WritePcap(w io.Writer) error { return WritePcap(w, r.Records()) }
+
+// PcapPacket is one packet read back from a pcap stream.
+type PcapPacket struct {
+	At   sim.Time
+	Data []byte
+}
+
+// ReadPcap parses a pcap stream produced by WritePcap (little-endian,
+// nanosecond magic) and returns the packets, for round-trip tests.
+func ReadPcap(r io.Reader) ([]PcapPacket, error) {
+	var hdr [24]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, fmt.Errorf("trace: short pcap header: %w", err)
+	}
+	le := binary.LittleEndian
+	if m := le.Uint32(hdr[0:]); m != pcapMagicNanos {
+		return nil, fmt.Errorf("trace: bad pcap magic %#08x (want nanosecond %#08x)", m, uint32(pcapMagicNanos))
+	}
+	if lt := le.Uint32(hdr[20:]); lt != pcapLinkEthernet {
+		return nil, fmt.Errorf("trace: unexpected link type %d", lt)
+	}
+	var pkts []PcapPacket
+	var rec [16]byte
+	for {
+		if _, err := io.ReadFull(r, rec[:]); err != nil {
+			if err == io.EOF {
+				return pkts, nil
+			}
+			return nil, fmt.Errorf("trace: short pcap record header: %w", err)
+		}
+		sec := int64(le.Uint32(rec[0:]))
+		nsec := int64(le.Uint32(rec[4:]))
+		incl := le.Uint32(rec[8:])
+		if incl > pcapSnapLen {
+			return nil, fmt.Errorf("trace: pcap record length %d exceeds snaplen", incl)
+		}
+		data := make([]byte, incl)
+		if _, err := io.ReadFull(r, data); err != nil {
+			return nil, fmt.Errorf("trace: short pcap packet body: %w", err)
+		}
+		pkts = append(pkts, PcapPacket{At: sim.Time(sec*1e9 + nsec), Data: data})
+	}
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Detail renders the event-specific portion of a record as one line of
+// text. The output is stable across runs for a given seed: it contains
+// only virtual quantities.
+func (rec Record) Detail() string {
+	switch rec.Event {
+	case EvDispatch:
+		if rec.Name == "" {
+			return "dispatch timer"
+		}
+		return "dispatch " + rec.Name
+	case EvPark:
+		return "park " + rec.Name
+	case EvUnpark:
+		return "unpark " + rec.Name
+	case EvFrameTx:
+		return fmt.Sprintf("tx %dB %s", rec.Arg0, DecodeFrame(rec.Frame))
+	case EvFrameRx:
+		return fmt.Sprintf("rx %dB from %s", rec.Arg0, rec.Name)
+	case EvFrameDrop:
+		return fmt.Sprintf("drop (%s)", rec.Aux)
+	case EvFrameCorrupt:
+		return fmt.Sprintf("corrupt bit=%d", rec.Arg0)
+	case EvFrameDup:
+		return "dup"
+	case EvFrameDelay:
+		return fmt.Sprintf("delay %v", time.Duration(rec.Arg0))
+	case EvPartitionDrop:
+		return "partition-drop to " + rec.Name
+	case EvFilterMatch:
+		return fmt.Sprintf("filter match id=%d examined=%dB", rec.Arg0, rec.Arg1)
+	case EvFilterMiss:
+		return "filter miss (no endpoint)"
+	case EvTCPState:
+		return fmt.Sprintf("state %s %s", rec.Name, rec.Aux)
+	case EvTCPRexmit:
+		return fmt.Sprintf("rexmit(%s) %s shift=%d", rec.Aux, rec.Name, rec.Arg0)
+	case EvTCPCwnd:
+		return fmt.Sprintf("cwnd %s cwnd=%d ssthresh=%d", rec.Name, rec.Arg0, rec.Arg1)
+	case EvTCPRTT:
+		return fmt.Sprintf("rtt %s sample=%v srtt=%v rttvar=%v", rec.Name,
+			time.Duration(rec.Arg0), time.Duration(rec.Arg1), time.Duration(rec.Arg2))
+	case EvChecksumDrop:
+		return fmt.Sprintf("checksum-drop (%s)", rec.Aux)
+	case EvSession:
+		return fmt.Sprintf("session %s sid=%d proto=%s", rec.Aux, rec.Arg0, rec.Name)
+	case EvPortOp:
+		return fmt.Sprintf("port %s %s/%d", rec.Aux, rec.Name, rec.Arg0)
+	case EvConnSetup:
+		return fmt.Sprintf("conn-setup %s sid=%d", rec.Name, rec.Arg0)
+	case EvConnTeardown:
+		return fmt.Sprintf("conn-teardown %s sid=%d", rec.Name, rec.Arg0)
+	case EvMigrate:
+		return fmt.Sprintf("migrate %s %s sid=%d", rec.Aux, rec.Name, rec.Arg0)
+	case EvOrphanAbort:
+		return fmt.Sprintf("orphan-abort sid=%d", rec.Arg0)
+	}
+	return rec.Event.String()
+}
+
+// String renders the full one-line form: virtual time, host, layer,
+// detail.
+func (rec Record) String() string {
+	host := rec.Host
+	if host == "" {
+		host = "-"
+	}
+	return fmt.Sprintf("%14v  %-22s %-6s %s", rec.At.Duration(), host, rec.Layer, rec.Detail())
+}
+
+// WriteText writes the records as human-readable text, one per line.
+// Same records in, same bytes out.
+func WriteText(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	for i := range recs {
+		if _, err := fmt.Fprintln(bw, recs[i].String()); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteText exports every retained record as text.
+func (r *Recorder) WriteText(w io.Writer) error { return WriteText(w, r.Records()) }
+
+// DecodeFrame renders a captured Ethernet frame as a tcpdump-style
+// one-liner (ARP, IPv4, UDP, TCP, ICMP).
+func DecodeFrame(frame []byte) string {
+	eh, err := wire.UnmarshalEth(frame)
+	if err != nil {
+		return fmt.Sprintf("malformed frame (%d bytes)", len(frame))
+	}
+	switch eh.Type {
+	case wire.EtherTypeARP:
+		p, err := wire.UnmarshalARP(frame[wire.EthHeaderLen:])
+		if err != nil {
+			return "malformed ARP"
+		}
+		if p.Op == wire.ARPRequest {
+			return fmt.Sprintf("ARP who-has %v tell %v", p.TargetIP, p.SenderIP)
+		}
+		return fmt.Sprintf("ARP reply %v is-at %v", p.SenderIP, p.SenderMAC)
+	case wire.EtherTypeIPv4:
+		h, hl, err := wire.UnmarshalIPv4(frame[wire.EthHeaderLen:])
+		if err != nil {
+			return "malformed IPv4"
+		}
+		body := frame[wire.EthHeaderLen+hl:]
+		if int(h.TotalLen) <= len(frame)-wire.EthHeaderLen {
+			body = frame[wire.EthHeaderLen+hl : wire.EthHeaderLen+int(h.TotalLen)]
+		}
+		if h.IsFragment() {
+			return fmt.Sprintf("IP %v > %v: %s fragment off=%d mf=%v len=%d",
+				h.Src, h.Dst, wire.ProtoName(h.Proto), int(h.FragOff)*8, h.MoreFragments(), len(body))
+		}
+		switch h.Proto {
+		case wire.ProtoUDP:
+			u, err := wire.UnmarshalUDP(body)
+			if err != nil {
+				return "malformed UDP"
+			}
+			return fmt.Sprintf("UDP %v:%d > %v:%d len=%d",
+				h.Src, u.SrcPort, h.Dst, u.DstPort, int(u.Length)-wire.UDPHeaderLen)
+		case wire.ProtoTCP:
+			th, hl2, err := wire.UnmarshalTCP(body)
+			if err != nil {
+				return "malformed TCP"
+			}
+			payload := len(body) - hl2
+			extra := ""
+			if th.MSS != 0 {
+				extra = fmt.Sprintf(" mss=%d", th.MSS)
+			}
+			return fmt.Sprintf("TCP %v:%d > %v:%d [%s] seq=%d ack=%d win=%d len=%d%s",
+				h.Src, th.SrcPort, h.Dst, th.DstPort,
+				wire.FlagString(th.Flags), th.Seq, th.Ack, th.Window, payload, extra)
+		case wire.ProtoICMP:
+			ih, _, err := wire.UnmarshalICMP(body)
+			if err != nil {
+				return "malformed ICMP"
+			}
+			return fmt.Sprintf("ICMP %v > %v type=%d code=%d", h.Src, h.Dst, ih.Type, ih.Code)
+		}
+		return fmt.Sprintf("IP %v > %v proto=%d", h.Src, h.Dst, h.Proto)
+	}
+	return fmt.Sprintf("ethertype %#04x (%d bytes)", eh.Type, len(frame))
+}

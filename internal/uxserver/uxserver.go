@@ -21,6 +21,7 @@ import (
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
 	"repro/internal/stack"
+	"repro/internal/trace"
 	"repro/internal/wire"
 )
 
@@ -42,6 +43,13 @@ type System struct {
 	// Observer, when set, receives every protocol-layer charge (Table 4
 	// instrumentation).
 	Observer func(comp costs.Component, d time.Duration)
+}
+
+// SetTrace attaches a flight recorder to the system: the kernel host's
+// packet-filter layer and the server's protocol stack.
+func (sys *System) SetTrace(r *trace.Recorder) {
+	sys.Host.Trace = r
+	sys.St.SetTrace(r)
 }
 
 // handle is a server-side session handle, shared across fork.

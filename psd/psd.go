@@ -32,8 +32,31 @@ import (
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
+	"repro/internal/trace"
 	"repro/internal/uxserver"
 	"repro/internal/wire"
+)
+
+// Flight-recorder types, re-exported so tooling and tests can consume
+// traces without importing internal packages.
+type (
+	// Recorder is the deterministic flight recorder (see Config.Trace).
+	Recorder = trace.Recorder
+	// TraceRecord is one recorded event.
+	TraceRecord = trace.Record
+	// TraceLayer selects which subsystems the recorder captures.
+	TraceLayer = trace.Layer
+	// TraceWant is one step of an ordered-subsequence trace oracle.
+	TraceWant = trace.Want
+)
+
+// Trace layers, re-exported for Config.Trace.
+const (
+	TraceSim    = trace.LayerSim
+	TraceNet    = trace.LayerNet
+	TraceFilter = trace.LayerFilter
+	TraceStack  = trace.LayerStack
+	TraceCore   = trace.LayerCore
 )
 
 // Re-exported application-facing types.
@@ -96,15 +119,53 @@ func ServerBased() Arch { return Arch{kind: 2, prof: costs.CalibrateTable2(costs
 type Network struct {
 	sim  *sim.Sim
 	seg  *simnet.Segment
+	rec  *trace.Recorder
 	next byte
 }
 
-// New creates a network; runs are deterministic for a given seed.
-func New(seed int64) *Network {
-	s := sim.New(seed)
-	s.Deadline = sim.Time(2 * time.Hour)
-	return &Network{sim: s, seg: simnet.NewSegment(s)}
+// Config collects network construction options beyond the seed.
+type Config struct {
+	// Seed drives every pseudo-random decision; runs with the same seed
+	// and workload are bit-identical.
+	Seed int64
+
+	// Deadline bounds virtual time (0 means the 2 h default).
+	Deadline time.Duration
+
+	// Trace lists the flight-recorder layers to capture (TraceSim,
+	// TraceNet, TraceFilter, TraceStack, TraceCore). Empty means tracing
+	// is off and costs nothing on any hot path.
+	Trace []TraceLayer
+
+	// TraceLimit caps the number of retained records (0 = unlimited).
+	TraceLimit int
 }
+
+// New creates a network; runs are deterministic for a given seed.
+func New(seed int64) *Network { return NewConfig(Config{Seed: seed}) }
+
+// NewConfig creates a network with explicit options.
+func NewConfig(cfg Config) *Network {
+	s := sim.New(cfg.Seed)
+	s.Deadline = sim.Time(2 * time.Hour)
+	if cfg.Deadline > 0 {
+		s.Deadline = sim.Time(cfg.Deadline)
+	}
+	n := &Network{sim: s, seg: simnet.NewSegment(s)}
+	if len(cfg.Trace) > 0 {
+		n.rec = trace.New(s, cfg.Trace...)
+		if cfg.TraceLimit > 0 {
+			n.rec.SetLimit(cfg.TraceLimit)
+		}
+		n.seg.SetTrace(n.rec)
+		s.SetTracer(n.rec.SimTracer())
+	}
+	return n
+}
+
+// Trace returns the flight recorder, or nil when tracing was not
+// enabled in the Config.
+func (n *Network) Trace() *Recorder { return n.rec }
 
 // Sim exposes the underlying simulator for advanced use (timers, custom
 // processes).
@@ -148,13 +209,22 @@ func (n *Network) Host(name, addr string, arch Arch) *Host {
 	switch arch.kind {
 	case 0:
 		sys := core.New(n.sim, n.seg, name, mac, ip, arch.prof, arch.srv)
+		if n.rec != nil {
+			sys.SetTrace(n.rec)
+		}
 		h.newApp = func(app string) App { return sys.NewLibrary(app) }
 		h.core = sys
 	case 1:
 		sys := inkernel.New(n.sim, n.seg, name, mac, ip, arch.prof)
+		if n.rec != nil {
+			sys.SetTrace(n.rec)
+		}
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
 	case 2:
 		sys := uxserver.New(n.sim, n.seg, name, mac, ip, arch.prof)
+		if n.rec != nil {
+			sys.SetTrace(n.rec)
+		}
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
 	}
 	return h

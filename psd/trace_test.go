@@ -1,0 +1,310 @@
+package psd_test
+
+import (
+	"bytes"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/trace"
+	"repro/internal/wire"
+	"repro/psd"
+)
+
+// tracedTransfer runs a small client->server TCP transfer (connect, send
+// total bytes, close both ways) on the given architecture with the given
+// trace layers enabled, and returns the finished network.
+func tracedTransfer(t *testing.T, arch psd.Arch, seed int64, plan string, total int, layers ...psd.TraceLayer) *psd.Network {
+	t.Helper()
+	n := psd.NewConfig(psd.Config{Seed: seed, Trace: layers})
+	if plan != "" {
+		if err := n.ApplyFaultPlan(plan); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := n.Host("a", "10.0.0.1", arch)
+	b := n.Host("b", "10.0.0.2", arch)
+	t.Cleanup(func() { dumpTraceOnFailure(t, n) })
+
+	srv := b.NewApp("sink")
+	n.Spawn("sink", func(p *psd.Thread) {
+		ls, _ := srv.Socket(p, psd.SockStream)
+		srv.Bind(p, ls, psd.SockAddr{Port: 9})
+		srv.Listen(p, ls, 1)
+		fd, _, err := srv.Accept(p, ls)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		buf := make([]byte, 4096)
+		got := 0
+		for {
+			nr, err := srv.Recv(p, fd, buf, 0)
+			if err != nil {
+				t.Errorf("recv: %v", err)
+				return
+			}
+			if nr == 0 {
+				break
+			}
+			got += nr
+		}
+		if got != total {
+			t.Errorf("sink got %d of %d bytes", got, total)
+		}
+		srv.Close(p, fd)
+		srv.Close(p, ls)
+	})
+
+	cli := a.NewApp("source")
+	n.Spawn("source", func(p *psd.Thread) {
+		p.Sleep(time.Millisecond)
+		fd, _ := cli.Socket(p, psd.SockStream)
+		if err := cli.Connect(p, fd, b.Addr(9)); err != nil {
+			t.Errorf("connect: %v", err)
+			return
+		}
+		payload := make([]byte, total)
+		if _, err := cli.Send(p, fd, payload, 0); err != nil {
+			t.Errorf("send: %v", err)
+			return
+		}
+		cli.Close(p, fd)
+	})
+
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Run ends when the app threads exit; drain the protocol timers so
+	// the tail of the FIN handshake (TIME_WAIT entry) is on the trace.
+	if err := n.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return n
+}
+
+// dumpTraceOnFailure writes a failing test's trace as text and pcap
+// into $PSD_TRACE_DIR, so CI can upload the artifacts for post-mortem
+// inspection in an editor or Wireshark.
+func dumpTraceOnFailure(t *testing.T, n *psd.Network) {
+	dir := os.Getenv("PSD_TRACE_DIR")
+	if dir == "" || !t.Failed() || n.Trace() == nil {
+		return
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		t.Logf("trace dump: %v", err)
+		return
+	}
+	base := filepath.Join(dir, strings.ReplaceAll(t.Name(), "/", "_"))
+	for _, out := range []struct {
+		path  string
+		write func(io.Writer) error
+	}{
+		{base + ".txt", n.Trace().WriteText},
+		{base + ".pcap", n.Trace().WritePcap},
+	} {
+		f, err := os.Create(out.path)
+		if err == nil {
+			err = out.write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			t.Logf("trace dump: %v", err)
+			return
+		}
+	}
+	t.Logf("trace artifacts written to %s.{txt,pcap}", base)
+}
+
+var traceArchs = []struct {
+	name string
+	a    func() psd.Arch
+}{
+	{"inkernel", psd.InKernel},
+	{"server", psd.ServerBased},
+	{"library", psd.Decomposed},
+}
+
+// TestTraceHandshakeOracle asserts the full TCP three-way handshake as
+// an ordered event sequence — SYN sent after SYN_SENT, SYN|ACK after the
+// passive open reaches SYN_RCVD, ESTABLISHED on the client before its
+// first data segment — on every protocol architecture. This is the
+// paper's compatibility claim expressed at the event level rather than
+// as end-state byte counts.
+func TestTraceHandshakeOracle(t *testing.T) {
+	for _, ac := range traceArchs {
+		ac := ac
+		t.Run(ac.name, func(t *testing.T) {
+			n := tracedTransfer(t, ac.a(), 5, "", 4096, psd.TraceNet, psd.TraceStack)
+			recs := n.Trace().Records()
+			err := trace.Expect(recs,
+				trace.Want{Event: trace.EvTCPState, Host: "a", Contains: "-> SYN_SENT"},
+				trace.Want{Event: trace.EvFrameTx, Host: "a", Contains: "[SYN]"},
+				trace.Want{Event: trace.EvTCPState, Host: "b", Contains: "-> SYN_RCVD"},
+				trace.Want{Event: trace.EvFrameTx, Host: "b", Contains: "[SYN|ACK]"},
+				trace.Want{Event: trace.EvTCPState, Host: "a", Contains: "SYN_SENT -> ESTABLISHED"},
+				trace.Want{Event: trace.EvFrameTx, Host: "a", Contains: "len=1460"},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTraceTeardownOracle asserts the FIN teardown ordering: the active
+// closer enters FIN_WAIT_1 and sends a FIN, the passive side passes
+// through CLOSE_WAIT and LAST_ACK, and the active side ends in
+// TIME_WAIT — again on all three architectures.
+func TestTraceTeardownOracle(t *testing.T) {
+	for _, ac := range traceArchs {
+		ac := ac
+		t.Run(ac.name, func(t *testing.T) {
+			n := tracedTransfer(t, ac.a(), 5, "", 4096, psd.TraceNet, psd.TraceStack)
+			recs := n.Trace().Records()
+			err := trace.Expect(recs,
+				trace.Want{Event: trace.EvTCPState, Host: "a", Contains: "-> FIN_WAIT_1"},
+				// The FIN may ride on the final data segment (FIN|PSH|ACK).
+				trace.Want{Event: trace.EvFrameTx, Host: "a", Contains: "FIN"},
+				trace.Want{Event: trace.EvTCPState, Host: "b", Contains: "-> CLOSE_WAIT"},
+				trace.Want{Event: trace.EvTCPState, Host: "b", Contains: "-> LAST_ACK"},
+				trace.Want{Event: trace.EvTCPState, Host: "a", Contains: "-> TIME_WAIT"},
+			)
+			if err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestTraceRexmitAfterDrop takes the link down mid-transfer with a fault
+// plan and asserts the recovery ordering: a frame dropped with "down"
+// attribution, then an RTO retransmission, then a successful data frame
+// — and that the transfer still completes (checked inside the helper).
+func TestTraceRexmitAfterDrop(t *testing.T) {
+	n := tracedTransfer(t, psd.Decomposed(), 9, "@15ms down a for=1500ms", 32*1024,
+		psd.TraceNet, psd.TraceStack)
+	recs := n.Trace().Records()
+	err := trace.Expect(recs,
+		trace.Want{Event: trace.EvFrameDrop, Host: "a", Contains: "down"},
+		trace.Want{Event: trace.EvTCPRexmit, Host: "a", Contains: "rexmit(rto)"},
+		trace.Want{Event: trace.EvFrameTx, Host: "a", Contains: "len=1460"},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c := trace.Count(recs, trace.Want{Event: trace.EvTCPRexmit}); c == 0 {
+		t.Fatal("no retransmissions recorded during a 1.5s outage")
+	}
+}
+
+// TestTraceDeterminism runs the same seeded workload twice and requires
+// byte-identical text and pcap exports: the recorder must not perturb
+// the simulation, and its own output must be reproducible. Run with
+// -count=2 in CI to also catch cross-process nondeterminism.
+func TestTraceDeterminism(t *testing.T) {
+	render := func() (text, pcap []byte) {
+		n := tracedTransfer(t, psd.Decomposed(), 17, "", 16*1024,
+			psd.TraceNet, psd.TraceStack, psd.TraceCore)
+		var tb, pb bytes.Buffer
+		if err := n.Trace().WriteText(&tb); err != nil {
+			t.Fatal(err)
+		}
+		if err := n.Trace().WritePcap(&pb); err != nil {
+			t.Fatal(err)
+		}
+		return tb.Bytes(), pb.Bytes()
+	}
+	t1, p1 := render()
+	t2, p2 := render()
+	if !bytes.Equal(t1, t2) {
+		t.Error("text export differs between identical seeded runs")
+	}
+	if !bytes.Equal(p1, p2) {
+		t.Error("pcap export differs between identical seeded runs")
+	}
+}
+
+// TestTracePcapRoundTrip exports a run to pcap, re-parses every frame
+// with the wire decoders, and checks the file against the live trace:
+// same frame count, same virtual timestamps, same bytes, and intact
+// IPv4/TCP/UDP checksums.
+func TestTracePcapRoundTrip(t *testing.T) {
+	n := tracedTransfer(t, psd.Decomposed(), 23, "", 8*1024, psd.TraceNet)
+	rec := n.Trace()
+
+	var pb bytes.Buffer
+	if err := rec.WritePcap(&pb); err != nil {
+		t.Fatal(err)
+	}
+	pkts, err := trace.ReadPcap(&pb)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txs := trace.Find(rec.Records(), trace.Want{Event: trace.EvFrameTx})
+	if len(pkts) != len(txs) {
+		t.Fatalf("pcap has %d frames, trace has %d tx records", len(pkts), len(txs))
+	}
+	for i, pkt := range pkts {
+		rec := txs[i]
+		if pkt.At != rec.At {
+			t.Fatalf("frame %d: pcap timestamp %v != trace %v", i, pkt.At, rec.At)
+		}
+		if !bytes.Equal(pkt.Data, rec.Frame) {
+			t.Fatalf("frame %d: pcap bytes differ from trace", i)
+		}
+		eh, err := wire.UnmarshalEth(pkt.Data)
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if eh.Type != wire.EtherTypeIPv4 {
+			continue
+		}
+		ih, hl, err := wire.UnmarshalIPv4(pkt.Data[wire.EthHeaderLen:])
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if sum := wire.Checksum(pkt.Data[wire.EthHeaderLen : wire.EthHeaderLen+hl]); sum != 0 {
+			t.Fatalf("frame %d: IPv4 header checksum does not verify (sum=%#x)", i, sum)
+		}
+		if ih.IsFragment() {
+			continue
+		}
+		body := pkt.Data[wire.EthHeaderLen+hl : wire.EthHeaderLen+int(ih.TotalLen)]
+		switch ih.Proto {
+		case wire.ProtoTCP:
+			if !wire.VerifyTCPChecksum(ih.Src, ih.Dst, body) {
+				t.Fatalf("frame %d: TCP checksum does not verify", i)
+			}
+		case wire.ProtoUDP:
+			if !wire.VerifyUDPChecksum(ih.Src, ih.Dst, body) {
+				t.Fatalf("frame %d: UDP checksum does not verify", i)
+			}
+		}
+	}
+}
+
+// TestTracePerturbation compares the virtual end time of a traced run
+// against the identical untraced run. Tracing is passive — it charges no
+// virtual time and schedules nothing — so the budget here (2%) is a
+// regression tripwire; today the difference is exactly zero.
+func TestTracePerturbation(t *testing.T) {
+	endTime := func(layers ...psd.TraceLayer) time.Duration {
+		n := tracedTransfer(t, psd.Decomposed(), 29, "", 16*1024, layers...)
+		return n.Now()
+	}
+	off := endTime()
+	on := endTime(psd.TraceSim, psd.TraceNet, psd.TraceFilter, psd.TraceStack, psd.TraceCore)
+	diff := on - off
+	if diff < 0 {
+		diff = -diff
+	}
+	if off == 0 || float64(diff)/float64(off) > 0.02 {
+		t.Fatalf("tracing perturbed virtual time: untraced %v, traced %v", off, on)
+	}
+}
