@@ -19,6 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/fault"
@@ -42,7 +45,40 @@ func main() {
 	jitter := flag.Duration("jitter", 0, "uniform random delay added per frame")
 	faultPlan := flag.String("faultplan", "", "fault plan (DSL, see EXPERIMENTS.md), e.g. '@2s partition A|B for=500ms'")
 	traceDir := flag.String("trace", "", "record every run on the flight recorder and dump the slowest run's trace (text, pcap, Chrome JSON) into this directory")
+	jsonOut := flag.String("json", "", "run the wall-clock hot-path suite and write BENCH_hotpath-style JSON to this file (\"-\" for stdout)")
+	benchLabel := flag.String("label", "", "label stored in the -json report (default: current date)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer f.Close()
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+		}()
+	}
 
 	if *traceDir != "" {
 		bench.EnableTrace(0)
@@ -117,6 +153,13 @@ func main() {
 		ran = true
 		fmt.Println(bench.FormatAblations(bench.RunAblations(opt)))
 	}
+	if *jsonOut != "" {
+		ran = true
+		if err := runHotpath(*jsonOut, *benchLabel, opt); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -134,6 +177,38 @@ func main() {
 		}
 		fmt.Println(msg)
 	}
+}
+
+// runHotpath measures the wall-clock hot path and writes the JSON report.
+func runHotpath(path, label string, opt Options) error {
+	results, err := bench.RunHotpath(0, 0)
+	if err != nil {
+		return err
+	}
+	if label == "" {
+		label = "psdbench"
+	}
+	rep := bench.HotpathReport{
+		Label:   label,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Results: results,
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteHotpathJSON(out, rep); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("wrote hot-path report to %s\n", path)
+	}
+	return nil
 }
 
 func runTable4(opt Options) {

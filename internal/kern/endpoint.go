@@ -27,7 +27,8 @@ type Packet struct {
 // endpoint).
 type Endpoint struct {
 	host    *Host
-	queue   []Packet
+	queue   []Packet // ring: live packets are queue[head:]
+	head    int
 	depth   int
 	avail   sim.Cond
 	filters []int
@@ -35,6 +36,23 @@ type Endpoint struct {
 
 	Delivered int
 	Drops     int
+}
+
+// pending returns the number of queued packets.
+func (e *Endpoint) pending() int { return len(e.queue) - e.head }
+
+// pop removes the head packet; the caller has checked pending() > 0. The
+// head index resets when the queue drains, so the steady state reuses the
+// same backing array instead of allocating per packet.
+func (e *Endpoint) pop() Packet {
+	pkt := e.queue[e.head]
+	e.queue[e.head] = Packet{}
+	e.head++
+	if e.head == len(e.queue) {
+		e.queue = e.queue[:0]
+		e.head = 0
+	}
+	return pkt
 }
 
 // NewEndpoint creates an endpoint with the given queue depth (0 means
@@ -104,7 +122,7 @@ func (e *Endpoint) deliver(h *Host, f simnet.Frame, payload int) {
 	if e.closed {
 		return
 	}
-	if len(e.queue) >= e.depth {
+	if e.pending() >= e.depth {
 		e.Drops++
 		h.RxDropped++
 		return
@@ -119,14 +137,13 @@ func (e *Endpoint) deliver(h *Host, f simnet.Frame, payload int) {
 // endpoint closes. In IPC delivery mode each dequeue pays the per-message
 // receive cost; in the shared-memory modes the ring is drained directly.
 func (e *Endpoint) Recv(p *sim.Proc) (Packet, bool) {
-	for len(e.queue) == 0 && !e.closed {
+	for e.pending() == 0 && !e.closed {
 		e.avail.Wait(p)
 	}
-	if len(e.queue) == 0 {
+	if e.pending() == 0 {
 		return Packet{}, false
 	}
-	pkt := e.queue[0]
-	e.queue = e.queue[1:]
+	pkt := e.pop()
 	if e.host.Prof.Delivery == costs.DeliverIPC {
 		if c := e.host.Prof.IPCRecvPerPacket.At(pkt.Payload); c > 0 {
 			e.host.ChargeProc(p, c)
@@ -137,15 +154,15 @@ func (e *Endpoint) Recv(p *sim.Proc) (Packet, bool) {
 
 // TryRecv dequeues a packet if one is queued, without blocking.
 func (e *Endpoint) TryRecv(p *sim.Proc) (Packet, bool) {
-	if len(e.queue) == 0 {
+	if e.pending() == 0 {
 		return Packet{}, false
 	}
 	return e.Recv(p)
 }
 
 // Pending returns the number of queued packets.
-func (e *Endpoint) Pending() int { return len(e.queue) }
+func (e *Endpoint) Pending() int { return e.pending() }
 
 func (e *Endpoint) String() string {
-	return fmt.Sprintf("endpoint(%s, %d queued, %d filters)", e.host.Name, len(e.queue), len(e.filters))
+	return fmt.Sprintf("endpoint(%s, %d queued, %d filters)", e.host.Name, e.pending(), len(e.filters))
 }

@@ -56,6 +56,8 @@ type Host struct {
 	RxDropped     int
 	TxBlocked     int
 	DeliveryBytes int
+
+	freeRx []*rxJob // recycled receive-path jobs
 }
 
 // NewHost attaches a new machine to the segment.
@@ -117,38 +119,87 @@ func payloadLen(frame []byte) int {
 	return n
 }
 
+// rxJob carries one frame through the staged receive path. Jobs are
+// pooled per host, and the stage continuations are bound once at job
+// construction, so the steady-state receive path schedules no new
+// closures per frame.
+type rxJob struct {
+	h  *Host
+	f  simnet.Frame
+	pc *costs.PathCosts
+	n  int
+	ep *Endpoint
+
+	filterFn  func() // charges the software interrupt after the device charge
+	matchFn   func() // runs the packet filter after the softint charge
+	deliverFn func() // delivers to the endpoint after the copyout charge
+}
+
+func (h *Host) getRxJob() *rxJob {
+	if n := len(h.freeRx); n > 0 {
+		j := h.freeRx[n-1]
+		h.freeRx[n-1] = nil
+		h.freeRx = h.freeRx[:n-1]
+		return j
+	}
+	j := &rxJob{h: h}
+	j.filterFn = j.filter
+	j.matchFn = j.match
+	j.deliverFn = j.deliver
+	return j
+}
+
+func (h *Host) putRxJob(j *rxJob) {
+	j.f, j.pc, j.ep = simnet.Frame{}, nil, nil
+	h.freeRx = append(h.freeRx, j)
+}
+
 // rx is the NIC receive callback: it models the device interrupt, the
 // packet filter, and delivery into the matching endpoint's queue. It runs
 // entirely at interrupt priority on the host CPU.
 func (h *Host) rx(f simnet.Frame) {
 	h.RxFrames++
-	pc := h.pathFor(f.Data)
-	n := payloadLen(f.Data)
+	j := h.getRxJob()
+	j.f = f
+	j.pc = h.pathFor(f.Data)
+	j.n = payloadLen(f.Data)
 	// Device interrupt; for non-integrated configurations this includes
-	// the copy from device memory into a kernel buffer.
-	h.chargeRx(costs.CompDeviceIntrRead, pc[costs.CompDeviceIntrRead].At(n), func() {
-		// Software interrupt: demultiplex via the packet filter.
-		h.chargeRx(costs.CompNetisrPF, pc[costs.CompNetisrPF].At(n), func() {
-			m, examined := h.Filters.Match(f.Data)
-			if m == nil {
-				h.RxNoMatch++
-				if h.Trace.On(trace.LayerFilter) {
-					h.Trace.Emit(trace.LayerFilter, trace.EvFilterMiss, h.Name, "", "", 0, int64(examined), 0)
-				}
-				return
-			}
-			if h.Trace.On(trace.LayerFilter) {
-				h.Trace.Emit(trace.LayerFilter, trace.EvFilterMatch, h.Name, "", "", int64(m.ID), int64(examined), 0)
-			}
-			ep := m.Owner.(*Endpoint)
-			// Delivery: copy into the endpoint (IPC message, shared ring,
-			// or the integrated filter's direct copy). Zero for the
-			// in-kernel baseline, whose stack reads the kernel buffer.
-			h.chargeRx(costs.CompKernelCopyout, pc[costs.CompKernelCopyout].At(n), func() {
-				ep.deliver(h, f, n)
-			})
-		})
-	})
+	// the copy from device memory into a kernel buffer. Then a software
+	// interrupt demultiplexes via the packet filter.
+	h.chargeRx(costs.CompDeviceIntrRead, j.pc[costs.CompDeviceIntrRead].At(j.n), j.filterFn)
+}
+
+// filter charges the software-interrupt stage.
+func (j *rxJob) filter() {
+	j.h.chargeRx(costs.CompNetisrPF, j.pc[costs.CompNetisrPF].At(j.n), j.matchFn)
+}
+
+// match runs the packet filter and, on a hit, charges the delivery copy.
+func (j *rxJob) match() {
+	h := j.h
+	m, examined := h.Filters.Match(j.f.Data)
+	if m == nil {
+		h.RxNoMatch++
+		if h.Trace.On(trace.LayerFilter) {
+			h.Trace.Emit(trace.LayerFilter, trace.EvFilterMiss, h.Name, "", "", 0, int64(examined), 0)
+		}
+		h.putRxJob(j)
+		return
+	}
+	if h.Trace.On(trace.LayerFilter) {
+		h.Trace.Emit(trace.LayerFilter, trace.EvFilterMatch, h.Name, "", "", int64(m.ID), int64(examined), 0)
+	}
+	j.ep = m.Owner.(*Endpoint)
+	// Delivery: copy into the endpoint (IPC message, shared ring,
+	// or the integrated filter's direct copy). Zero for the
+	// in-kernel baseline, whose stack reads the kernel buffer.
+	h.chargeRx(costs.CompKernelCopyout, j.pc[costs.CompKernelCopyout].At(j.n), j.deliverFn)
+}
+
+// deliver queues the frame at the matched endpoint and recycles the job.
+func (j *rxJob) deliver() {
+	j.ep.deliver(j.h, j.f, j.n)
+	j.h.putRxJob(j)
 }
 
 // chargeRx charges one receive-path component at interrupt priority and

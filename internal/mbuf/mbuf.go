@@ -7,29 +7,131 @@
 // region copies that share storage (m_copym), pullup (m_pullup), and
 // flattening (m_copydata).
 //
-// Sharing discipline: CopyRegion shares backing storage between chains and
-// marks the shared segments read-only. Prepend never writes into a
-// read-only segment; it allocates a fresh front segment instead. Payload
-// bytes handed to the stack are therefore never mutated once queued, which
-// is the same discipline BSD enforces with cluster reference counts.
+// Storage discipline: backing arrays come from per-size-class free lists
+// (the analogue of BSD's mbuf and cluster pools) and carry a reference
+// count, exactly like cluster reference counts. CopyRegion and Split
+// share backing storage between chains by taking a reference; a window is
+// writable only while its backing array has a single reference, so shared
+// bytes are never mutated in place (copy-on-write: Prepend and AppendBytes
+// allocate fresh segments instead of growing into shared storage).
+//
+// Release returns a chain's segments — and, when the last reference
+// drops, their backing arrays — to the free lists. Releasing is optional
+// for correctness (an abandoned chain is simply garbage collected) but is
+// what makes the steady-state data path allocation-free. After Release
+// the chain is empty and may be reused; any byte slices previously
+// obtained from the chain (Prepend, Pullup, Writer, Iter) are invalid.
 package mbuf
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+	"sync"
+)
 
 // LeadingSpace is the header room reserved at the front of each allocated
 // chain: enough for Ethernet + IPv4 + TCP with options.
 const LeadingSpace = 64
 
+// Backing arrays are pooled in power-of-two size classes from 128 bytes
+// to 64 KB; larger (or externally supplied) storage bypasses the pools.
+const (
+	minClassBits = 7
+	maxClassBits = 16
+	numClasses   = maxClassBits - minClassBits + 1
+)
+
+// buf is a reference-counted backing array. refs counts the segments
+// (across all chains) whose windows view it; it is manipulated without
+// atomics because the simulator is logically single-threaded.
+type buf struct {
+	b     []byte
+	refs  int32
+	class int8 // pool index; -1 for unpooled storage
+}
+
+var bufPools [numClasses]sync.Pool
+
+var segPool = sync.Pool{New: func() any { return new(seg) }}
+
+// classFor returns the pool class whose arrays hold at least n bytes, or
+// -1 when n exceeds the largest class.
+func classFor(n int) int {
+	if n <= 1<<minClassBits {
+		return 0
+	}
+	if n > 1<<maxClassBits {
+		return -1
+	}
+	return bits.Len(uint(n-1)) - minClassBits
+}
+
+// getBuf returns a backing array with capacity for at least n bytes and
+// one reference. Pooled arrays are returned with whatever bytes they last
+// held; callers must write every byte they expose.
+func getBuf(n int) *buf {
+	cl := classFor(n)
+	if cl < 0 {
+		return &buf{b: make([]byte, n), refs: 1, class: -1}
+	}
+	if v := bufPools[cl].Get(); v != nil {
+		b := v.(*buf)
+		b.refs = 1
+		return b
+	}
+	return &buf{b: make([]byte, 1<<(uint(cl)+minClassBits)), refs: 1, class: int8(cl)}
+}
+
+func (b *buf) retain() { b.refs++ }
+
+func (b *buf) release() {
+	b.refs--
+	if b.refs == 0 && b.class >= 0 {
+		bufPools[b.class].Put(b)
+	}
+}
+
+// seg is one window into a backing array. owner is nil for external
+// storage (FromBytes / AppendAlias), which is treated as immutable and is
+// never pooled.
 type seg struct {
-	buf  []byte // backing storage
-	off  int    // start of the data window within buf
-	n    int    // window length
-	ro   bool   // window is shared with another chain; do not grow into buf
-	next *seg
+	b     []byte // owner.b, or the external slice
+	owner *buf
+	off   int // start of the data window within b
+	n     int // window length
+	next  *seg
+}
+
+// writable reports whether the window's storage may be mutated or grown:
+// the segment must own its backing array and be its sole reference.
+func (s *seg) writable() bool { return s.owner != nil && s.owner.refs == 1 }
+
+// newSeg takes a pooled segment viewing [off, off+n) of b.
+func newSeg(b *buf, off, n int) *seg {
+	s := segPool.Get().(*seg)
+	s.b, s.owner, s.off, s.n, s.next = b.b, b, off, n, nil
+	return s
+}
+
+// newAliasSeg takes a pooled segment viewing external storage.
+func newAliasSeg(b []byte) *seg {
+	s := segPool.Get().(*seg)
+	s.b, s.owner, s.off, s.n, s.next = b, nil, 0, len(b), nil
+	return s
+}
+
+// recycle drops the segment's buffer reference and returns it to the
+// segment pool.
+func (s *seg) recycle() {
+	if s.owner != nil {
+		s.owner.release()
+	}
+	*s = seg{}
+	segPool.Put(s)
 }
 
 // Chain is a list of buffer segments holding a packet or a byte stream
-// region.
+// region. The zero value is an empty chain ready for use.
 type Chain struct {
 	head   *seg
 	tail   *seg
@@ -44,8 +146,10 @@ func Alloc(n int) *Chain {
 	if n < 0 {
 		panic("mbuf: negative length")
 	}
-	buf := make([]byte, LeadingSpace+n)
-	s := &seg{buf: buf, off: LeadingSpace, n: n}
+	b := getBuf(LeadingSpace + n)
+	off := len(b.b) - n
+	s := newSeg(b, off, n)
+	clear(s.b[off:])
 	return &Chain{head: s, tail: s, length: n}
 }
 
@@ -55,17 +159,20 @@ func FromBytes(b []byte) *Chain {
 	if len(b) == 0 {
 		return New()
 	}
-	s := &seg{buf: b, off: 0, n: len(b), ro: true}
+	s := newAliasSeg(b)
 	return &Chain{head: s, tail: s, length: len(b)}
 }
 
 // FromBytesCopy returns a chain holding a copy of b, with header room.
 func FromBytesCopy(b []byte) *Chain {
-	c := Alloc(len(b))
-	if len(b) > 0 {
-		copy(c.head.buf[c.head.off:], b)
+	if len(b) == 0 {
+		return Alloc(0)
 	}
-	return c
+	nb := getBuf(LeadingSpace + len(b))
+	off := len(nb.b) - len(b)
+	s := newSeg(nb, off, len(b))
+	copy(s.b[off:], b)
+	return &Chain{head: s, tail: s, length: len(b)}
 }
 
 // Len returns the number of bytes in the chain.
@@ -80,10 +187,40 @@ func (c *Chain) Segments() int {
 	return n
 }
 
+// Release returns every segment — and each backing array whose last
+// reference drops — to the free lists, leaving the chain empty and
+// reusable. Byte slices previously obtained from the chain are invalid
+// after Release.
+func (c *Chain) Release() {
+	for s := c.head; s != nil; {
+		next := s.next
+		s.recycle()
+		s = next
+	}
+	c.head, c.tail, c.length = nil, nil, 0
+}
+
+// Iter is a zero-allocation iterator over a chain's segment windows.
+type Iter struct{ s *seg }
+
+// Iter returns an iterator positioned at the first segment.
+func (c *Chain) Iter() Iter { return Iter{c.head} }
+
+// Next returns the next segment's bytes, or false when exhausted. The
+// returned slice must be treated as read-only.
+func (it *Iter) Next() ([]byte, bool) {
+	s := it.s
+	if s == nil {
+		return nil, false
+	}
+	it.s = s.next
+	return s.b[s.off : s.off+s.n], true
+}
+
 // Prepend grows the chain by n bytes at the front and returns a writable
-// slice covering exactly those bytes. It uses leading space in the first
-// segment when available and not shared; otherwise it allocates a new
-// front segment.
+// slice covering exactly those bytes (contents undefined; the caller must
+// write all of them). It uses leading space in the first segment when
+// available and unshared; otherwise it takes a fresh pooled segment.
 func (c *Chain) Prepend(n int) []byte {
 	if n < 0 {
 		panic("mbuf: negative prepend")
@@ -91,31 +228,51 @@ func (c *Chain) Prepend(n int) []byte {
 	if n == 0 {
 		return nil
 	}
-	if s := c.head; s != nil && !s.ro && s.off >= n {
+	if s := c.head; s != nil && s.writable() && s.off >= n {
 		s.off -= n
 		s.n += n
 		c.length += n
-		return s.buf[s.off : s.off+n]
+		return s.b[s.off : s.off+n]
 	}
-	buf := make([]byte, LeadingSpace+n)
-	s := &seg{buf: buf, off: LeadingSpace, n: n, next: c.head}
+	b := getBuf(LeadingSpace + n)
+	off := len(b.b) - n
+	s := newSeg(b, off, n)
+	s.next = c.head
 	if c.head == nil {
 		c.tail = s
 	}
 	c.head = s
 	c.length += n
-	return buf[LeadingSpace : LeadingSpace+n]
+	return s.b[off:]
 }
 
-// AppendBytes copies b onto the end of the chain.
+// AppendBytes copies b onto the end of the chain, growing into the tail
+// segment's spare capacity when it is unshared.
 func (c *Chain) AppendBytes(b []byte) {
+	for len(b) > 0 {
+		if s := c.tail; s != nil && s.writable() {
+			if room := len(s.b) - (s.off + s.n); room > 0 {
+				take := copy(s.b[s.off+s.n:], b)
+				s.n += take
+				c.length += take
+				b = b[take:]
+				continue
+			}
+		}
+		nb := getBuf(len(b))
+		s := newSeg(nb, 0, 0)
+		c.appendSeg(s)
+		// Loop fills it via the tail-extension path above.
+	}
+}
+
+// AppendAlias appends a segment viewing b directly (no copy). The caller
+// must not mutate b afterwards; the chain treats it as immutable.
+func (c *Chain) AppendAlias(b []byte) {
 	if len(b) == 0 {
 		return
 	}
-	nb := make([]byte, len(b))
-	copy(nb, b)
-	s := &seg{buf: nb, off: 0, n: len(nb)}
-	c.appendSeg(s)
+	c.appendSeg(newAliasSeg(b))
 }
 
 // AppendChain moves all of d's segments onto the end of c. d is emptied.
@@ -144,7 +301,8 @@ func (c *Chain) appendSeg(s *seg) {
 }
 
 // TrimFront removes n bytes from the front of the chain (m_adj with a
-// positive count). Trimming more than the length empties the chain.
+// positive count), recycling fully-consumed segments. Trimming more than
+// the length empties the chain.
 func (c *Chain) TrimFront(n int) {
 	if n < 0 {
 		panic("mbuf: negative trim")
@@ -160,6 +318,7 @@ func (c *Chain) TrimFront(n int) {
 		n -= s.n
 		c.length -= s.n
 		c.head = s.next
+		s.recycle()
 	}
 	if c.head == nil {
 		c.tail = nil
@@ -167,13 +326,13 @@ func (c *Chain) TrimFront(n int) {
 }
 
 // TrimBack removes n bytes from the end of the chain (m_adj with a
-// negative count).
+// negative count), recycling dropped segments.
 func (c *Chain) TrimBack(n int) {
 	if n < 0 {
 		panic("mbuf: negative trim")
 	}
 	if n >= c.length {
-		c.head, c.tail, c.length = nil, nil, 0
+		c.Release()
 		return
 	}
 	keep := c.length - n
@@ -186,13 +345,20 @@ func (c *Chain) TrimBack(n int) {
 		seen += s.n
 	}
 	s.n = keep - seen
+	for d := s.next; d != nil; {
+		next := d.next
+		d.recycle()
+		d = next
+	}
 	s.next = nil
 	c.tail = s
 	c.length = keep
 }
 
 // Split truncates c to its first n bytes and returns a new chain holding
-// the remainder. If n >= Len, the remainder is empty.
+// the remainder. If n >= Len, the remainder is empty. A split inside a
+// segment shares its backing array between the halves (both become
+// read-only until one side is released).
 func (c *Chain) Split(n int) *Chain {
 	if n < 0 {
 		panic("mbuf: negative split")
@@ -224,10 +390,16 @@ func (c *Chain) Split(n int) *Chain {
 		c.length = n
 		return rest
 	}
-	// Split inside s: the two halves share s.buf read-only.
-	right := &seg{buf: s.buf, off: s.off + within, n: s.n - within, ro: true, next: s.next}
+	// Split inside s: the two halves share the backing array.
+	var right *seg
+	if s.owner != nil {
+		s.owner.retain()
+		right = newSeg(s.owner, s.off+within, s.n-within)
+	} else {
+		right = newAliasSeg(s.b[s.off+within : s.off+s.n])
+	}
+	right.next = s.next
 	s.n = within
-	s.ro = true
 	s.next = nil
 	rest.head = right
 	if right.next == nil {
@@ -242,15 +414,24 @@ func (c *Chain) Split(n int) *Chain {
 }
 
 // CopyRegion returns a new chain viewing bytes [off, off+n) of c. The new
-// chain shares backing storage with c (both sides become read-only over
-// the shared windows), making retransmission copies cheap as in m_copym.
+// chain shares backing storage with c (reference-counted, so neither side
+// mutates the shared windows), making retransmission copies cheap as in
+// m_copym.
 func (c *Chain) CopyRegion(off, n int) *Chain {
+	out := New()
+	c.CopyRegionInto(out, off, n)
+	return out
+}
+
+// CopyRegionInto appends a storage-sharing view of bytes [off, off+n) of
+// c onto out. With a reused (Released) chain as out, steady-state segment
+// construction allocates nothing.
+func (c *Chain) CopyRegionInto(out *Chain, off, n int) {
 	if off < 0 || n < 0 || off+n > c.length {
 		panic(fmt.Sprintf("mbuf: CopyRegion(%d, %d) out of range (len %d)", off, n, c.length))
 	}
-	out := New()
 	if n == 0 {
-		return out
+		return
 	}
 	s := c.head
 	// Skip to the segment containing off.
@@ -263,13 +444,18 @@ func (c *Chain) CopyRegion(off, n int) *Chain {
 		if take > n {
 			take = n
 		}
-		s.ro = true
-		out.appendSeg(&seg{buf: s.buf, off: s.off + off, n: take, ro: true})
+		var ns *seg
+		if s.owner != nil {
+			s.owner.retain()
+			ns = newSeg(s.owner, s.off+off, take)
+		} else {
+			ns = newAliasSeg(s.b[s.off+off : s.off+off+take])
+		}
+		out.appendSeg(ns)
 		n -= take
 		off = 0
 		s = s.next
 	}
-	return out
 }
 
 // ReadAt copies min(len(p), Len-off) bytes starting at offset off into p
@@ -288,7 +474,7 @@ func (c *Chain) ReadAt(p []byte, off int) int {
 	}
 	total := 0
 	for s != nil && total < len(p) {
-		n := copy(p[total:], s.buf[s.off+off:s.off+s.n])
+		n := copy(p[total:], s.b[s.off+off:s.off+s.n])
 		total += n
 		off = 0
 		s = s.next
@@ -316,27 +502,24 @@ func (c *Chain) Pullup(n int) []byte {
 	}
 	if c.head.n >= n {
 		s := c.head
-		return s.buf[s.off : s.off+n]
+		return s.b[s.off : s.off+n]
 	}
 	// Coalesce the prefix into one fresh segment.
-	buf := make([]byte, LeadingSpace+n)
-	c.ReadAt(buf[LeadingSpace:], 0)
-	ns := &seg{buf: buf, off: LeadingSpace, n: n}
-	// Drop the first n bytes from the old chain and attach the remainder.
-	rest := *c
-	rest.TrimFront(n)
-	ns.next = rest.head
+	b := getBuf(LeadingSpace + n)
+	off := len(b.b) - n
+	ns := newSeg(b, off, n)
+	c.ReadAt(ns.b[off:], 0)
+	c.TrimFront(n)
+	ns.next = c.head
 	c.head = ns
-	if rest.head == nil {
+	if ns.next == nil {
 		c.tail = ns
-	} else {
-		c.tail = rest.tail
 	}
-	// length unchanged
-	return ns.buf[ns.off : ns.off+n]
+	c.length += n
+	return ns.b[off:]
 }
 
-// Clone returns a read-only-sharing copy of the entire chain.
+// Clone returns a storage-sharing copy of the entire chain.
 func (c *Chain) Clone() *Chain {
 	if c.length == 0 {
 		return New()
@@ -345,12 +528,12 @@ func (c *Chain) Clone() *Chain {
 }
 
 // Writer returns a writable flat view of the first n bytes if they are
-// contiguous and not shared; otherwise it returns nil. Header fixups
+// contiguous and unshared; otherwise it returns nil. Header fixups
 // (for example checksum patching) use this to avoid copies.
 func (c *Chain) Writer(n int) []byte {
 	s := c.head
-	if s == nil || s.ro || s.n < n {
+	if s == nil || !s.writable() || s.n < n {
 		return nil
 	}
-	return s.buf[s.off : s.off+n]
+	return s.b[s.off : s.off+n]
 }

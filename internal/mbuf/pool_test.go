@@ -1,0 +1,119 @@
+package mbuf
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestAllocReleaseReusesStorage pins pool behaviour: releasing the only
+// reference to a pooled chain returns its backing buffer to the free list,
+// and the next same-class Alloc gets that storage back instead of growing
+// the heap. sync.Pool may shed items across GC cycles, so the test accepts
+// any reuse within a few tries rather than demanding identity on the
+// first.
+func TestAllocReleaseReusesStorage(t *testing.T) {
+	reused := false
+	for try := 0; try < 10 && !reused; try++ {
+		c := Alloc(512)
+		p := &c.Writer(1)[0]
+		c.Release()
+		d := Alloc(512)
+		if w := d.Writer(1); &w[0] == p {
+			reused = true
+		}
+		d.Release()
+	}
+	if !reused {
+		t.Fatal("released buffer was never reused by a same-class Alloc")
+	}
+}
+
+// TestAllocAfterReuseIsZeroed guards against stale bytes leaking out of the
+// pool: Alloc's window must read as zero even when the backing buffer was
+// previously dirtied and recycled.
+func TestAllocAfterReuseIsZeroed(t *testing.T) {
+	for try := 0; try < 10; try++ {
+		c := Alloc(256)
+		w := c.Writer(256)
+		for i := range w {
+			w[i] = 0xAA
+		}
+		c.Release()
+		d := Alloc(256)
+		if !bytes.Equal(d.Bytes(), make([]byte, 256)) {
+			t.Fatal("Alloc returned a dirty recycled buffer")
+		}
+		d.Release()
+	}
+}
+
+// TestReleaseRespectsRefcount checks that a shared buffer is not recycled
+// while a storage-sharing copy is still alive: after releasing the
+// original, churning the pool hard must not scribble on the survivor.
+func TestReleaseRespectsRefcount(t *testing.T) {
+	c := Alloc(512)
+	w := c.Writer(512)
+	for i := range w {
+		w[i] = byte(i)
+	}
+	want := append([]byte(nil), c.Bytes()...)
+
+	cp := c.CopyRegion(0, 512) // shares storage, bumps the refcount
+	c.Release()
+
+	// Churn: if the shared buffer went back to the pool, one of these
+	// allocations would claim and zero it.
+	for i := 0; i < 64; i++ {
+		d := Alloc(512)
+		dw := d.Writer(512)
+		for j := range dw {
+			dw[j] = 0xFF
+		}
+		d.Release()
+	}
+	if !bytes.Equal(cp.Bytes(), want) {
+		t.Fatal("buffer was recycled while a copy still referenced it")
+	}
+	cp.Release()
+}
+
+// TestWriterDeniedWhenShared pins the copy-on-write guard: a chain whose
+// head buffer is shared must refuse an in-place writable view.
+func TestWriterDeniedWhenShared(t *testing.T) {
+	c := Alloc(64)
+	if c.Writer(8) == nil {
+		t.Fatal("unshared pooled chain should be writable")
+	}
+	cp := c.Clone()
+	if c.Writer(8) != nil {
+		t.Fatal("Writer must return nil while storage is shared")
+	}
+	cp.Release()
+	if c.Writer(8) == nil {
+		t.Fatal("dropping the last copy should restore writability")
+	}
+	c.Release()
+}
+
+// TestSteadyStateChainAllocs verifies the pooled fast path is allocation-
+// free once warm. It models the shape of one transmit the way the stack
+// does it — a scratch chain reused across sends (fill, prepend a header,
+// release back to empty) — which must not allocate per iteration.
+func TestSteadyStateChainAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are not meaningful")
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 1024)
+	c := New()
+	send := func() {
+		c.AppendBytes(payload)
+		c.Prepend(20)
+		c.Release()
+	}
+	for i := 0; i < 8; i++ {
+		send() // warm the pools
+	}
+	if avg := testing.AllocsPerRun(200, send); avg > 0.5 {
+		t.Fatalf("steady-state fill/prepend/release allocates %.2f objects/op, want ~0", avg)
+	}
+}

@@ -1,0 +1,5 @@
+//go:build !race
+
+package mbuf
+
+const raceEnabled = false

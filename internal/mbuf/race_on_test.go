@@ -1,0 +1,8 @@
+//go:build race
+
+package mbuf
+
+// raceEnabled reports that the race detector is active, under which
+// sync.Pool deliberately drops items so allocation counts are not
+// meaningful.
+const raceEnabled = true

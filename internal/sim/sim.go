@@ -36,19 +36,25 @@ func (t Time) Duration() time.Duration { return time.Duration(t) }
 
 func (t Time) String() string { return time.Duration(t).String() }
 
-// An event is a scheduled callback or process resumption.
+// An event is a scheduled callback or process resumption. Events are
+// pooled on the owning Sim's free list; gen counts reuses so that stale
+// Timer handles (whose event has fired and been recycled) are detected
+// instead of cancelling an unrelated event.
 type event struct {
 	at      Time
 	seq     uint64 // tie-break: FIFO among events at the same instant
 	fn      func()
-	proc    *Proc // if non-nil, resume this process instead of calling fn
+	proc    *Proc      // if non-nil, resume this process instead of calling fn
+	rw      *resWaiter // if non-nil, a resource grant expiry (UseEvent)
 	stopped bool
-	index   int // heap index, -1 when not queued
+	index   int    // heap index, -1 when not queued
+	gen     uint64 // incremented each time the event is recycled
 }
 
 // Timer is a handle to a scheduled event, returned by At, After, and Every.
 type Timer struct {
 	ev        *event
+	gen       uint64 // ev's generation when the handle was issued
 	recurring bool
 	dead      bool // stops a recurring timer across reschedules
 }
@@ -63,11 +69,13 @@ func (t *Timer) Stop() bool {
 	if t.recurring {
 		was := !t.dead
 		t.dead = true
-		t.ev.stopped = true
+		if t.ev.gen == t.gen {
+			t.ev.stopped = true
+		}
 		return was
 	}
-	if t.ev.stopped || t.ev.index < 0 {
-		return false
+	if t.ev.gen != t.gen || t.ev.stopped || t.ev.index < 0 {
+		return false // already fired (and recycled) or already stopped
 	}
 	t.ev.stopped = true
 	return true
@@ -115,6 +123,7 @@ type Sim struct {
 	stopped bool
 	panicV  any
 	tracer  Tracer
+	free    []*event // recycled events (the pool behind the heap)
 
 	// Deadline is the virtual time at which Run gives up and returns an
 	// error. It guards against livelock (for example, protocol timers that
@@ -168,19 +177,39 @@ func (s *Sim) schedule(at Time, fn func(), p *Proc) *event {
 		at = s.now
 	}
 	s.seq++
-	ev := &event{at: at, seq: s.seq, fn: fn, proc: p, index: -1}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.proc = at, s.seq, fn, p
+	} else {
+		ev = &event{at: at, seq: s.seq, fn: fn, proc: p}
+	}
+	ev.index = -1
 	heap.Push(&s.events, ev)
 	return ev
 }
 
+// recycle returns a dispatched or cancelled event to the free list.
+// Bumping gen invalidates any outstanding Timer handles to it.
+func (s *Sim) recycle(ev *event) {
+	ev.gen++
+	ev.fn, ev.proc, ev.rw = nil, nil, nil
+	ev.stopped = false
+	s.free = append(s.free, ev)
+}
+
 // At schedules fn to run at virtual time t (or now, if t is in the past).
 func (s *Sim) At(t Time, fn func()) *Timer {
-	return &Timer{ev: s.schedule(t, fn, nil)}
+	ev := s.schedule(t, fn, nil)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // After schedules fn to run d after the current virtual time.
 func (s *Sim) After(d time.Duration, fn func()) *Timer {
-	return &Timer{ev: s.schedule(s.now.Add(d), fn, nil)}
+	ev := s.schedule(s.now.Add(d), fn, nil)
+	return &Timer{ev: ev, gen: ev.gen}
 }
 
 // Every schedules fn to run every period, starting one period from now,
@@ -198,8 +227,10 @@ func (s *Sim) Every(period time.Duration, fn func()) *Timer {
 			return
 		}
 		t.ev = s.schedule(s.now.Add(period), tick, nil)
+		t.gen = t.ev.gen
 	}
 	t.ev = s.schedule(s.now.Add(period), tick, nil)
+	t.gen = t.ev.gen
 	return t
 }
 
@@ -263,6 +294,7 @@ func (s *Sim) next() *event {
 	for len(s.events) > 0 {
 		ev := heap.Pop(&s.events).(*event)
 		if ev.stopped {
+			s.recycle(ev)
 			continue
 		}
 		return ev
@@ -312,14 +344,23 @@ func (s *Sim) dispatch(ev *event) {
 		}
 		s.tracer.EventDispatch(s.now, name)
 	}
-	if ev.proc != nil {
+	switch {
+	case ev.proc != nil:
 		p := ev.proc
 		p.pendingResume = nil
 		p.resume <- struct{}{}
 		<-s.yield
-		return
+	case ev.rw != nil:
+		// Resource grant expired: run the continuation, then hand the
+		// resource to the next waiter.
+		w := ev.rw
+		w.done()
+		w.r.release(s)
+		w.r.putWaiter(w)
+	default:
+		ev.fn()
 	}
-	ev.fn()
+	s.recycle(ev)
 }
 
 func (s *Sim) parkedNames() string {

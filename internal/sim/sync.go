@@ -12,6 +12,8 @@ import "time"
 //	}
 type Cond struct {
 	waiters []*condWaiter
+	head    int           // first live waiter; backing array is reused
+	free    []*condWaiter // recycled waiter records
 }
 
 type condWaiter struct {
@@ -19,40 +21,83 @@ type condWaiter struct {
 	woken bool
 }
 
+func (c *Cond) getWaiter(p *Proc) *condWaiter {
+	var w *condWaiter
+	if n := len(c.free); n > 0 {
+		w = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		w.p, w.woken = p, false
+	} else {
+		w = &condWaiter{p: p}
+	}
+	c.waiters = append(c.waiters, w)
+	return w
+}
+
+func (c *Cond) putWaiter(w *condWaiter) {
+	w.p = nil
+	c.free = append(c.free, w)
+}
+
+// pop removes and returns the longest waiter, nil if none. The head index
+// walks forward and resets when the queue drains, so steady-state
+// wait/signal traffic reuses the same backing array.
+func (c *Cond) pop() *condWaiter {
+	if c.head >= len(c.waiters) {
+		return nil
+	}
+	w := c.waiters[c.head]
+	c.waiters[c.head] = nil
+	c.head++
+	if c.head == len(c.waiters) {
+		c.waiters = c.waiters[:0]
+		c.head = 0
+	}
+	return w
+}
+
 // Wait parks the calling process until Signal or Broadcast. Stray wakeup
 // tokens (for example, from an unrelated Unpark banked while the process
 // was running) are absorbed by re-parking, so Wait returns only on a real
 // signal.
 func (c *Cond) Wait(p *Proc) {
-	w := &condWaiter{p: p}
-	c.waiters = append(c.waiters, w)
+	w := c.getWaiter(p)
 	for !w.woken {
 		p.Park()
 	}
+	c.putWaiter(w)
 }
 
 // WaitTimeout parks for at most d; it reports whether the process was
 // signalled (true) rather than timed out (false).
 func (c *Cond) WaitTimeout(p *Proc, d time.Duration) bool {
-	w := &condWaiter{p: p}
-	c.waiters = append(c.waiters, w)
+	w := c.getWaiter(p)
 	deadline := p.Now().Add(d)
 	for !w.woken {
 		remain := deadline.Sub(p.Now())
 		if remain <= 0 || !p.ParkTimeout(remain) && !w.woken {
 			if !w.woken {
 				c.remove(w)
+				c.putWaiter(w)
 				return false
 			}
 		}
 	}
+	c.putWaiter(w)
 	return true
 }
 
 func (c *Cond) remove(w *condWaiter) {
-	for i, x := range c.waiters {
-		if x == w {
-			c.waiters = append(c.waiters[:i], c.waiters[i+1:]...)
+	for i := c.head; i < len(c.waiters); i++ {
+		if c.waiters[i] == w {
+			copy(c.waiters[i:], c.waiters[i+1:])
+			c.waiters[len(c.waiters)-1] = nil
+			c.waiters = c.waiters[:len(c.waiters)-1]
+			if c.head == len(c.waiters) {
+				c.waiters = c.waiters[:0]
+				c.head = 0
+			}
 			return
 		}
 	}
@@ -60,27 +105,26 @@ func (c *Cond) remove(w *condWaiter) {
 
 // Signal wakes the longest-waiting process, if any.
 func (c *Cond) Signal() {
-	if len(c.waiters) == 0 {
-		return
+	if w := c.pop(); w != nil {
+		w.woken = true
+		w.p.Unpark()
 	}
-	w := c.waiters[0]
-	c.waiters = c.waiters[1:]
-	w.woken = true
-	w.p.Unpark()
 }
 
 // Broadcast wakes all waiting processes.
 func (c *Cond) Broadcast() {
-	ws := c.waiters
-	c.waiters = nil
-	for _, w := range ws {
+	for {
+		w := c.pop()
+		if w == nil {
+			return
+		}
 		w.woken = true
 		w.p.Unpark()
 	}
 }
 
 // Waiters returns the number of processes currently waiting.
-func (c *Cond) Waiters() int { return len(c.waiters) }
+func (c *Cond) Waiters() int { return len(c.waiters) - c.head }
 
 // WaitGroup counts outstanding work in virtual time.
 type WaitGroup struct {
@@ -110,10 +154,12 @@ func (wg *WaitGroup) Wait(p *Proc) {
 }
 
 // Chan is a bounded FIFO message queue in virtual time. A capacity of zero
-// means unbounded.
+// means unbounded. The backing array is reused: the head index advances on
+// receive and resets when the queue drains.
 type Chan[T any] struct {
 	cap      int
 	items    []T
+	head     int
 	closed   bool
 	notEmpty Cond
 	notFull  Cond
@@ -125,7 +171,20 @@ func NewChan[T any](capacity int) *Chan[T] {
 }
 
 // Len returns the number of queued items.
-func (q *Chan[T]) Len() int { return len(q.items) }
+func (q *Chan[T]) Len() int { return len(q.items) - q.head }
+
+// popItem removes the head item; the caller has checked Len() > 0.
+func (q *Chan[T]) popItem() T {
+	v := q.items[q.head]
+	var zero T
+	q.items[q.head] = zero
+	q.head++
+	if q.head == len(q.items) {
+		q.items = q.items[:0]
+		q.head = 0
+	}
+	return v
+}
 
 // Close marks the queue closed. Receivers drain remaining items and then
 // see ok=false; senders panic, as on a native Go channel.
@@ -137,7 +196,7 @@ func (q *Chan[T]) Close() {
 
 // Send enqueues v, parking while the queue is full.
 func (q *Chan[T]) Send(p *Proc, v T) {
-	for q.cap > 0 && len(q.items) >= q.cap && !q.closed {
+	for q.cap > 0 && q.Len() >= q.cap && !q.closed {
 		q.notFull.Wait(p)
 	}
 	if q.closed {
@@ -149,7 +208,7 @@ func (q *Chan[T]) Send(p *Proc, v T) {
 
 // TrySend enqueues v if there is room, reporting whether it did.
 func (q *Chan[T]) TrySend(v T) bool {
-	if q.closed || (q.cap > 0 && len(q.items) >= q.cap) {
+	if q.closed || (q.cap > 0 && q.Len() >= q.cap) {
 		return false
 	}
 	q.items = append(q.items, v)
@@ -160,25 +219,23 @@ func (q *Chan[T]) TrySend(v T) bool {
 // Recv dequeues an item, parking while the queue is empty. ok is false if
 // the queue is closed and drained.
 func (q *Chan[T]) Recv(p *Proc) (v T, ok bool) {
-	for len(q.items) == 0 && !q.closed {
+	for q.Len() == 0 && !q.closed {
 		q.notEmpty.Wait(p)
 	}
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
+	v = q.popItem()
 	q.notFull.Signal()
 	return v, true
 }
 
 // TryRecv dequeues an item if one is available.
 func (q *Chan[T]) TryRecv() (v T, ok bool) {
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
+	v = q.popItem()
 	q.notFull.Signal()
 	return v, true
 }
@@ -187,20 +244,19 @@ func (q *Chan[T]) TryRecv() (v T, ok bool) {
 // or when the queue is closed and drained.
 func (q *Chan[T]) RecvTimeout(p *Proc, d time.Duration) (v T, ok bool) {
 	deadline := p.Now().Add(d)
-	for len(q.items) == 0 && !q.closed {
+	for q.Len() == 0 && !q.closed {
 		remain := deadline.Sub(p.Now())
 		if remain <= 0 {
 			return v, false
 		}
-		if !q.notEmpty.WaitTimeout(p, remain) && len(q.items) == 0 {
+		if !q.notEmpty.WaitTimeout(p, remain) && q.Len() == 0 {
 			return v, false
 		}
 	}
-	if len(q.items) == 0 {
+	if q.Len() == 0 {
 		return v, false
 	}
-	v = q.items[0]
-	q.items = q.items[1:]
+	v = q.popItem()
 	q.notFull.Signal()
 	return v, true
 }

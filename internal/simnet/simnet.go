@@ -28,6 +28,16 @@ const ByteTime = 800 * time.Nanosecond
 
 // Frame is an Ethernet frame in flight: header plus payload, no CRC
 // (the CRC is accounted for in wire size only).
+//
+// Ownership rules: Data is owned by the network from the moment it is
+// passed to Transmit and is IMMUTABLE from then on. A frame is delivered
+// to every matching receiver — and to a duplicate-fault's second
+// delivery — by reference, with no per-hop copy; receivers (and anything
+// downstream of them: endpoint queues, socket buffers that alias frame
+// payloads, pcap exports) must therefore never write to Data. The only
+// mutation in the system is fault-injected corruption, which takes a
+// private copy first (see Segment.inject), so a corrupted delivery can
+// never alias the sender's buffer or another receiver's copy.
 type Frame struct {
 	Data []byte
 }
@@ -56,6 +66,7 @@ type Segment struct {
 	stats  Stats
 	inj    *fault.Injector // nil until Faults() is first called
 	tr     *trace.Recorder // nil unless tracing; see SetTrace
+	freeTx []*txJob        // recycled transmit jobs
 
 	// ByteTime is the per-byte serialization time; defaults to 0.8 µs
 	// (10 Mb/s).
@@ -127,10 +138,46 @@ func (n *NIC) MAC() wire.MAC { return n.mac }
 // Name returns the station's link name.
 func (n *NIC) Name() string { return n.name }
 
+// txJob carries one frame through medium acquisition. Jobs are pooled on
+// the segment and the completion continuation is bound once, so the
+// steady-state transmit path allocates nothing beyond the frame itself.
+type txJob struct {
+	g      *Segment
+	n      *NIC
+	f      Frame
+	doneFn func()
+}
+
+func (g *Segment) getTxJob() *txJob {
+	if n := len(g.freeTx); n > 0 {
+		j := g.freeTx[n-1]
+		g.freeTx[n-1] = nil
+		g.freeTx = g.freeTx[:n-1]
+		return j
+	}
+	j := &txJob{g: g}
+	j.doneFn = j.done
+	return j
+}
+
+// done runs when the frame has finished serializing onto the medium.
+func (j *txJob) done() {
+	g, n, f := j.g, j.n, j.f
+	j.n, j.f = nil, Frame{}
+	g.freeTx = append(g.freeTx, j)
+	g.stats.FramesSent++
+	g.stats.BytesSent += f.WireSize()
+	if g.tr.On(trace.LayerNet) {
+		g.tr.EmitFrame(trace.EvFrameTx, n.name, "", f.Data, int64(f.WireSize()))
+	}
+	g.inject(n, f)
+}
+
 // Transmit queues a frame for the shared medium. It may be called from
 // event or process context; the frame is delivered to receivers after the
 // medium has been acquired and the frame serialized. The data slice is
-// owned by the network after the call.
+// owned by the network after the call and must not be mutated by anyone
+// afterwards — delivery is by reference (see Frame).
 func (n *NIC) Transmit(data []byte) error {
 	if len(data) < wire.EthHeaderLen {
 		return fmt.Errorf("simnet: frame shorter than Ethernet header (%d bytes)", len(data))
@@ -138,18 +185,13 @@ func (n *NIC) Transmit(data []byte) error {
 	if len(data) > wire.EthHeaderLen+wire.EthMTU {
 		return fmt.Errorf("simnet: frame payload exceeds MTU (%d bytes)", len(data)-wire.EthHeaderLen)
 	}
-	f := Frame{Data: data}
 	g := n.seg
 	n.TxFrames++
-	txTime := time.Duration(f.WireSize()) * g.byteTime
-	g.medium.UseEvent(g.sim, sim.TaskPriority, txTime, func() {
-		g.stats.FramesSent++
-		g.stats.BytesSent += f.WireSize()
-		if g.tr.On(trace.LayerNet) {
-			g.tr.EmitFrame(trace.EvFrameTx, n.name, "", f.Data, int64(f.WireSize()))
-		}
-		g.inject(n, f)
-	})
+	j := g.getTxJob()
+	j.n = n
+	j.f = Frame{Data: data}
+	txTime := time.Duration(j.f.WireSize()) * g.byteTime
+	g.medium.UseEvent(g.sim, sim.TaskPriority, txTime, j.doneFn)
 	return nil
 }
 

@@ -1,0 +1,83 @@
+package simnet
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// TestZeroFaultDeliveryIsByReference pins the zero-copy contract: with no
+// fault injection configured, a delivered Frame.Data is the very slice the
+// sender handed to Transmit — no per-hop copy.
+func TestZeroFaultDeliveryIsByReference(t *testing.T) {
+	s := sim.New(1)
+	g := NewSegment(s)
+	a := g.Attach(wire.MAC{1})
+	b := g.Attach(wire.MAC{2})
+	sent := frameTo(b.MAC(), a.MAC(), 100)
+	var got []byte
+	b.Rx = func(f Frame) { got = f.Data }
+	if err := a.Transmit(sent); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if got == nil {
+		t.Fatal("frame not delivered")
+	}
+	if &got[0] != &sent[0] {
+		t.Fatalf("zero-fault delivery copied the frame: got %p, sent %p", &got[0], &sent[0])
+	}
+}
+
+// TestCorruptionNeverAliasesSenderBuffer is the ownership regression test
+// for fault-injected corruption under duplication: the corrupted delivery
+// must be a private copy (flipping a bit in the sender's buffer would
+// corrupt retransmissions and the pcap trace), and with Dup both
+// deliveries must share that one corrupted copy rather than re-flipping
+// or re-copying. The sender's buffer must come through byte-identical.
+func TestCorruptionNeverAliasesSenderBuffer(t *testing.T) {
+	s := sim.New(7)
+	g := NewSegment(s)
+	a := g.AttachNamed("a", wire.MAC{1})
+	b := g.AttachNamed("b", wire.MAC{2})
+	g.Faults().SetLinkRates("a", fault.Rates{Corrupt: 1, Dup: 1})
+
+	sent := frameTo(b.MAC(), a.MAC(), 200)
+	orig := append([]byte(nil), sent...)
+	var got [][]byte
+	b.Rx = func(f Frame) { got = append(got, f.Data) }
+	if err := a.Transmit(sent); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.RunFor(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("want 2 deliveries (dup), got %d", len(got))
+	}
+	for i, d := range got {
+		if &d[0] == &sent[0] {
+			t.Errorf("delivery %d aliases the sender's buffer", i)
+		}
+		if bytes.Equal(d, orig) {
+			t.Errorf("delivery %d was not corrupted", i)
+		}
+	}
+	// Both dup deliveries share the one corrupted private copy.
+	if &got[0][0] != &got[1][0] {
+		t.Errorf("dup deliveries should share one corrupted copy: %p vs %p", &got[0][0], &got[1][0])
+	}
+	// The sender's buffer is untouched by the injected corruption.
+	if !bytes.Equal(sent, orig) {
+		t.Error("fault injection mutated the sender's buffer")
+	}
+	if st := g.Stats(); st.FramesCorrupted != 1 || st.FramesDup != 1 {
+		t.Errorf("stats: corrupted=%d dup=%d, want 1/1", st.FramesCorrupted, st.FramesDup)
+	}
+}

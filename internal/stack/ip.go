@@ -63,12 +63,21 @@ func (rt *RouteTable) Lookup(dst wire.IPAddr) (nextHop wire.IPAddr, ok bool) {
 // ipOutput encapsulates a transport segment and transmits it, fragmenting
 // when it exceeds the MTU (ip_output). n is the transport payload size
 // for cost accounting.
-func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, seg *mbuf.Chain, n int) error {
+//
+// The call owns seg: its segments are recycled before ipOutput returns,
+// so callers may immediately reuse a scratch chain. ckOff is the offset
+// of the transport checksum field within seg (wire.TCPChecksumOffset or
+// wire.UDPChecksumOffset); the field must be marshaled as zero, and the
+// checksum — pseudo-header included — is computed during the fused copy
+// into the link frame. ckOff < 0 means seg is already internally
+// checksummed (ICMP, raw).
+func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, seg *mbuf.Chain, n, ckOff int) error {
 	st.charge(t, tcp, costs.CompIPOutput, n)
 	st.Stats.IPOut++
 
 	nextHop, ok := st.cfg.Routes.Lookup(dst)
 	if !ok {
+		seg.Release()
 		return socketapi.ErrHostUnreach
 	}
 
@@ -81,10 +90,17 @@ func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, s
 			Proto:    proto,
 			Src:      st.cfg.LocalIP,
 			Dst:      dst,
-		}, nextHop, seg, n)
+		}, nextHop, seg, n, ckOff)
 	}
 
-	// Fragment. Fragment data lengths must be multiples of 8 bytes.
+	// Fragment (slow path). The transport checksum covers the whole
+	// datagram but only fragment zero carries the field, so it is
+	// computed over the full chain and patched in before slicing.
+	if ckOff >= 0 {
+		st.patchTransportChecksum(&seg, proto, dst, ckOff)
+	}
+
+	// Fragment data lengths must be multiples of 8 bytes.
 	id := st.nextIPID()
 	maxData := (wire.EthMTU - wire.IPv4HeaderLen) &^ 7
 	off := 0
@@ -110,25 +126,78 @@ func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, s
 			h.Flags = wire.IPFlagMF
 		}
 		st.Stats.IPFragsOut++
-		if err := st.emitIP(t, tcp, h, nextHop, frag, take); err != nil {
+		if err := st.emitIP(t, tcp, h, nextHop, frag, take, -1); err != nil {
+			seg.Release()
 			return err
 		}
 		off += take
 		remaining -= take
 	}
+	seg.Release()
 	return nil
 }
 
-// emitIP prepends the IP and Ethernet headers, charges the device-output
-// cost, and transmits — immediately when the next hop's hardware address
+// patchTransportChecksum computes the transport checksum (pseudo-header
+// plus the full segment) and writes it at ckOff within the chain,
+// replacing *seg with a flat copy if the header bytes are shared.
+func (st *Stack) patchTransportChecksum(seg **mbuf.Chain, proto uint8, dst wire.IPAddr, ckOff int) {
+	var ck wire.Checksummer
+	ck.PseudoHeader(st.cfg.LocalIP, dst, proto, uint16((*seg).Len()))
+	ck.AddChain(*seg)
+	sum := ck.Sum()
+	if proto == wire.ProtoUDP && sum == 0 {
+		sum = 0xffff
+	}
+	hb := (*seg).Writer(ckOff + 2)
+	if hb == nil {
+		// Header bytes shared or fragmented across segments: take a
+		// private flat copy (cold path; transport headers are normally
+		// a single freshly prepended segment).
+		flat := mbuf.FromBytesCopy((*seg).Bytes())
+		(*seg).Release()
+		*seg = flat
+		hb = (*seg).Writer(ckOff + 2)
+	}
+	hb[ckOff] = byte(sum >> 8)
+	hb[ckOff+1] = byte(sum)
+}
+
+// emitIP builds the link frame — Ethernet header, IP header, and a fused
+// copy+checksum pass over the transport chain — charges the device-output
+// cost, and transmits: immediately when the next hop's hardware address
 // is known, otherwise when ARP resolution completes (the frame waits on
-// the ARP entry; this path never blocks).
-func (st *Stack) emitIP(t *sim.Proc, tcp bool, h wire.IPv4Header, nextHop wire.IPAddr, payload *mbuf.Chain, n int) error {
-	h.Marshal(payload.Prepend(wire.IPv4HeaderLen))
-	eh := wire.EthHeader{Src: st.cfg.LocalMAC, Type: wire.EtherTypeIPv4}
-	eh.Marshal(payload.Prepend(wire.EthHeaderLen))
+// the ARP entry; this path never blocks). The payload chain is consumed.
+//
+// Frame buffers are deliberately GC-allocated rather than pooled: a
+// transmitted frame may be shared by several receivers, the flight
+// recorder, and kernel delivery queues, so its lifetime has no single
+// release point — and fresh storage guarantees no stale pooled bytes can
+// leak into frames or pcap exports.
+func (st *Stack) emitIP(t *sim.Proc, tcp bool, h wire.IPv4Header, nextHop wire.IPAddr, payload *mbuf.Chain, n, ckOff int) error {
 	st.charge(t, tcp, costs.CompEtherOutput, n)
-	frame := payload.Bytes()
+	frame := make([]byte, wire.EthHeaderLen+wire.IPv4HeaderLen+payload.Len())
+	eh := wire.EthHeader{Src: st.cfg.LocalMAC, Type: wire.EtherTypeIPv4}
+	eh.Marshal(frame[:wire.EthHeaderLen])
+	h.Marshal(frame[wire.EthHeaderLen : wire.EthHeaderLen+wire.IPv4HeaderLen])
+
+	// One pass copies the transport segment into the frame and folds it
+	// into the checksum (the paper's integrated copy/checksum).
+	var ck wire.Checksummer
+	if ckOff >= 0 {
+		ck.PseudoHeader(h.Src, h.Dst, h.Proto, uint16(payload.Len()))
+	}
+	ck.CopyAndSum(frame[wire.EthHeaderLen+wire.IPv4HeaderLen:], payload)
+	if ckOff >= 0 {
+		sum := ck.Sum()
+		if h.Proto == wire.ProtoUDP && sum == 0 {
+			sum = 0xffff
+		}
+		at := wire.EthHeaderLen + wire.IPv4HeaderLen + ckOff
+		frame[at] = byte(sum >> 8)
+		frame[at+1] = byte(sum)
+	}
+	payload.Release()
+
 	if mac, ok := st.cfg.Resolver.ResolveOrQueue(t, nextHop, func(mac wire.MAC) {
 		copy(frame[0:6], mac[:])
 		st.cfg.Transmit(frame)
@@ -308,7 +377,7 @@ func (st *Stack) icmpInput(t *sim.Proc, h wire.IPv4Header, body []byte) {
 	case wire.ICMPEchoRequest:
 		reply := wire.ICMPHeader{Type: wire.ICMPEchoReply, ID: ih.ID, Seq: ih.Seq}
 		st.Stats.ICMPOut++
-		st.ipOutput(t, false, wire.ProtoICMP, h.Src, mbuf.FromBytesCopy(reply.Marshal(payload)), len(payload))
+		st.ipOutput(t, false, wire.ProtoICMP, h.Src, mbuf.FromBytesCopy(reply.Marshal(payload)), len(payload), -1)
 	case wire.ICMPEchoReply:
 		if cv, ok := st.icmpEcho[ih.ID]; ok {
 			cv.Broadcast()
@@ -347,7 +416,7 @@ func (st *Stack) icmpSendUnreachable(t *sim.Proc, code uint8, orig wire.IPv4Head
 	quote = append(quote, origBody[:n]...)
 	msg := wire.ICMPHeader{Type: wire.ICMPDestUnreachable, Code: code}
 	st.Stats.ICMPOut++
-	st.ipOutput(t, false, wire.ProtoICMP, orig.Src, mbuf.FromBytesCopy(msg.Marshal(quote)), 0)
+	st.ipOutput(t, false, wire.ProtoICMP, orig.Src, mbuf.FromBytesCopy(msg.Marshal(quote)), 0, -1)
 }
 
 // Ping sends an ICMP echo request and waits up to timeout for the reply,
@@ -360,7 +429,7 @@ func (st *Stack) Ping(t *sim.Proc, dst wire.IPAddr, id uint16, timeoutTicks int)
 	defer delete(st.icmpEcho, id)
 	req := wire.ICMPHeader{Type: wire.ICMPEchoRequest, ID: id, Seq: 1}
 	st.Stats.ICMPOut++
-	if err := st.ipOutput(t, false, wire.ProtoICMP, dst, mbuf.FromBytesCopy(req.Marshal(nil)), 0); err != nil {
+	if err := st.ipOutput(t, false, wire.ProtoICMP, dst, mbuf.FromBytesCopy(req.Marshal(nil)), 0, -1); err != nil {
 		st.unlock()
 		return false
 	}

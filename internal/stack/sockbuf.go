@@ -27,7 +27,11 @@ func (sb *streamBuf) appendChain(c *mbuf.Chain) { sb.data.AppendChain(c) }
 func (sb *streamBuf) appendBytes(b []byte) { sb.data.AppendBytes(b) }
 
 // appendRef appends b without copying (NEWAPI shared-buffer send).
-func (sb *streamBuf) appendRef(b []byte) { sb.data.AppendChain(mbuf.FromBytes(b)) }
+func (sb *streamBuf) appendRef(b []byte) { sb.data.AppendAlias(b) }
+
+// appendAlias appends b without copying. The caller guarantees b is
+// immutable (received frame bytes under the simnet ownership rules).
+func (sb *streamBuf) appendAlias(b []byte) { sb.data.AppendAlias(b) }
 
 // drop discards n bytes from the front (sbdrop; TCP acked data).
 func (sb *streamBuf) drop(n int) { sb.data.TrimFront(n) }
@@ -35,6 +39,11 @@ func (sb *streamBuf) drop(n int) { sb.data.TrimFront(n) }
 // region returns a storage-sharing copy of bytes [off, off+n) (m_copym;
 // TCP segment construction from the send queue).
 func (sb *streamBuf) region(off, n int) *mbuf.Chain { return sb.data.CopyRegion(off, n) }
+
+// regionInto appends a storage-sharing view of bytes [off, off+n) onto
+// out, so a reused scratch chain makes segment construction
+// allocation-free.
+func (sb *streamBuf) regionInto(out *mbuf.Chain, off, n int) { sb.data.CopyRegionInto(out, off, n) }
 
 // readInto copies up to len(p) bytes out of the buffer, consuming them.
 func (sb *streamBuf) readInto(p []byte) int {

@@ -434,12 +434,18 @@ func (st *Stack) Recv(t *sim.Proc, s *Socket, p []byte, opts RecvOpts) (int, Add
 		}
 		if opts.ZeroCopy {
 			b := d.data.Bytes()
+			if !opts.Peek {
+				d.data.Release()
+			}
 			st.charge(t, false, costs.CompCopyoutExit, len(b))
 			return len(b), d.from, b, nil
 		}
 		n := d.data.ReadAt(p, 0)
+		if !opts.Peek {
+			d.data.Release() // rest of datagram is discarded, as BSD does
+		}
 		st.charge(t, false, costs.CompCopyoutExit, n)
-		return n, d.from, nil, nil // rest of datagram is discarded, as BSD does
+		return n, d.from, nil, nil
 
 	case wire.ProtoTCP:
 		tcb := s.tcb
@@ -465,6 +471,7 @@ func (st *Stack) Recv(t *sim.Proc, s *Socket, p []byte, opts RecvOpts) (int, Add
 			c := s.rcv.readChain(max)
 			view = c.Bytes()
 			n = len(view)
+			c.Release()
 		} else if opts.Peek {
 			n = s.rcv.data.ReadAt(p, 0)
 		} else {

@@ -142,6 +142,11 @@ type tcpcb struct {
 	forceUrgent bool
 
 	reasm []reasmSeg
+
+	// txc is the scratch chain segments are assembled in; ipOutput
+	// consumes and empties it, so every send reuses the same chain and
+	// its pooled segments (allocated lazily by tcpSendSegment).
+	txc *mbuf.Chain
 }
 
 func newTCPCB(st *Stack, s *Socket) *tcpcb {

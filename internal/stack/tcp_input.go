@@ -420,7 +420,9 @@ func (st *Stack) tcpReassemble(t *sim.Proc, tp *tcpcb, seq uint32, data []byte, 
 		// Common case: in order, nothing queued.
 		st.charge(t, true, costs.CompMbufQueue, len(data))
 		tp.rcvNxt += uint32(len(data))
-		s.rcv.appendBytes(data)
+		// Frame bytes are immutable once delivered (simnet ownership
+		// rules): queue them by reference instead of copying.
+		s.rcv.appendAlias(data)
 		if tp.delAck {
 			tp.ackNow = true // ACK every second segment
 		} else {
@@ -473,7 +475,7 @@ func (st *Stack) tcpReassemble(t *sim.Proc, tp *tcpcb, seq uint32, data []byte, 
 // insertReasm places a segment into the sorted reassembly queue, trimming
 // overlap against existing segments conservatively.
 func (st *Stack) insertReasm(tp *tcpcb, seq uint32, data []byte, fin bool) {
-	c := mbuf.FromBytesCopy(data)
+	c := mbuf.FromBytes(data) // frame bytes are immutable: alias, don't copy
 	seg := reasmSeg{seq: seq, data: c, fin: fin}
 	// Find insertion point.
 	i := 0
@@ -489,6 +491,7 @@ func (st *Stack) insertReasm(tp *tcpcb, seq uint32, data []byte, fin bool) {
 		if seqGEQ(seq, prev.seq) && seqLT(seq, prevEnd) {
 			overlap := int(int32(prevEnd - seq))
 			if overlap >= c.Len() {
+				c.Release()
 				return // fully contained
 			}
 			c.TrimFront(overlap)
@@ -507,6 +510,7 @@ func (st *Stack) insertReasm(tp *tcpcb, seq uint32, data []byte, fin bool) {
 		if seqLEQ(nextEnd, segEnd) {
 			// Fully covered: remove it (keep its FIN if any).
 			seg.fin = seg.fin || next.fin
+			next.data.Release()
 			j++
 			continue
 		}
@@ -518,6 +522,8 @@ func (st *Stack) insertReasm(tp *tcpcb, seq uint32, data []byte, fin bool) {
 	out = append(out, tp.reasm[:i]...)
 	if seg.data.Len() > 0 || seg.fin {
 		out = append(out, seg)
+	} else {
+		seg.data.Release()
 	}
 	out = append(out, tp.reasm[j:]...)
 	tp.reasm = out

@@ -196,12 +196,16 @@ func (st *Stack) tcpSendSegment(t *sim.Proc, tp *tcpcb, flags uint8, length int,
 		seq = tp.sndUna
 	}
 
-	var payload *mbuf.Chain
+	// The segment is assembled in the control block's scratch chain:
+	// ipOutput consumes and recycles it, so steady-state sends reuse the
+	// same chain and pooled segments run after run.
+	if tp.txc == nil {
+		tp.txc = mbuf.New()
+	}
+	seg := tp.txc
 	if length > 0 {
 		off := int(tp.sndNxt - tp.sndUna)
-		payload = s.snd.region(off, length)
-	} else {
-		payload = mbuf.New()
+		s.snd.regionInto(seg, off, length)
 	}
 
 	hdr := wire.TCPHeader{
@@ -245,14 +249,9 @@ func (st *Stack) tcpSendSegment(t *sim.Proc, tp *tcpcb, flags uint8, length int,
 		}
 	}
 
-	// Serialize header + checksum.
-	hb := make([]byte, hdr.HeaderLen())
-	hdr.Marshal(hb)
-	pb := payload.Bytes()
-	hdr.Checksum = wire.TCPChecksum(st.cfg.LocalIP, s.remote.IP, hb, pb)
-	hdr.Marshal(hb)
-	seg := mbuf.FromBytesCopy(hb)
-	seg.AppendChain(payload)
+	// Serialize the header (checksum zero) in front of the payload; the
+	// IP layer computes the checksum during its fused copy into the frame.
+	hdr.Marshal(seg.Prepend(hdr.HeaderLen()))
 
 	// Advance send state.
 	if flags&flagSYN != 0 && tp.sndNxt == tp.iss {
@@ -295,7 +294,7 @@ func (st *Stack) tcpSendSegment(t *sim.Proc, tp *tcpcb, flags uint8, length int,
 	tp.ackNow = false
 	tp.delAck = false
 
-	st.ipOutput(t, true, wire.ProtoTCP, s.remote.IP, seg, length)
+	st.ipOutput(t, true, wire.ProtoTCP, s.remote.IP, seg, length, wire.TCPChecksumOffset)
 }
 
 // tcpRespond emits a bare control segment (ACK or RST) that is not
@@ -316,11 +315,9 @@ func (st *Stack) tcpRespond(t *sim.Proc, local, remote Addr, seq, ack uint32, fl
 	}
 	st.charge(t, true, costs.CompTransportOutput, 0)
 	st.Stats.TCPOut++
-	hb := make([]byte, hdr.HeaderLen())
-	hdr.Marshal(hb)
-	hdr.Checksum = wire.TCPChecksum(st.cfg.LocalIP, remote.IP, hb)
-	hdr.Marshal(hb)
-	st.ipOutput(t, true, wire.ProtoTCP, remote.IP, mbuf.FromBytesCopy(hb), 0)
+	seg := mbuf.New()
+	hdr.Marshal(seg.Prepend(hdr.HeaderLen()))
+	st.ipOutput(t, true, wire.ProtoTCP, remote.IP, seg, 0, wire.TCPChecksumOffset)
 }
 
 // SetDebugRST toggles RST tracing (diagnostics).

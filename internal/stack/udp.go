@@ -20,13 +20,10 @@ func (st *Stack) udpOutput(t *sim.Proc, src, dst Addr, payload *mbuf.Chain) erro
 		DstPort: dst.Port,
 		Length:  uint16(wire.UDPHeaderLen + n),
 	}
-	hb := make([]byte, wire.UDPHeaderLen)
-	h.Marshal(hb)
-	h.Checksum = wire.UDPChecksum(st.cfg.LocalIP, dst.IP, hb, payload.Bytes())
-	h.Marshal(hb)
-	seg := mbuf.FromBytesCopy(hb)
-	seg.AppendChain(payload)
-	return st.ipOutput(t, false, wire.ProtoUDP, dst.IP, seg, n)
+	// Marshal with a zero checksum; the IP layer computes it during the
+	// fused copy into the link frame (0 → 0xffff handled there).
+	h.Marshal(payload.Prepend(wire.UDPHeaderLen))
+	return st.ipOutput(t, false, wire.ProtoUDP, dst.IP, payload, n, wire.UDPChecksumOffset)
 }
 
 // udpInput delivers a received datagram to the owning socket (udp_input).
@@ -59,7 +56,11 @@ func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 		return
 	}
 	st.charge(t, false, costs.CompMbufQueue, len(payload))
-	if !s.drcv.enqueue(remote, mbuf.FromBytesCopy(payload)) {
+	// The frame's bytes are immutable once delivered (simnet ownership
+	// rules), so the datagram buffer aliases them instead of copying.
+	d := mbuf.FromBytes(payload)
+	if !s.drcv.enqueue(remote, d) {
+		d.Release()
 		st.Stats.Drops++ // receive buffer full: datagram lost
 		return
 	}

@@ -265,9 +265,14 @@ func (r *Recorder) Len() int {
 }
 
 // Reset discards all records (the drop counter included) but keeps the
-// mask and limit.
+// mask and limit. The record buffer is retained and reused, so a
+// recorder that is periodically reset stops allocating; slices returned
+// by Records before the Reset are invalidated by it.
 func (r *Recorder) Reset() {
-	r.recs = nil
+	for i := range r.recs {
+		r.recs[i] = Record{} // release frame copies and strings
+	}
+	r.recs = r.recs[:0]
 	r.dropped = 0
 	r.seq = 0
 }

@@ -1,6 +1,11 @@
 package wire
 
-import "errors"
+import (
+	"encoding/binary"
+	"errors"
+
+	"repro/internal/mbuf"
+)
 
 // ErrChecksum marks a parse failure caused by a checksum mismatch, as
 // opposed to a malformed header. Callers use errors.Is to count
@@ -9,9 +14,11 @@ var ErrChecksum = errors.New("checksum mismatch")
 
 // Checksummer accumulates the Internet checksum (RFC 1071) over a sequence
 // of byte slices, correctly handling odd-length slices in the middle of
-// the sequence by tracking byte parity.
+// the sequence by tracking byte parity. The accumulator is 64-bit so the
+// hot loop can add whole 32-bit words without folding; since 2^16 ≡ 1
+// (mod 2^16 - 1), deferring the fold to Sum gives the same result.
 type Checksummer struct {
-	sum uint32
+	sum uint64
 	odd bool
 }
 
@@ -20,17 +27,49 @@ func (c *Checksummer) Add(b []byte) {
 	i := 0
 	if c.odd && len(b) > 0 {
 		// The previous slice ended mid-word; this byte is the low half.
-		c.sum += uint32(b[0])
+		c.sum += uint64(b[0])
 		i = 1
 		c.odd = false
 	}
+	// 8 bytes per iteration: two big-endian 32-bit loads. A uint64
+	// accumulator absorbs 2^32 such adds before overflow — far beyond
+	// any frame or chain length seen here.
+	for ; i+8 <= len(b); i += 8 {
+		c.sum += uint64(binary.BigEndian.Uint32(b[i:]))
+		c.sum += uint64(binary.BigEndian.Uint32(b[i+4:]))
+	}
 	for ; i+1 < len(b); i += 2 {
-		c.sum += uint32(b[i])<<8 | uint32(b[i+1])
+		c.sum += uint64(b[i])<<8 | uint64(b[i+1])
 	}
 	if i < len(b) {
-		c.sum += uint32(b[i]) << 8
+		c.sum += uint64(b[i]) << 8
 		c.odd = true
 	}
+}
+
+// AddChain folds every segment of the chain into the checksum without
+// flattening it — the integrated chain walk half of the classic
+// copy/checksum fusion.
+func (c *Checksummer) AddChain(ch *mbuf.Chain) {
+	it := ch.Iter()
+	for b, ok := it.Next(); ok; b, ok = it.Next() {
+		c.Add(b)
+	}
+}
+
+// CopyAndSum copies the chain's contents into dst while folding them into
+// the checksum in the same pass (the paper's fused copy+checksum: one
+// traversal, one cache walk). It returns the number of bytes copied,
+// which is min(len(dst), ch.Len()).
+func (c *Checksummer) CopyAndSum(dst []byte, ch *mbuf.Chain) int {
+	total := 0
+	it := ch.Iter()
+	for b, ok := it.Next(); ok && total < len(dst); b, ok = it.Next() {
+		n := copy(dst[total:], b)
+		c.Add(dst[total : total+n])
+		total += n
+	}
+	return total
 }
 
 // AddUint16 folds a 16-bit value into the checksum. It must only be called
@@ -39,7 +78,7 @@ func (c *Checksummer) AddUint16(v uint16) {
 	if c.odd {
 		panic("wire: AddUint16 on odd byte boundary")
 	}
-	c.sum += uint32(v)
+	c.sum += uint64(v)
 }
 
 // Sum finishes the computation and returns the one's-complement checksum.
@@ -51,10 +90,25 @@ func (c *Checksummer) Sum() uint16 {
 	return ^uint16(s)
 }
 
+// Offsets of the transport checksum field within the TCP and UDP
+// headers. The IP output path computes transport checksums during its
+// fused copy into the link frame and patches them in at these offsets.
+const (
+	TCPChecksumOffset = 16
+	UDPChecksumOffset = 6
+)
+
 // Checksum returns the Internet checksum of b.
 func Checksum(b []byte) uint16 {
 	var c Checksummer
 	c.Add(b)
+	return c.Sum()
+}
+
+// ChecksumChain returns the Internet checksum of the chain's contents.
+func ChecksumChain(ch *mbuf.Chain) uint16 {
+	var c Checksummer
+	c.AddChain(ch)
 	return c.Sum()
 }
 

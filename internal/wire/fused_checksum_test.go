@@ -1,0 +1,162 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mbuf"
+)
+
+// chainOf builds a multi-segment chain whose concatenation is flat,
+// splitting at the given cut points.
+func chainOf(flat []byte, cuts ...int) *mbuf.Chain {
+	c := mbuf.New()
+	prev := 0
+	for _, cut := range cuts {
+		c.AppendBytes(flat[prev:cut])
+		prev = cut
+	}
+	c.AppendBytes(flat[prev:])
+	return c
+}
+
+// TestChecksumChainMatchesFlat checks the segment-wise chain checksum
+// against the reference flat checksum across odd and even segment
+// lengths, including odd-length segments in the middle of a chain (the
+// case that exercises the cross-segment parity/byte-swap logic).
+func TestChecksumChainMatchesFlat(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	cases := [][]int{
+		{},           // single segment
+		{1},          // 1-byte head
+		{3, 10},      // odd segment in the middle
+		{2, 4, 6},    // even cuts
+		{5, 6, 7, 8}, // run of 1-byte odd segments
+	}
+	for _, size := range []int{1, 2, 3, 16, 17, 100, 1460, 1461} {
+		flat := make([]byte, size)
+		rng.Read(flat)
+		want := Checksum(flat)
+		for _, cuts := range cases {
+			ok := true
+			for _, c := range cuts {
+				if c >= size {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			ch := chainOf(flat, cuts...)
+			if got := ChecksumChain(ch); got != want {
+				t.Errorf("size %d cuts %v: chain sum %#x, flat %#x", size, cuts, got, want)
+			}
+			ch.Release()
+		}
+	}
+}
+
+// TestCopyAndSumMatchesCopyThenSum checks the fused copy+checksum against
+// the unfused reference (copy the chain flat, then checksum the copy):
+// same bytes out, same sum, for odd and even lengths and segmenting.
+func TestCopyAndSumMatchesCopyThenSum(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, size := range []int{0, 1, 2, 7, 8, 9, 64, 513, 1460, 1473} {
+		flat := make([]byte, size)
+		rng.Read(flat)
+		var cuts []int
+		for p := 0; p < size-1; {
+			p += 1 + rng.Intn(200)
+			if p < size {
+				cuts = append(cuts, p)
+			}
+		}
+		ch := chainOf(flat, cuts...)
+
+		dst := make([]byte, size)
+		var ck Checksummer
+		n := ck.CopyAndSum(dst, ch)
+		if n != size {
+			t.Fatalf("size %d: CopyAndSum copied %d bytes", size, n)
+		}
+		if !bytes.Equal(dst, flat) {
+			t.Fatalf("size %d cuts %v: CopyAndSum mangled the copy", size, cuts)
+		}
+		if got, want := ck.Sum(), Checksum(flat); got != want {
+			t.Fatalf("size %d cuts %v: fused sum %#x, reference %#x", size, cuts, got, want)
+		}
+		ch.Release()
+	}
+}
+
+// TestCopyAndSumAfterPseudoHeader mirrors the transmit path's use: fold
+// the pseudo-header first (even-length words), then fuse-copy an odd or
+// even payload, and compare against the reference computed flat.
+func TestCopyAndSumAfterPseudoHeader(t *testing.T) {
+	src, dst := IP(10, 0, 0, 1), IP(10, 0, 0, 2)
+	for _, size := range []int{1, 2, 19, 20, 1460} {
+		flat := make([]byte, size)
+		for i := range flat {
+			flat[i] = byte(i * 31)
+		}
+		ch := chainOf(flat, size/3, size/2)
+
+		var fused Checksummer
+		fused.PseudoHeader(src, dst, ProtoTCP, uint16(size))
+		out := make([]byte, size)
+		fused.CopyAndSum(out, ch)
+
+		var ref Checksummer
+		ref.PseudoHeader(src, dst, ProtoTCP, uint16(size))
+		ref.Add(flat)
+
+		if fused.Sum() != ref.Sum() {
+			t.Errorf("size %d: fused %#x, reference %#x", size, fused.Sum(), ref.Sum())
+		}
+		ch.Release()
+	}
+}
+
+// TestQuickFusedChecksum drives CopyAndSum with random payloads and
+// random segmenting and cross-checks both the copied bytes and the sum
+// against the flat reference.
+func TestQuickFusedChecksum(t *testing.T) {
+	f := func(flat []byte, seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var cuts []int
+		for p := 0; p < len(flat)-1; {
+			p += 1 + rng.Intn(64)
+			if p < len(flat) {
+				cuts = append(cuts, p)
+			}
+		}
+		ch := chainOf(flat, cuts...)
+		defer ch.Release()
+		dst := make([]byte, len(flat))
+		var ck Checksummer
+		ck.CopyAndSum(dst, ch)
+		return bytes.Equal(dst, flat) && ck.Sum() == Checksum(flat)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAddChainAllocsFree pins that summing a warm multi-segment chain
+// allocates nothing — the point of fusing is that the hot path walks
+// segments in place.
+func TestAddChainAllocsFree(t *testing.T) {
+	flat := bytes.Repeat([]byte{0xC3}, 1460)
+	ch := chainOf(flat, 100, 700, 1300)
+	defer ch.Release()
+	avg := testing.AllocsPerRun(100, func() {
+		var ck Checksummer
+		ck.AddChain(ch)
+		_ = ck.Sum()
+	})
+	if avg > 0 {
+		t.Fatalf("AddChain allocates %.2f objects/op, want 0", avg)
+	}
+}
