@@ -46,6 +46,7 @@ func main() {
 	faultPlan := flag.String("faultplan", "", "fault plan (DSL, see EXPERIMENTS.md), e.g. '@2s partition A|B for=500ms'")
 	traceDir := flag.String("trace", "", "record every run on the flight recorder and dump the slowest run's trace (text, pcap, Chrome JSON) into this directory")
 	jsonOut := flag.String("json", "", "run the wall-clock hot-path suite and write BENCH_hotpath-style JSON to this file (\"-\" for stdout)")
+	metricsOut := flag.String("metrics", "", "run the metrics-registry digest suite and write BENCH_metrics-style JSON to this file (\"-\" for stdout)")
 	benchLabel := flag.String("label", "", "label stored in the -json report (default: current date)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
@@ -160,6 +161,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *metricsOut != "" {
+		ran = true
+		if err := runMetrics(*metricsOut, *benchLabel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if !ran {
 		flag.Usage()
 		os.Exit(2)
@@ -179,9 +187,18 @@ func main() {
 	}
 }
 
-// runHotpath measures the wall-clock hot path and writes the JSON report.
+// headlineConfig is the configuration the registry digest runs against:
+// the paper's headline Library-SHM-IPF system.
+func headlineConfig() bench.SysConfig { return bench.DECConfigs()[5] }
+
+// runHotpath measures the wall-clock hot path and writes the JSON
+// report, including the registry digest of the headline configuration.
 func runHotpath(path, label string, opt Options) error {
 	results, err := bench.RunHotpath(0, 0)
+	if err != nil {
+		return err
+	}
+	metrics, err := bench.RunMetricsSuite(headlineConfig())
 	if err != nil {
 		return err
 	}
@@ -192,6 +209,7 @@ func runHotpath(path, label string, opt Options) error {
 		Label:   label,
 		Date:    time.Now().UTC().Format("2006-01-02"),
 		Results: results,
+		Metrics: metrics,
 	}
 	out := os.Stdout
 	if path != "-" {
@@ -207,6 +225,41 @@ func runHotpath(path, label string, opt Options) error {
 	}
 	if path != "-" {
 		fmt.Printf("wrote hot-path report to %s\n", path)
+	}
+	return nil
+}
+
+// runMetrics runs only the registry digest suite and writes the
+// BENCH_metrics-style JSON entry.
+func runMetrics(path, label string) error {
+	cfg := headlineConfig()
+	results, err := bench.RunMetricsSuite(cfg)
+	if err != nil {
+		return err
+	}
+	if label == "" {
+		label = "psdbench"
+	}
+	rep := bench.MetricsReport{
+		Label:   label,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Config:  cfg.Name,
+		Results: results,
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteMetricsJSON(out, rep); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("wrote metrics report to %s\n", path)
 	}
 	return nil
 }

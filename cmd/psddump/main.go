@@ -12,8 +12,9 @@
 //
 //	psddump -pcap out.pcap     # frame stream, openable in Wireshark
 //	psddump -trace out.json    # Chrome trace_event, chrome://tracing
+//	psddump -stats             # append the final metrics-registry snapshot
 //
-// Usage: go run ./cmd/psddump [-seed 11] [-loss 0.02] [-layers net,stack,core]
+// Usage: go run ./cmd/psddump [-seed 11] [-loss 0.02] [-layers net,stack,core] [-stats]
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/psd"
@@ -36,9 +38,10 @@ func main() {
 		"comma-separated trace layers (sim,net,filter,stack,core; net is needed for -pcap)")
 	pcapPath := flag.String("pcap", "", "write the transmitted-frame stream to this pcap file")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline to this file")
+	stats := flag.Bool("stats", false, "append the final metrics-registry snapshot after the trace")
 	flag.Parse()
 
-	rec, err := run(os.Stdout, *seed, *loss, *layers)
+	rec, err := run(os.Stdout, *seed, *loss, *layers, *stats)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -68,9 +71,10 @@ func export(path string, write func(io.Writer) error) {
 }
 
 // run executes the canned scenario with tracing enabled and writes the
-// textual trace to w. It is the whole program minus flag parsing and
+// textual trace to w, followed by the final metrics-registry snapshot
+// when stats is set. It is the whole program minus flag parsing and
 // file output, so tests can run it against a golden file.
-func run(w io.Writer, seed int64, loss float64, layerSpec string) (*psd.Recorder, error) {
+func run(w io.Writer, seed int64, loss float64, layerSpec string, stats bool) (*psd.Recorder, error) {
 	var layers []psd.TraceLayer
 	for _, name := range strings.Split(layerSpec, ",") {
 		l, err := trace.ParseLayer(strings.TrimSpace(name))
@@ -80,7 +84,7 @@ func run(w io.Writer, seed int64, loss float64, layerSpec string) (*psd.Recorder
 		layers = append(layers, l)
 	}
 
-	n := psd.NewConfig(psd.Config{Seed: seed, Trace: layers})
+	n := psd.NewConfig(psd.Config{Seed: seed, Trace: layers, Metrics: stats})
 	n.SetLossRate(loss)
 	a := n.Host("alpha", "10.0.0.1", psd.Decomposed())
 	b := n.Host("beta", "10.0.0.2", psd.Decomposed())
@@ -96,6 +100,12 @@ func run(w io.Writer, seed int64, loss float64, layerSpec string) (*psd.Recorder
 	}
 	fmt.Fprintf(w, "\n[%v] scenario complete: server received %d TCP bytes, %d events recorded\n",
 		n.Now(), *total, rec.Len())
+	if stats {
+		fmt.Fprintf(w, "\nfinal registry snapshot:\n")
+		if err := metrics.WriteText(w, *n.MetricsSnapshot()); err != nil {
+			return nil, err
+		}
+	}
 	return rec, nil
 }
 

@@ -19,7 +19,7 @@ var update = flag.Bool("update", false, "rewrite testdata/psddump.golden")
 //	go test ./cmd/psddump -run TestGolden -update
 func TestGolden(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, 11, 0, "net,stack,core"); err != nil {
+	if _, err := run(&buf, 11, 0, "net,stack,core", false); err != nil {
 		t.Fatal(err)
 	}
 	golden := filepath.Join("testdata", "psddump.golden")
@@ -65,7 +65,7 @@ func TestGolden(t *testing.T) {
 func TestGoldenStable(t *testing.T) {
 	render := func() []byte {
 		var buf bytes.Buffer
-		if _, err := run(&buf, 11, 0.01, "net,stack,core"); err != nil {
+		if _, err := run(&buf, 11, 0.01, "net,stack,core", false); err != nil {
 			t.Fatal(err)
 		}
 		return buf.Bytes()
@@ -75,10 +75,41 @@ func TestGoldenStable(t *testing.T) {
 	}
 }
 
+// TestStatsGolden runs the scenario with -stats and diffs the appended
+// registry snapshot against its golden file; regenerate with -update.
+func TestStatsGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run(&buf, 11, 0, "net,stack,core", true); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	marker := "\nfinal registry snapshot:\n"
+	i := strings.Index(out, marker)
+	if i < 0 {
+		t.Fatal("-stats output missing the registry snapshot section")
+	}
+	snap := out[i+1:]
+	golden := filepath.Join("testdata", "psddump-stats.golden")
+	if *update {
+		if err := os.WriteFile(golden, []byte(snap), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(snap))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if snap != string(want) {
+		t.Fatalf("registry snapshot differs from %s (run with -update to regenerate):\n%s", golden, snap)
+	}
+}
+
 // TestLayerFlagRejected covers the flag-parsing path of run.
 func TestLayerFlagRejected(t *testing.T) {
 	var buf bytes.Buffer
-	if _, err := run(&buf, 11, 0, "net,bogus"); err == nil {
+	if _, err := run(&buf, 11, 0, "net,bogus", false); err == nil {
 		t.Fatal("bad -layers value should be rejected")
 	}
 }
@@ -87,7 +118,7 @@ func TestMainSmoke(t *testing.T) {
 	// Exercise the export paths end to end via run + the Write helpers.
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	rec, err := run(&buf, 3, 0, "net")
+	rec, err := run(&buf, 3, 0, "net", false)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,112 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite testdata goldens")
+
+// TestGolden runs the canned scenario on the decomposed architecture and
+// diffs every rendering mode against its checked-in golden file. Any
+// change to the socket tables, the counter set, or the renderings shows
+// up as a reviewable diff; regenerate with
+//
+//	go test ./cmd/psdstat -run TestGolden -update
+func TestGolden(t *testing.T) {
+	for _, mode := range []string{"table", "ifaces", "summary", "json", "prom"} {
+		t.Run(mode, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, 11, "decomposed", mode); err != nil {
+				t.Fatal(err)
+			}
+			golden := filepath.Join("testdata", "psdstat-"+mode+".golden")
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("rewrote %s (%d bytes)", golden, buf.Len())
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("%v (run with -update to generate)", err)
+			}
+			if bytes.Equal(buf.Bytes(), want) {
+				return
+			}
+			gotLines := strings.Split(buf.String(), "\n")
+			wantLines := strings.Split(string(want), "\n")
+			for i := 0; i < len(gotLines) || i < len(wantLines); i++ {
+				var g, w string
+				if i < len(gotLines) {
+					g = gotLines[i]
+				}
+				if i < len(wantLines) {
+					w = wantLines[i]
+				}
+				if g != w {
+					t.Fatalf("output differs from %s at line %d:\n  got:  %q\n  want: %q\n(run with -update to regenerate)",
+						golden, i+1, g, w)
+				}
+			}
+			t.Fatalf("output differs from %s (run with -update to regenerate)", golden)
+		})
+	}
+}
+
+// TestSnapshotStable runs the scenario twice per architecture and
+// requires byte-identical -json output — the in-process half of the
+// determinism guarantee (CI re-runs the suite with -count=2 for the
+// cross-process half).
+func TestSnapshotStable(t *testing.T) {
+	for _, arch := range []string{"decomposed", "inkernel", "server"} {
+		t.Run(arch, func(t *testing.T) {
+			render := func() []byte {
+				var buf bytes.Buffer
+				if err := run(&buf, 11, arch, "json"); err != nil {
+					t.Fatal(err)
+				}
+				return buf.Bytes()
+			}
+			a, b := render(), render()
+			if !bytes.Equal(a, b) {
+				t.Fatal("two identical psdstat runs produced different snapshots")
+			}
+		})
+	}
+}
+
+// TestSocketTableContents spot-checks the netstat view on every
+// architecture: the scenario must leave a LISTEN socket, an ESTABLISHED
+// pair, a TIME_WAIT remnant, and the UDP service visible.
+func TestSocketTableContents(t *testing.T) {
+	for _, arch := range []string{"decomposed", "inkernel", "server"} {
+		t.Run(arch, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := run(&buf, 11, arch, "table"); err != nil {
+				t.Fatal(err)
+			}
+			out := buf.String()
+			for _, want := range []string{"LISTEN", "ESTABLISHED", "TIME_WAIT", "udp"} {
+				if !strings.Contains(out, want) {
+					t.Errorf("socket table missing %q:\n%s", want, out)
+				}
+			}
+		})
+	}
+}
+
+func TestBadArchRejected(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(&buf, 11, "bogus", "table"); err == nil {
+		t.Fatal("bad -arch value should be rejected")
+	}
+}

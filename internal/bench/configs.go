@@ -13,6 +13,7 @@ import (
 	"repro/internal/costs"
 	"repro/internal/inkernel"
 	"repro/internal/kern"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
@@ -136,9 +137,14 @@ type World struct {
 	// enabled (see EnableTrace); nil otherwise.
 	Rec *trace.Recorder
 
+	// Reg is the world's metrics registry when harness metrics are
+	// enabled (see EnableMetrics); nil otherwise.
+	Reg *metrics.Registry
+
 	hostA, hostB *kern.Host
 	setObs       func(fn func(comp costs.Component, d time.Duration))
 	setTrace     func(r *trace.Recorder)
+	setMetrics   func(reg *metrics.Registry)
 }
 
 // Build instantiates the configuration on a fresh simulator.
@@ -165,6 +171,10 @@ func (c SysConfig) Build(seed int64) *World {
 			a.Observer, b.Observer = fn, fn
 		}
 		w.setTrace = func(r *trace.Recorder) { a.SetTrace(r); b.SetTrace(r) }
+		w.setMetrics = func(reg *metrics.Registry) {
+			a.SetMetrics(reg.Scope("host.A"))
+			b.SetMetrics(reg.Scope("host.B"))
+		}
 	case KindServer:
 		a := uxserver.New(s, seg, "A", macA, w.IPA, c.Prof)
 		b := uxserver.New(s, seg, "B", macB, w.IPB, c.Prof)
@@ -175,6 +185,10 @@ func (c SysConfig) Build(seed int64) *World {
 			a.Observer, b.Observer = fn, fn
 		}
 		w.setTrace = func(r *trace.Recorder) { a.SetTrace(r); b.SetTrace(r) }
+		w.setMetrics = func(reg *metrics.Registry) {
+			a.SetMetrics(reg.Scope("host.A"))
+			b.SetMetrics(reg.Scope("host.B"))
+		}
 	case KindCore:
 		a := core.New(s, seg, "A", macA, w.IPA, c.Prof, c.SrvProf)
 		b := core.New(s, seg, "B", macB, w.IPB, c.Prof, c.SrvProf)
@@ -185,9 +199,14 @@ func (c SysConfig) Build(seed int64) *World {
 			a.Observer, b.Observer = fn, fn
 		}
 		w.setTrace = func(r *trace.Recorder) { a.SetTrace(r); b.SetTrace(r) }
+		w.setMetrics = func(reg *metrics.Registry) {
+			a.SetMetrics(reg.Scope("host.A"))
+			b.SetMetrics(reg.Scope("host.B"))
+		}
 	}
 	applyFaults(w)
 	attachTrace(w)
+	attachMetrics(w)
 	if buildHook != nil {
 		buildHook(w)
 	}
@@ -217,5 +236,5 @@ func hostTCPOut(w *World, a bool) int {
 		h = w.hostB
 	}
 	// Count frames transmitted by the host NIC as a proxy for segments.
-	return h.NIC.TxFrames
+	return int(h.NIC.TxFrames.Value())
 }

@@ -44,6 +44,9 @@ type HotpathReport struct {
 	Date    string           `json:"date,omitempty"`
 	GoMaxMB int              `json:"-"`
 	Results []HotpathMetrics `json:"results"`
+	// Metrics is the registry digest of the headline configuration:
+	// connect-latency quantiles and drop/retransmit counts per workload.
+	Metrics []WorkloadMetrics `json:"metrics,omitempty"`
 }
 
 // hotpathWorkload is one entry of the suite.
@@ -67,7 +70,7 @@ func hotpathSuite() []hotpathWorkload {
 			r := RunTTCP(cfg, cfg.RcvBufKB, totalBytes)
 			segs := 0
 			if hookWorld != nil {
-				segs = hookWorld.hostA.NIC.TxFrames
+				segs = int(hookWorld.hostA.NIC.TxFrames.Value())
 			}
 			return r.Duration, segs, r.Err
 		}

@@ -31,8 +31,8 @@ func TestSteadyStateTCPAllocBudget(t *testing.T) {
 		if r.Err != nil {
 			t.Fatal(r.Err)
 		}
-		if hookWorld != nil && hookWorld.hostA.NIC.TxFrames > 0 {
-			segs = hookWorld.hostA.NIC.TxFrames
+		if hookWorld != nil && hookWorld.hostA.NIC.TxFrames.Value() > 0 {
+			segs = int(hookWorld.hostA.NIC.TxFrames.Value())
 		}
 	}
 	run() // warm the global buffer pools

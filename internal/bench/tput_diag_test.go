@@ -63,8 +63,8 @@ func runTputDiag(t *testing.T, cfg SysConfig, bufKB int) {
 		t.Fatal(err)
 	}
 	dur := end.Sub(start)
-	txA := w.hostA.NIC.TxFrames
-	txB := w.hostB.NIC.TxFrames
+	txA := w.hostA.NIC.TxFrames.Value()
+	txB := w.hostB.NIC.TxFrames.Value()
 	cpuA := w.hostA.CPU.BusyTime()
 	cpuB := w.hostB.CPU.BusyTime()
 	t.Logf("%s buf=%dKB: %.0f KB/s; dataFrames(A)=%d (avg %0.f B/seg), acks(B)=%d, cpuA=%v (%.0f%%), cpuB=%v (%.0f%%), wire=%v busy",

@@ -49,8 +49,8 @@ func TestTable1SessionMigration(t *testing.T) {
 		libB.Bind(p, ls, socketapi.SockAddr{Port: 5001})
 		libB.Listen(p, ls, 1)
 		// Listeners are server-managed: no migration yet.
-		if srvB.Migrations != 0 {
-			t.Errorf("B migrations before accept = %d", srvB.Migrations)
+		if srvB.Migrations.Value() != 0 {
+			t.Errorf("B migrations before accept = %d", srvB.Migrations.Value())
 		}
 		fd, _, err := libB.Accept(p, ls)
 		if err != nil {
@@ -58,8 +58,8 @@ func TestTable1SessionMigration(t *testing.T) {
 			return
 		}
 		// accept migrated the passively-opened session to the app.
-		if srvB.Migrations != 1 {
-			t.Errorf("B migrations after accept = %d", srvB.Migrations)
+		if srvB.Migrations.Value() != 1 {
+			t.Errorf("B migrations after accept = %d", srvB.Migrations.Value())
 		}
 		buf := make([]byte, 4096)
 		for {
@@ -69,8 +69,8 @@ func TestTable1SessionMigration(t *testing.T) {
 			}
 		}
 		libB.Close(p, fd)
-		if srvB.Returns != 1 {
-			t.Errorf("B returns after close = %d", srvB.Returns)
+		if srvB.Returns.Value() != 1 {
+			t.Errorf("B returns after close = %d", srvB.Returns.Value())
 		}
 		libB.Close(p, ls)
 		done = true
@@ -82,8 +82,8 @@ func TestTable1SessionMigration(t *testing.T) {
 			t.Error(err)
 			return
 		}
-		if srvA.Migrations != 1 {
-			t.Errorf("A migrations after connect = %d", srvA.Migrations)
+		if srvA.Migrations.Value() != 1 {
+			t.Errorf("A migrations after connect = %d", srvA.Migrations.Value())
 		}
 		data := make([]byte, 32*1024)
 		off := 0
@@ -123,11 +123,11 @@ func TestUDPMigratesAtBind(t *testing.T) {
 	lib := w.b.NewLibrary("app")
 	w.s.Spawn("app", func(p *sim.Proc) {
 		fd, _ := lib.Socket(p, socketapi.SockDgram)
-		if w.b.Server.Migrations != 0 {
+		if w.b.Server.Migrations.Value() != 0 {
 			t.Error("migrated before bind")
 		}
 		lib.Bind(p, fd, socketapi.SockAddr{Port: 9999})
-		if w.b.Server.Migrations != 1 {
+		if w.b.Server.Migrations.Value() != 1 {
 			t.Error("UDP session did not migrate at bind")
 		}
 		lib.Close(p, fd)
@@ -190,7 +190,7 @@ func TestPacketFilterIsolation(t *testing.T) {
 		t.Errorf("victim got %d datagrams, want 3", gotVictim)
 	}
 	// The snoop's library stack must have processed zero packets.
-	if n := snoop.St.Stats.IPIn; n != 0 {
+	if n := snoop.St.Stats.IPIn.Value(); n != 0 {
 		t.Errorf("snoop's library stack saw %d packets", n)
 	}
 }
@@ -249,8 +249,8 @@ func TestProcessDeathAbortsSessions(t *testing.T) {
 	if !errors.Is(peerErr, socketapi.ErrConnReset) {
 		t.Errorf("peer error = %v, want ECONNRESET from the server's abort", peerErr)
 	}
-	if w.a.Server.OrphansAborted != 1 {
-		t.Errorf("orphans aborted = %d", w.a.Server.OrphansAborted)
+	if w.a.Server.OrphansAborted.Value() != 1 {
+		t.Errorf("orphans aborted = %d", w.a.Server.OrphansAborted.Value())
 	}
 	// The port is quarantined: rebinding must fail until 2MSL passes.
 	lib2 := w.a.NewLibrary("rebinder")
@@ -356,8 +356,8 @@ func TestFragmentForwarding(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("fragmented datagram corrupted: %d bytes", len(got))
 	}
-	if w.b.Server.FragForwards != 1 {
-		t.Errorf("server forwarded %d reassembled datagrams, want 1", w.b.Server.FragForwards)
+	if w.b.Server.FragForwards.Value() != 1 {
+		t.Errorf("server forwarded %d reassembled datagrams, want 1", w.b.Server.FragForwards.Value())
 	}
 }
 

@@ -20,6 +20,7 @@ import (
 type Library struct {
 	sys  *System
 	srv  *Server
+	name string
 	Proc *kern.Process
 	St   *stack.Stack
 
@@ -62,6 +63,7 @@ func (sys *System) NewLibrary(name string) *Library {
 	lib := &Library{
 		sys:  sys,
 		srv:  sys.Server,
+		name: name,
 		Proc: sys.Host.NewProcess(name),
 		fds:  make(map[int]*appSession),
 		next: 3,
@@ -94,6 +96,9 @@ func (sys *System) NewLibrary(name string) *Library {
 	})
 	lib.St.StartTimers(lib.Proc.GoDaemon)
 	sys.Server.libs = append(sys.Server.libs, lib)
+	if sys.metricsScope != nil {
+		lib.St.SetMetrics(sys.metricsScope.Sub("stack").Sub(name + ".lib"))
+	}
 	return lib
 }
 

@@ -86,8 +86,8 @@ func TestForkWhileNetworkPartitioned(t *testing.T) {
 			part.Heal()
 			return
 		}
-		if w.a.Server.Returns != 1 {
-			t.Errorf("returns after fork = %d, want 1", w.a.Server.Returns)
+		if w.a.Server.Returns.Value() != 1 {
+			t.Errorf("returns after fork = %d, want 1", w.a.Server.Returns.Value())
 		}
 		// Heal while the child is retransmitting into the void; the
 		// stream must then complete from the migrated state.
@@ -120,7 +120,7 @@ func TestForkWhileNetworkPartitioned(t *testing.T) {
 		t.Fatalf("stream corrupted across partitioned fork: %d/%d bytes, first divergence at %d",
 			got.Len(), len(payload), i)
 	}
-	if w.a.Server.Returns != 1 {
-		t.Fatalf("returns = %d, want 1 (the fork)", w.a.Server.Returns)
+	if w.a.Server.Returns.Value() != 1 {
+		t.Fatalf("returns = %d, want 1 (the fork)", w.a.Server.Returns.Value())
 	}
 }

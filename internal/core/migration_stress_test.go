@@ -113,8 +113,8 @@ func TestForkMidTransferUnderLoss(t *testing.T) {
 				t.Fatalf("stream corrupted across fork migration: %d/%d bytes, first divergence at %d",
 					got.Len(), len(payload), i)
 			}
-			if w.a.Server.Returns != 1 {
-				t.Fatalf("returns = %d, want 1 (the fork)", w.a.Server.Returns)
+			if w.a.Server.Returns.Value() != 1 {
+				t.Fatalf("returns = %d, want 1 (the fork)", w.a.Server.Returns.Value())
 			}
 		})
 	}

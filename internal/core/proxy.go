@@ -194,6 +194,7 @@ func (srv *Server) handle(t *sim.Proc, method string, args any) (any, error) {
 		newSess.local = ns.LocalAddr()
 		newSess.remote = ns.RemoteAddr()
 		newSess.srvSock = ns
+		srv.ConnSetups.Inc()
 		if srv.traceOn() {
 			srv.traceEmit(trace.EvConnSetup, sessName(newSess), "accept", int64(newSess.id), 0)
 		}
@@ -426,6 +427,7 @@ func (srv *Server) connect(t *sim.Proc, sess *session, raddr stack.Addr, lib *Li
 		}
 		sess.local = sess.srvSock.LocalAddr()
 		sess.remote = sess.srvSock.RemoteAddr()
+		srv.ConnSetups.Inc()
 		if srv.traceOn() {
 			srv.traceEmit(trace.EvConnSetup, sessName(sess), "connect", int64(sess.id), 0)
 		}
@@ -462,7 +464,7 @@ func (srv *Server) migrateUDP(sess *session, lib *Library) (*kern.Endpoint, erro
 	sess.portHeld = true
 	sess.loc = atApp
 	sess.owner = lib
-	srv.Migrations++
+	srv.Migrations.Inc()
 	if srv.traceOn() {
 		srv.traceEmit(trace.EvMigrate, sessName(sess), "to-app", int64(sess.id), 0)
 	}
@@ -499,7 +501,7 @@ func (srv *Server) migrateTCP(t *sim.Proc, sess *session, lib *Library) (*kern.E
 	sess.filterID = fid
 	sess.loc = atApp
 	sess.owner = lib
-	srv.Migrations++
+	srv.Migrations.Inc()
 	if srv.traceOn() {
 		srv.traceEmit(trace.EvMigrate, sessName(sess), "to-app", int64(sess.id), 0)
 	}
@@ -513,7 +515,7 @@ func (srv *Server) returnSession(t *sim.Proc, sess *session, state *stack.TCPSes
 	if sess.loc != atApp {
 		return socketapi.ErrInvalid
 	}
-	srv.Returns++
+	srv.Returns.Inc()
 	srv.dropAppSide(sess)
 	sess.loc = atServer
 	sess.owner = nil
@@ -572,7 +574,7 @@ func (srv *Server) deathNotice(t *sim.Proc, a pxDeath) {
 		if !ok || sess.owner != a.lib {
 			continue
 		}
-		srv.OrphansAborted++
+		srv.OrphansAborted.Inc()
 		if srv.traceOn() {
 			srv.traceEmit(trace.EvOrphanAbort, sessName(sess), "", int64(sid), 0)
 		}
@@ -583,6 +585,7 @@ func (srv *Server) deathNotice(t *sim.Proc, a pxDeath) {
 		held := sess.portHeld
 		sess.portHeld = false // quarantine supersedes the plain release
 		delete(srv.sessions, sid)
+		srv.SessionsReaped.Inc()
 		if held && port != 0 {
 			srv.Ports.Release(wire.ProtoTCP, port)
 			srv.Ports.Quarantine(wire.ProtoTCP, port)

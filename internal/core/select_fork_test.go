@@ -155,8 +155,8 @@ func TestPostForkDataViaServer(t *testing.T) {
 	if len(echoed) != 12 {
 		t.Fatalf("peer saw %d bytes, want 12 (parent+child writes)", len(echoed))
 	}
-	if w.a.Server.Returns != 1 {
-		t.Fatalf("fork returns = %d, want 1", w.a.Server.Returns)
+	if w.a.Server.Returns.Value() != 1 {
+		t.Fatalf("fork returns = %d, want 1", w.a.Server.Returns.Value())
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/costs"
 	"repro/internal/kern"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stack"
@@ -87,6 +88,10 @@ type System struct {
 	// events (sessions, ports, migration) and is propagated to the
 	// kernel host, the server stack, and every library stack.
 	Trace *trace.Recorder
+
+	// metricsScope, when set by SetMetrics, is the host-level scope new
+	// library stacks bind into at creation time.
+	metricsScope *metrics.Scope
 }
 
 // SetTrace attaches a flight recorder to the whole system: the kernel
@@ -143,10 +148,14 @@ type Server struct {
 	frags map[fragKey]*fragEntry
 
 	// Stats.
-	Migrations     int
-	Returns        int
-	OrphansAborted int
-	FragForwards   int
+	Migrations     metrics.Counter
+	Returns        metrics.Counter
+	OrphansAborted metrics.Counter
+	FragForwards   metrics.Counter
+	SessionsMade   metrics.Counter // sessions created (socket/accept)
+	SessionsReaped metrics.Counter // sessions removed, orphan aborts included
+	ConnSetups     metrics.Counter // TCP connections established (accept + connect)
+	ConnTeardowns  metrics.Counter // established connections closed normally
 }
 
 const serverWorkers = 16
@@ -314,7 +323,7 @@ func (srv *Server) fragIntercept(t *sim.Proc, eh wire.EthHeader, h wire.IPv4Head
 		return fragHeld
 	}
 	delete(srv.frags, key)
-	srv.FragForwards++
+	srv.FragForwards.Inc()
 
 	// Rebuild an unfragmented frame and push it back through the kernel
 	// filter set; the session's own filter matches it now.
@@ -351,6 +360,7 @@ func (srv *Server) newSession(proto uint8) *session {
 	sess := &session{id: srv.nextSID, proto: proto, refs: 1, loc: atServer}
 	srv.nextSID++
 	srv.sessions[sess.id] = sess
+	srv.SessionsMade.Inc()
 	if srv.traceOn() {
 		srv.traceEmit(trace.EvSession, protoName(proto), "new", int64(sess.id), 0)
 	}
@@ -383,6 +393,10 @@ func (srv *Server) reapSession(sess *session) {
 		return
 	}
 	delete(srv.sessions, sess.id)
+	srv.SessionsReaped.Inc()
+	if sess.proto == wire.ProtoTCP && !sess.remote.IsZero() {
+		srv.ConnTeardowns.Inc()
+	}
 	srv.dropAppSide(sess)
 	if srv.traceOn() {
 		srv.traceEmit(trace.EvConnTeardown, sessName(sess), "", int64(sess.id), 0)

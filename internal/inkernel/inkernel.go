@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/costs"
 	"repro/internal/kern"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
@@ -45,6 +46,16 @@ type System struct {
 func (sys *System) SetTrace(r *trace.Recorder) {
 	sys.Host.Trace = r
 	sys.St.SetTrace(r)
+}
+
+// SetMetrics attaches a registry scope (e.g. "host.alpha") to the
+// system: kernel host counters plus the in-kernel protocol stack.
+func (sys *System) SetMetrics(hs *metrics.Scope) {
+	if hs == nil {
+		return
+	}
+	sys.Host.SetMetrics(hs)
+	sys.St.SetMetrics(hs.Sub("stack").Sub("kstack"))
 }
 
 // New attaches a host running prof's in-kernel stack to the segment.

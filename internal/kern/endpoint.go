@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/costs"
 	"repro/internal/filter"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 )
@@ -34,8 +35,8 @@ type Endpoint struct {
 	filters []int
 	closed  bool
 
-	Delivered int
-	Drops     int
+	Delivered metrics.Counter
+	Drops     metrics.Counter
 }
 
 // pending returns the number of queued packets.
@@ -123,13 +124,22 @@ func (e *Endpoint) deliver(h *Host, f simnet.Frame, payload int) {
 		return
 	}
 	if e.pending() >= e.depth {
-		e.Drops++
-		h.RxDropped++
+		e.Drops.Inc()
+		h.RxDropped.Inc()
 		return
 	}
 	e.queue = append(e.queue, Packet{Frame: f.Data, Arrived: h.Sim.Now(), Payload: payload})
-	e.Delivered++
-	h.DeliveryBytes += payload
+	e.Delivered.Inc()
+	h.DeliveryBytes.Add(uint64(payload))
+	switch h.Prof.Delivery {
+	case costs.DeliverIPC:
+		h.DeliveredIPC.Inc()
+	case costs.DeliverSHM:
+		h.DeliveredSHM.Inc()
+	case costs.DeliverSHMIPF:
+		h.DeliveredSHMIPF.Inc()
+	}
+	h.mQueueDepth.Observe(int64(e.pending()))
 	e.avail.Signal()
 }
 
@@ -137,13 +147,21 @@ func (e *Endpoint) deliver(h *Host, f simnet.Frame, payload int) {
 // endpoint closes. In IPC delivery mode each dequeue pays the per-message
 // receive cost; in the shared-memory modes the ring is drained directly.
 func (e *Endpoint) Recv(p *sim.Proc) (Packet, bool) {
+	waited := false
 	for e.pending() == 0 && !e.closed {
+		waited = true
 		e.avail.Wait(p)
 	}
 	if e.pending() == 0 {
 		return Packet{}, false
 	}
+	if waited {
+		// How many packets accumulated while this receiver slept — the
+		// effective wakeup batch size.
+		e.host.mWakeBatch.Observe(int64(e.pending()))
+	}
 	pkt := e.pop()
+	e.host.mRxWait.Observe(int64(e.host.Sim.Now().Sub(pkt.Arrived)))
 	if e.host.Prof.Delivery == costs.DeliverIPC {
 		if c := e.host.Prof.IPCRecvPerPacket.At(pkt.Payload); c > 0 {
 			e.host.ChargeProc(p, c)

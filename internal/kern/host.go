@@ -16,6 +16,7 @@ import (
 
 	"repro/internal/costs"
 	"repro/internal/filter"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -51,13 +52,62 @@ type Host struct {
 	Trace *trace.Recorder
 
 	// Stats.
-	RxFrames      int
-	RxNoMatch     int
-	RxDropped     int
-	TxBlocked     int
-	DeliveryBytes int
+	RxFrames      metrics.Counter
+	RxNoMatch     metrics.Counter // packet filter misses
+	RxDropped     metrics.Counter // endpoint queue overflows
+	TxBlocked     metrics.Counter // frames rejected by the egress filter
+	DeliveryBytes metrics.Counter
+	FilterMatch   metrics.Counter
+	FilterSteal   metrics.Counter // matches won by a priority>0 (session) filter over the catch-all
+
+	// Per-interface delivery counts, by user/kernel receive interface.
+	DeliveredIPC    metrics.Counter
+	DeliveredSHM    metrics.Counter
+	DeliveredSHMIPF metrics.Counter
+
+	// Histograms, allocated only when SetMetrics is called; Observe on
+	// nil is a single check.
+	mQueueDepth *metrics.Histogram // endpoint queue occupancy after each delivery
+	mRxWait     *metrics.Histogram // ns from frame arrival to Recv dequeue
+	mWakeBatch  *metrics.Histogram // packets available when a blocked receiver wakes
 
 	freeRx []*rxJob // recycled receive-path jobs
+}
+
+// SetMetrics binds the host's kernel-side counters into a per-host
+// registry scope and allocates the receive-path histograms. The scope
+// is the host root (e.g. "host.alpha"); kern counters land under
+// "<host>.kern.*", filter verdicts under "<host>.kern.filter.*", and
+// the NIC under "<host>.nic.*".
+func (h *Host) SetMetrics(hs *metrics.Scope) {
+	if hs == nil {
+		return
+	}
+	h.NIC.BindMetrics(hs.Sub("nic"))
+	ks := hs.Sub("kern")
+	ks.Counter("rx_frames", &h.RxFrames)
+	ks.Counter("rx_dropped", &h.RxDropped)
+	ks.Counter("tx_blocked", &h.TxBlocked)
+	ks.Counter("delivery_bytes", &h.DeliveryBytes)
+	ks.Counter("delivered_ipc", &h.DeliveredIPC)
+	ks.Counter("delivered_shm", &h.DeliveredSHM)
+	ks.Counter("delivered_shm_ipf", &h.DeliveredSHMIPF)
+	fs := ks.Sub("filter")
+	fs.Counter("match", &h.FilterMatch)
+	fs.Counter("miss", &h.RxNoMatch)
+	fs.Counter("steal", &h.FilterSteal)
+	h.mQueueDepth = ks.Histogram("queue_depth")
+	h.mRxWait = ks.Histogram("rx_wait_ns")
+	h.mWakeBatch = ks.Histogram("wakeup_batch")
+	ks.GaugeFunc("endpoints", func() int64 {
+		live := 0
+		for _, e := range h.endpoints {
+			if !e.closed {
+				live++
+			}
+		}
+		return int64(live)
+	})
 }
 
 // NewHost attaches a new machine to the segment.
@@ -158,7 +208,7 @@ func (h *Host) putRxJob(j *rxJob) {
 // packet filter, and delivery into the matching endpoint's queue. It runs
 // entirely at interrupt priority on the host CPU.
 func (h *Host) rx(f simnet.Frame) {
-	h.RxFrames++
+	h.RxFrames.Inc()
 	j := h.getRxJob()
 	j.f = f
 	j.pc = h.pathFor(f.Data)
@@ -179,12 +229,18 @@ func (j *rxJob) match() {
 	h := j.h
 	m, examined := h.Filters.Match(j.f.Data)
 	if m == nil {
-		h.RxNoMatch++
+		h.RxNoMatch.Inc()
 		if h.Trace.On(trace.LayerFilter) {
 			h.Trace.Emit(trace.LayerFilter, trace.EvFilterMiss, h.Name, "", "", 0, int64(examined), 0)
 		}
 		h.putRxJob(j)
 		return
+	}
+	h.FilterMatch.Inc()
+	if m.Priority > 0 {
+		// A session filter outbid the catch-all: the packet was "stolen"
+		// from the OS server's fallback path.
+		h.FilterSteal.Inc()
 	}
 	if h.Trace.On(trace.LayerFilter) {
 		h.Trace.Emit(trace.LayerFilter, trace.EvFilterMatch, h.Name, "", "", int64(m.ID), int64(examined), 0)
@@ -245,7 +301,7 @@ func (h *Host) SetEgress(s *filter.Set) { h.egress = s }
 func (h *Host) Transmit(frame []byte) error {
 	if h.egress != nil {
 		if m, _ := h.egress.Match(frame); m == nil {
-			h.TxBlocked++
+			h.TxBlocked.Inc()
 			return nil // silently dropped, like a firewall
 		}
 	}

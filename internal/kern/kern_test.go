@@ -66,8 +66,8 @@ func TestRxDeliversToMatchingEndpoint(t *testing.T) {
 	if len(got) != 1 || got[0].Payload != 100 {
 		t.Fatalf("got %v", got)
 	}
-	if r.b.RxFrames != 1 || ep.Delivered != 1 {
-		t.Fatalf("stats: frames=%d delivered=%d", r.b.RxFrames, ep.Delivered)
+	if r.b.RxFrames.Value() != 1 || ep.Delivered.Value() != 1 {
+		t.Fatalf("stats: frames=%d delivered=%d", r.b.RxFrames.Value(), ep.Delivered.Value())
 	}
 }
 
@@ -77,8 +77,8 @@ func TestRxUnmatchedCounted(t *testing.T) {
 	if err := r.s.RunFor(10 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if r.b.RxNoMatch != 1 {
-		t.Fatalf("no-match = %d", r.b.RxNoMatch)
+	if r.b.RxNoMatch.Value() != 1 {
+		t.Fatalf("no-match = %d", r.b.RxNoMatch.Value())
 	}
 }
 
@@ -95,8 +95,8 @@ func TestCatchAllFallback(t *testing.T) {
 	if err := r.s.RunFor(50 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if sess.Delivered != 1 || server.Delivered != 1 {
-		t.Fatalf("session=%d server=%d", sess.Delivered, server.Delivered)
+	if sess.Delivered.Value() != 1 || server.Delivered.Value() != 1 {
+		t.Fatalf("session=%d server=%d", sess.Delivered.Value(), server.Delivered.Value())
 	}
 }
 
@@ -110,8 +110,8 @@ func TestEndpointOverflowDrops(t *testing.T) {
 	if err := r.s.RunFor(100 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if ep.Delivered != 2 || ep.Drops != 3 {
-		t.Fatalf("delivered=%d drops=%d", ep.Delivered, ep.Drops)
+	if ep.Delivered.Value() != 2 || ep.Drops.Value() != 3 {
+		t.Fatalf("delivered=%d drops=%d", ep.Delivered.Value(), ep.Drops.Value())
 	}
 }
 
@@ -364,10 +364,10 @@ func TestEgressFilterBlocksTraffic(t *testing.T) {
 	if err := r.s.RunFor(10 * time.Millisecond); err != nil {
 		t.Fatal(err)
 	}
-	if r.a.TxBlocked != 1 {
-		t.Fatalf("blocked = %d, want 1", r.a.TxBlocked)
+	if r.a.TxBlocked.Value() != 1 {
+		t.Fatalf("blocked = %d, want 1", r.a.TxBlocked.Value())
 	}
-	if r.b.RxFrames != 1 {
-		t.Fatalf("frames on wire = %d, want 1 (TCP frame must not escape)", r.b.RxFrames)
+	if r.b.RxFrames.Value() != 1 {
+		t.Fatalf("frames on wire = %d, want 1 (TCP frame must not escape)", r.b.RxFrames.Value())
 	}
 }

@@ -1,0 +1,217 @@
+package metrics
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilSafety(t *testing.T) {
+	var c *Counter
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter must read 0")
+	}
+	var g *Gauge
+	g.Set(3)
+	g.Inc()
+	g.Dec()
+	if g.Value() != 0 {
+		t.Fatal("nil gauge must read 0")
+	}
+	var sc *Scope
+	if sc.Sub("x") != nil || sc.NewCounter("c") != nil || sc.Histogram("h") != nil {
+		t.Fatal("nil scope must return nil instruments")
+	}
+	sc.Counter("c", &Counter{})
+	sc.GaugeVar("g", &Gauge{})
+	sc.GaugeFunc("f", func() int64 { return 1 })
+	var r *Registry
+	if r.Scope("x") != nil {
+		t.Fatal("nil registry must return nil scope")
+	}
+	if s := r.Snapshot(0); len(s.Items) != 0 {
+		t.Fatal("nil registry snapshot must be empty")
+	}
+	if r.MergedHistogram(".x") != nil {
+		t.Fatal("nil registry must return nil merged histogram")
+	}
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	host := r.Scope("host.alpha")
+	var rx Counter
+	rx.Add(7)
+	host.Sub("nic").Counter("rx_frames", &rx)
+	var depth Gauge
+	depth.Set(3)
+	host.GaugeVar("queue_depth", &depth)
+	host.GaugeFunc("sessions", func() int64 { return 11 })
+	h := host.Histogram("rtt_ns")
+	h.Observe(100)
+	h.Observe(200)
+
+	s := r.Snapshot(5 * time.Second)
+	if s.At != 5*time.Second {
+		t.Fatalf("At = %v", s.At)
+	}
+	wantNames := []string{
+		"host.alpha.nic.rx_frames",
+		"host.alpha.queue_depth",
+		"host.alpha.rtt_ns",
+		"host.alpha.sessions",
+	}
+	if len(s.Items) != len(wantNames) {
+		t.Fatalf("items = %d, want %d", len(s.Items), len(wantNames))
+	}
+	for i, n := range wantNames {
+		if s.Items[i].Name != n {
+			t.Fatalf("item %d = %q, want %q (sorted order)", i, s.Items[i].Name, n)
+		}
+	}
+	if it, _ := s.Get("host.alpha.nic.rx_frames"); it.Value != 7 {
+		t.Fatalf("rx_frames = %d", it.Value)
+	}
+	if it, _ := s.Get("host.alpha.sessions"); it.Value != 11 {
+		t.Fatalf("gauge func = %d", it.Value)
+	}
+	if it, _ := s.Get("host.alpha.rtt_ns"); it.Hist == nil || it.Hist.Count != 2 {
+		t.Fatalf("hist view = %+v", it.Hist)
+	}
+	// Increment after snapshot; old snapshot must not change.
+	rx.Inc()
+	if it, _ := s.Get("host.alpha.nic.rx_frames"); it.Value != 7 {
+		t.Fatal("snapshot must be a copy")
+	}
+}
+
+func TestDuplicateNamesGetSuffix(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Scope("host.a")
+	sc.NewCounter("x")
+	sc.NewCounter("x")
+	sc.NewCounter("x")
+	s := r.Snapshot(0)
+	var names []string
+	for _, it := range s.Items {
+		names = append(names, it.Name)
+	}
+	want := []string{"host.a.x", "host.a.x#2", "host.a.x#3"}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestDelta(t *testing.T) {
+	r := NewRegistry()
+	sc := r.Scope("n")
+	c := sc.NewCounter("c")
+	var g Gauge
+	sc.GaugeVar("g", &g)
+	h := sc.Histogram("h")
+	c.Add(10)
+	g.Set(5)
+	h.Observe(100)
+	prev := r.Snapshot(time.Second)
+	c.Add(3)
+	g.Set(9)
+	h.Observe(200)
+	cur := r.Snapshot(2 * time.Second)
+	d := Delta(prev, cur)
+	if it, _ := d.Get("n.c"); it.Value != 3 {
+		t.Fatalf("counter delta = %d", it.Value)
+	}
+	if it, _ := d.Get("n.g"); it.Value != 9 {
+		t.Fatalf("gauge should pass through: %d", it.Value)
+	}
+	if it, _ := d.Get("n.h"); it.Hist.Count != 1 || it.Hist.Sum != 200 {
+		t.Fatalf("hist delta = %+v", it.Hist)
+	}
+}
+
+func TestSumAndMergedHistogram(t *testing.T) {
+	r := NewRegistry()
+	for _, hn := range []string{"host.a", "host.b"} {
+		sc := r.Scope(hn)
+		sc.NewCounter("tcp_rexmit").Add(2)
+		h := sc.Histogram("connect_ns")
+		h.Observe(1000)
+	}
+	s := r.Snapshot(0)
+	if got := s.Sum(".tcp_rexmit"); got != 4 {
+		t.Fatalf("Sum = %d", got)
+	}
+	m := r.MergedHistogram(".connect_ns")
+	if m.Count() != 2 || m.Sum() != 2000 {
+		t.Fatalf("merged count=%d sum=%d", m.Count(), m.Sum())
+	}
+}
+
+func TestRenderingsStable(t *testing.T) {
+	build := func() Snapshot {
+		r := NewRegistry()
+		sc := r.Scope("host.alpha")
+		sc.NewCounter("nic.rx_frames").Add(42)
+		var g Gauge
+		g.Set(-3)
+		sc.GaugeVar("balance", &g)
+		h := sc.Histogram("rtt_ns")
+		h.Observe(150)
+		h.Observe(250)
+		return r.Snapshot(time.Millisecond)
+	}
+	var t1, j1, p1, t2, j2, p2 bytes.Buffer
+	s1, s2 := build(), build()
+	for _, step := range []struct {
+		w *bytes.Buffer
+		s Snapshot
+		f func(w *bytes.Buffer, s Snapshot) error
+	}{
+		{&t1, s1, func(w *bytes.Buffer, s Snapshot) error { return WriteText(w, s) }},
+		{&t2, s2, func(w *bytes.Buffer, s Snapshot) error { return WriteText(w, s) }},
+		{&j1, s1, func(w *bytes.Buffer, s Snapshot) error { return WriteJSON(w, s) }},
+		{&j2, s2, func(w *bytes.Buffer, s Snapshot) error { return WriteJSON(w, s) }},
+		{&p1, s1, func(w *bytes.Buffer, s Snapshot) error { return WriteProm(w, s) }},
+		{&p2, s2, func(w *bytes.Buffer, s Snapshot) error { return WriteProm(w, s) }},
+	} {
+		if err := step.f(step.w, step.s); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !bytes.Equal(t1.Bytes(), t2.Bytes()) {
+		t.Fatal("text rendering not byte-stable")
+	}
+	if !bytes.Equal(j1.Bytes(), j2.Bytes()) {
+		t.Fatal("JSON rendering not byte-stable")
+	}
+	if !bytes.Equal(p1.Bytes(), p2.Bytes()) {
+		t.Fatal("prom rendering not byte-stable")
+	}
+	text := t1.String()
+	for _, want := range []string{
+		"host.alpha.balance -3\n",
+		"host.alpha.nic.rx_frames 42\n",
+		"host.alpha.rtt_ns.count 2\n",
+		"host.alpha.rtt_ns.p99 ",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("text missing %q in:\n%s", want, text)
+		}
+	}
+	prom := p1.String()
+	for _, want := range []string{
+		"# TYPE psd_host_alpha_nic_rx_frames counter\n",
+		"psd_host_alpha_rtt_ns{quantile=\"0.5\"} ",
+		"psd_host_alpha_rtt_ns_count 2\n",
+		"# TYPE psd_host_alpha_balance gauge\n",
+	} {
+		if !strings.Contains(prom, want) {
+			t.Fatalf("prom missing %q in:\n%s", want, prom)
+		}
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -46,16 +47,25 @@ type Frame struct {
 // minimum-frame padding.
 func (f Frame) WireSize() int { return wire.FrameWireSize(len(f.Data) - wire.EthHeaderLen) }
 
-// Stats counts segment activity.
+// Stats counts segment activity. Drops are attributed by cause so the
+// metrics registry can tell injected loss from a down link from a
+// malformed frame.
 type Stats struct {
-	FramesSent      int
-	BytesSent       int // wire bytes, including padding and CRC
-	FramesDropped   int // lost to injected loss or a down link
-	FramesDup       int
-	FramesCorrupted int // delivered with an injected bit flip
-	FramesDelayed   int
-	PartitionDrops  int // deliveries suppressed by partition / down receiver
-	DeliveryEvents  int
+	FramesSent      metrics.Counter
+	BytesSent       metrics.Counter // wire bytes, including padding and CRC
+	DropsLoss       metrics.Counter // lost to injected random loss
+	DropsDown       metrics.Counter // lost because the sender's link was down
+	DropsMalformed  metrics.Counter // unparseable Ethernet header
+	FramesDup       metrics.Counter
+	FramesCorrupted metrics.Counter // delivered with an injected bit flip
+	FramesDelayed   metrics.Counter
+	PartitionDrops  metrics.Counter // deliveries suppressed by partition / down receiver
+	DeliveryEvents  metrics.Counter
+}
+
+// FramesDropped is the total across all drop causes.
+func (s *Stats) FramesDropped() uint64 {
+	return s.DropsLoss.Value() + s.DropsDown.Value() + s.DropsMalformed.Value()
 }
 
 // Segment is a shared Ethernet segment.
@@ -83,8 +93,27 @@ func (g *Segment) SetBitRate(bitsPerSec int64) {
 	g.byteTime = time.Duration(8 * int64(time.Second) / bitsPerSec)
 }
 
-// Stats returns a copy of the segment counters.
-func (g *Segment) Stats() Stats { return g.stats }
+// Stats returns the live segment counters.
+func (g *Segment) Stats() *Stats { return &g.stats }
+
+// SetMetrics binds the segment's counters into a registry scope
+// (typically "net"). Pass nil to leave metrics disabled; counting
+// happens either way at plain-increment cost.
+func (g *Segment) SetMetrics(sc *metrics.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("frames_sent", &g.stats.FramesSent)
+	sc.Counter("bytes_sent", &g.stats.BytesSent)
+	sc.Counter("drops_loss", &g.stats.DropsLoss)
+	sc.Counter("drops_down", &g.stats.DropsDown)
+	sc.Counter("drops_malformed", &g.stats.DropsMalformed)
+	sc.Counter("frames_dup", &g.stats.FramesDup)
+	sc.Counter("frames_corrupted", &g.stats.FramesCorrupted)
+	sc.Counter("frames_delayed", &g.stats.FramesDelayed)
+	sc.Counter("partition_drops", &g.stats.PartitionDrops)
+	sc.Counter("delivery_events", &g.stats.DeliveryEvents)
+}
 
 // SetTrace attaches a flight recorder to the segment (nil to detach).
 // The net layer records frame transmissions (with the frame bytes, for
@@ -113,8 +142,22 @@ type NIC struct {
 	Promisc bool
 	Rx      func(f Frame)
 
-	TxFrames int
-	RxFrames int
+	TxFrames metrics.Counter
+	RxFrames metrics.Counter
+	TxBytes  metrics.Counter // wire bytes, including padding and CRC
+	RxBytes  metrics.Counter
+}
+
+// BindMetrics registers the NIC's counters under a scope (typically
+// "host.<name>.nic").
+func (n *NIC) BindMetrics(sc *metrics.Scope) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("tx_frames", &n.TxFrames)
+	sc.Counter("rx_frames", &n.RxFrames)
+	sc.Counter("tx_bytes", &n.TxBytes)
+	sc.Counter("rx_bytes", &n.RxBytes)
 }
 
 // Attach adds a new station with the given MAC to the segment, named
@@ -165,8 +208,10 @@ func (j *txJob) done() {
 	g, n, f := j.g, j.n, j.f
 	j.n, j.f = nil, Frame{}
 	g.freeTx = append(g.freeTx, j)
-	g.stats.FramesSent++
-	g.stats.BytesSent += f.WireSize()
+	wireBytes := uint64(f.WireSize())
+	g.stats.FramesSent.Inc()
+	g.stats.BytesSent.Add(wireBytes)
+	n.TxBytes.Add(wireBytes)
 	if g.tr.On(trace.LayerNet) {
 		g.tr.EmitFrame(trace.EvFrameTx, n.name, "", f.Data, int64(f.WireSize()))
 	}
@@ -186,7 +231,7 @@ func (n *NIC) Transmit(data []byte) error {
 		return fmt.Errorf("simnet: frame payload exceeds MTU (%d bytes)", len(data)-wire.EthHeaderLen)
 	}
 	g := n.seg
-	n.TxFrames++
+	n.TxFrames.Inc()
 	j := g.getTxJob()
 	j.n = n
 	j.f = Frame{Data: data}
@@ -208,12 +253,16 @@ func (g *Segment) inject(from *NIC, f Frame) {
 	d := g.inj.Outbound(from.name, (len(f.Data)-wire.EthHeaderLen)*8)
 	on := g.tr.On(trace.LayerNet)
 	if d.Drop {
-		g.stats.FramesDropped++
+		// Attribute the drop regardless of tracing so the metrics
+		// registry can break drops out by cause.
+		reason := "loss"
+		if g.inj.Down(from.name) {
+			reason = "down"
+			g.stats.DropsDown.Inc()
+		} else {
+			g.stats.DropsLoss.Inc()
+		}
 		if on {
-			reason := "loss"
-			if g.inj.Down(from.name) {
-				reason = "down"
-			}
 			g.tr.Emit(trace.LayerNet, trace.EvFrameDrop, from.name, "", reason, 0, 0, 0)
 		}
 		return
@@ -223,20 +272,20 @@ func (g *Segment) inject(from *NIC, f Frame) {
 		copy(data, f.Data)
 		data[wire.EthHeaderLen+d.CorruptBit/8] ^= 1 << (d.CorruptBit % 8)
 		f = Frame{Data: data}
-		g.stats.FramesCorrupted++
+		g.stats.FramesCorrupted.Inc()
 		if on {
 			g.tr.Emit(trace.LayerNet, trace.EvFrameCorrupt, from.name, "", "", int64(d.CorruptBit), 0, 0)
 		}
 	}
 	if d.Delay > 0 {
-		g.stats.FramesDelayed++
+		g.stats.FramesDelayed.Inc()
 		if on {
 			g.tr.Emit(trace.LayerNet, trace.EvFrameDelay, from.name, "", "", int64(d.Delay), 0, 0)
 		}
 	}
 	g.deliver(from, f, d.Delay)
 	if d.Dup {
-		g.stats.FramesDup++
+		g.stats.FramesDup.Inc()
 		if on {
 			g.tr.Emit(trace.LayerNet, trace.EvFrameDup, from.name, "", "", 0, 0, 0)
 		}
@@ -247,7 +296,7 @@ func (g *Segment) inject(from *NIC, f Frame) {
 func (g *Segment) deliver(from *NIC, f Frame, delay time.Duration) {
 	hdr, err := wire.UnmarshalEth(f.Data)
 	if err != nil {
-		g.stats.FramesDropped++
+		g.stats.DropsMalformed.Inc()
 		if g.tr.On(trace.LayerNet) {
 			g.tr.Emit(trace.LayerNet, trace.EvFrameDrop, from.name, "", "malformed", 0, 0, 0)
 		}
@@ -261,15 +310,16 @@ func (g *Segment) deliver(from *NIC, f Frame, delay time.Duration) {
 			continue
 		}
 		if g.inj != nil && g.inj.Cut(from.name, nic.name) {
-			g.stats.PartitionDrops++
+			g.stats.PartitionDrops.Inc()
 			if g.tr.On(trace.LayerNet) {
 				g.tr.Emit(trace.LayerNet, trace.EvPartitionDrop, from.name, nic.name, "", 0, 0, 0)
 			}
 			continue
 		}
 		nic := nic
-		g.stats.DeliveryEvents++
-		nic.RxFrames++
+		g.stats.DeliveryEvents.Inc()
+		nic.RxFrames.Inc()
+		nic.RxBytes.Add(uint64(f.WireSize()))
 		if nic.Rx == nil {
 			continue
 		}

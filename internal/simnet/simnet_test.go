@@ -146,8 +146,8 @@ func TestLossInjection(t *testing.T) {
 	if got < n/4 || got > 3*n/4 {
 		t.Fatalf("with 50%% loss, delivered %d of %d", got, n)
 	}
-	if g.Stats().FramesDropped != n-got {
-		t.Fatalf("drop accounting: dropped=%d delivered=%d", g.Stats().FramesDropped, got)
+	if g.Stats().FramesDropped() != uint64(n-got) {
+		t.Fatalf("drop accounting: dropped=%d delivered=%d", g.Stats().FramesDropped(), got)
 	}
 }
 

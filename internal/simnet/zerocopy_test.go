@@ -77,7 +77,7 @@ func TestCorruptionNeverAliasesSenderBuffer(t *testing.T) {
 	if !bytes.Equal(sent, orig) {
 		t.Error("fault injection mutated the sender's buffer")
 	}
-	if st := g.Stats(); st.FramesCorrupted != 1 || st.FramesDup != 1 {
-		t.Errorf("stats: corrupted=%d dup=%d, want 1/1", st.FramesCorrupted, st.FramesDup)
+	if st := g.Stats(); st.FramesCorrupted.Value() != 1 || st.FramesDup.Value() != 1 {
+		t.Errorf("stats: corrupted=%d dup=%d, want 1/1", st.FramesCorrupted.Value(), st.FramesDup.Value())
 	}
 }

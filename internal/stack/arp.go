@@ -160,7 +160,7 @@ func (a *arpEngine) learn(ip wire.IPAddr, mac wire.MAC, force bool) {
 func (a *arpEngine) input(t *sim.Proc, body []byte) {
 	pkt, err := wire.UnmarshalARP(body)
 	if err != nil {
-		a.st.Stats.Drops++
+		a.st.Stats.Drops.Inc()
 		return
 	}
 	forUs := pkt.TargetIP == a.st.cfg.LocalIP

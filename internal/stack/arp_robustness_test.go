@@ -55,7 +55,7 @@ func TestARPResolutionFailureAccounting(t *testing.T) {
 	}
 	// The only wire traffic is the request broadcasts: 1 on first use +
 	// 5 retries, never one per queued packet.
-	if got := w.seg.Stats().FramesSent; got != arpTotalReqs {
+	if got := w.seg.Stats().FramesSent.Value(); got != arpTotalReqs {
 		t.Errorf("frames on the wire = %d, want %d ARP requests", got, arpTotalReqs)
 	}
 }
@@ -91,12 +91,12 @@ func TestARPLateResolutionFlushesQueue(t *testing.T) {
 	if got := w.a.st.ARP().PendingDropped; got != 0 {
 		t.Errorf("PendingDropped = %d, want 0 (queue flushed on learn)", got)
 	}
-	if got := w.a.st.Stats.UDPOut; got != queued {
+	if got := w.a.st.Stats.UDPOut.Value(); got != queued {
 		t.Errorf("UDPOut = %d, want %d", got, queued)
 	}
 	// The host's NIC carried the flushed datagrams plus the request
 	// broadcasts sent while unresolved (initial + retries at 1/s for 2s).
-	if tx := w.a.host.NIC.TxFrames; tx < queued+1 || tx > queued+4 {
+	if tx := w.a.host.NIC.TxFrames.Value(); tx < queued+1 || tx > queued+4 {
 		t.Errorf("sender NIC TxFrames = %d, want %d datagrams + 1-4 ARP requests", tx, queued)
 	}
 }

@@ -68,7 +68,7 @@ func TestStackDiscardsCorruptedPackets(t *testing.T) {
 		proto   uint8
 		seg     func(src, dst *node) []byte
 		mutate  func([]byte)
-		counter func(s stack.Stats) int
+		counter func(s *stack.Stats) uint64
 	}{
 		{
 			name:  "ip-header-bit",
@@ -76,7 +76,7 @@ func TestStackDiscardsCorruptedPackets(t *testing.T) {
 			seg:   func(a, b *node) []byte { return udpSegment(a, b, 9999, 5353, []byte("hello")) },
 			// Flip a TTL bit: the IP header checksum must catch it.
 			mutate:  flipBit(ethL+8, 3),
-			counter: func(s stack.Stats) int { return s.IPChecksumErrors },
+			counter: func(s *stack.Stats) uint64 { return s.IPChecksumErrors.Value() },
 		},
 		{
 			name:  "udp-payload-bit",
@@ -84,7 +84,7 @@ func TestStackDiscardsCorruptedPackets(t *testing.T) {
 			seg:   func(a, b *node) []byte { return udpSegment(a, b, 9999, 5353, []byte("hello")) },
 			// Flip a payload bit: the UDP checksum must catch it.
 			mutate:  flipBit(ethL+ipL+wire.UDPHeaderLen+2, 0),
-			counter: func(s stack.Stats) int { return s.UDPChecksumErrors },
+			counter: func(s *stack.Stats) uint64 { return s.UDPChecksumErrors.Value() },
 		},
 		{
 			name:  "udp-port-bit",
@@ -92,7 +92,7 @@ func TestStackDiscardsCorruptedPackets(t *testing.T) {
 			seg:   func(a, b *node) []byte { return udpSegment(a, b, 9999, 5353, []byte("hello")) },
 			// Flip a destination-port bit: header corruption, same discard.
 			mutate:  flipBit(ethL+ipL+2, 1),
-			counter: func(s stack.Stats) int { return s.UDPChecksumErrors },
+			counter: func(s *stack.Stats) uint64 { return s.UDPChecksumErrors.Value() },
 		},
 		{
 			name:  "tcp-payload-bit",
@@ -100,7 +100,7 @@ func TestStackDiscardsCorruptedPackets(t *testing.T) {
 			seg:   func(a, b *node) []byte { return tcpSegment(a, b, 9999, 5001, []byte("stream data")) },
 			// Flip a payload bit: the TCP checksum must catch it.
 			mutate:  flipBit(ethL+ipL+wire.TCPHeaderLen+4, 5),
-			counter: func(s stack.Stats) int { return s.TCPChecksumErrors },
+			counter: func(s *stack.Stats) uint64 { return s.TCPChecksumErrors.Value() },
 		},
 		{
 			name:  "tcp-seq-bit",
@@ -108,7 +108,7 @@ func TestStackDiscardsCorruptedPackets(t *testing.T) {
 			seg:   func(a, b *node) []byte { return tcpSegment(a, b, 9999, 5001, []byte("stream data")) },
 			// Flip a sequence-number bit: header corruption, same discard.
 			mutate:  flipBit(ethL+ipL+5, 7),
-			counter: func(s stack.Stats) int { return s.TCPChecksumErrors },
+			counter: func(s *stack.Stats) uint64 { return s.TCPChecksumErrors.Value() },
 		},
 		{
 			name:  "icmp-type-bit",
@@ -118,7 +118,7 @@ func TestStackDiscardsCorruptedPackets(t *testing.T) {
 				return h.Marshal([]byte("ping"))
 			},
 			mutate:  flipBit(ethL+ipL+0, 2),
-			counter: func(s stack.Stats) int { return s.ICMPChecksumErrors },
+			counter: func(s *stack.Stats) uint64 { return s.ICMPChecksumErrors.Value() },
 		},
 	}
 
@@ -155,12 +155,12 @@ func TestStackDiscardsCorruptedPackets(t *testing.T) {
 				t.Fatal(err)
 			}
 
-			st := w.b.st.Stats
+			st := &w.b.st.Stats
 			if got := c.counter(st); got != 1 {
 				t.Errorf("per-protocol checksum counter = %d, want 1 (stats %+v)", got, st)
 			}
-			if st.ChecksumErrors != 1 {
-				t.Errorf("aggregate ChecksumErrors = %d, want 1", st.ChecksumErrors)
+			if st.ChecksumErrors() != 1 {
+				t.Errorf("aggregate ChecksumErrors = %d, want 1", st.ChecksumErrors())
 			}
 			if c.proto == wire.ProtoUDP && delivered != 1 {
 				t.Errorf("UDP datagrams delivered = %d, want 1 (the clean one only)", delivered)

@@ -204,8 +204,8 @@ func TestTCPConnectTransferClose(t *testing.T) {
 	if acceptedFrom.IP != w.a.st.LocalIP() {
 		t.Fatalf("accept peer %v", acceptedFrom)
 	}
-	if w.a.st.Stats.TCPRexmit > 0 {
-		t.Fatalf("unexpected retransmissions on a clean network: %d", w.a.st.Stats.TCPRexmit)
+	if w.a.st.Stats.TCPRexmit.Value() > 0 {
+		t.Fatalf("unexpected retransmissions on a clean network: %d", w.a.st.Stats.TCPRexmit.Value())
 	}
 }
 
@@ -265,7 +265,7 @@ func TestTCPSurvivesPacketLoss(t *testing.T) {
 	if !bytes.Equal(received.Bytes(), payload) {
 		t.Fatalf("stream corrupted under loss: got %d want %d bytes", received.Len(), total)
 	}
-	if w.a.st.Stats.TCPRexmit+w.a.st.Stats.TCPFastRexmit == 0 {
+	if w.a.st.Stats.TCPRexmit.Value()+w.a.st.Stats.TCPFastRexmit.Value() == 0 {
 		t.Fatal("no retransmissions recorded despite 5% loss")
 	}
 }
@@ -307,7 +307,7 @@ func TestUDPPortUnreachable(t *testing.T) {
 	if !errors.Is(recvErr, socketapi.ErrConnRefused) {
 		t.Fatalf("recv err = %v, want ECONNREFUSED (from ICMP port unreachable)", recvErr)
 	}
-	if w.b.st.Stats.UDPNoPort == 0 || w.b.st.Stats.ICMPOut == 0 {
+	if w.b.st.Stats.UDPNoPort.Value() == 0 || w.b.st.Stats.ICMPOut.Value() == 0 {
 		t.Fatal("unreachable datagram not reported via ICMP")
 	}
 }
@@ -334,8 +334,8 @@ func TestARPResolutionOncePerPeer(t *testing.T) {
 	// Exactly one ARP request should have hit the wire (no per-packet ARP).
 	arpFrames := 0
 	_ = arpFrames
-	if w.b.st.Stats.UDPIn != 5 {
-		t.Fatalf("expected 5 datagrams delivered, got %d (ARP stalls?)", w.b.st.Stats.UDPIn)
+	if w.b.st.Stats.UDPIn.Value() != 5 {
+		t.Fatalf("expected 5 datagrams delivered, got %d (ARP stalls?)", w.b.st.Stats.UDPIn.Value())
 	}
 }
 
@@ -370,11 +370,11 @@ func TestIPFragmentationRoundTrip(t *testing.T) {
 	if !bytes.Equal(got, payload) {
 		t.Fatalf("fragmented datagram corrupted (%d bytes)", len(got))
 	}
-	if w.a.st.Stats.IPFragsOut < 3 {
-		t.Fatalf("fragments out = %d, want >= 3", w.a.st.Stats.IPFragsOut)
+	if w.a.st.Stats.IPFragsOut.Value() < 3 {
+		t.Fatalf("fragments out = %d, want >= 3", w.a.st.Stats.IPFragsOut.Value())
 	}
-	if w.b.st.Stats.IPReasmOK != 1 {
-		t.Fatalf("reassemblies = %d", w.b.st.Stats.IPReasmOK)
+	if w.b.st.Stats.IPReasmOK.Value() != 1 {
+		t.Fatalf("reassemblies = %d", w.b.st.Stats.IPReasmOK.Value())
 	}
 }
 

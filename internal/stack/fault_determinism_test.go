@@ -20,10 +20,10 @@ type faultRunSignature struct {
 	Seg        simnet.Stats
 	FaultsA    fault.Counters
 	FaultsB    fault.Counters
-	RexmitA    int
-	RexmitB    int
-	ChecksumsA int
-	ChecksumsB int
+	RexmitA    uint64
+	RexmitB    uint64
+	ChecksumsA uint64
+	ChecksumsB uint64
 	BytesAtoB  int
 	BytesBtoA  int
 	FwdOK      bool
@@ -112,13 +112,13 @@ func runFaultWorkload(t *testing.T, seed int64) faultRunSignature {
 		t.Fatalf("seed %d: %v", seed, err)
 	}
 	return faultRunSignature{
-		Seg:        w.seg.Stats(),
+		Seg:        *w.seg.Stats(),
 		FaultsA:    inj.Counters("A"),
 		FaultsB:    inj.Counters("B"),
-		RexmitA:    w.a.st.Stats.TCPRexmit,
-		RexmitB:    w.b.st.Stats.TCPRexmit,
-		ChecksumsA: w.a.st.Stats.ChecksumErrors,
-		ChecksumsB: w.b.st.Stats.ChecksumErrors,
+		RexmitA:    w.a.st.Stats.TCPRexmit.Value(),
+		RexmitB:    w.b.st.Stats.TCPRexmit.Value(),
+		ChecksumsA: w.a.st.Stats.ChecksumErrors(),
+		ChecksumsB: w.b.st.Stats.ChecksumErrors(),
 		BytesAtoB:  gotFwd.Len(),
 		BytesBtoA:  gotRev.Len(),
 		FwdOK:      bytes.Equal(gotFwd.Bytes(), fwd),
@@ -136,7 +136,7 @@ func TestFaultInjectionIsSeedDeterministic(t *testing.T) {
 	if !first.FwdOK || !first.RevOK {
 		t.Fatalf("transfer corrupted under faults: %+v", first)
 	}
-	if first.Seg.FramesDropped == 0 || first.Seg.FramesCorrupted == 0 || first.Seg.PartitionDrops == 0 {
+	if first.Seg.FramesDropped() == 0 || first.Seg.FramesCorrupted.Value() == 0 || first.Seg.PartitionDrops.Value() == 0 {
 		t.Fatalf("fault injection not active: %+v", first.Seg)
 	}
 	if first.RexmitA+first.RexmitB == 0 {

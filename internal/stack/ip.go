@@ -73,7 +73,7 @@ func (rt *RouteTable) Lookup(dst wire.IPAddr) (nextHop wire.IPAddr, ok bool) {
 // checksummed (ICMP, raw).
 func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, seg *mbuf.Chain, n, ckOff int) error {
 	st.charge(t, tcp, costs.CompIPOutput, n)
-	st.Stats.IPOut++
+	st.Stats.IPOut.Inc()
 
 	nextHop, ok := st.cfg.Routes.Lookup(dst)
 	if !ok {
@@ -125,7 +125,7 @@ func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, s
 		if more {
 			h.Flags = wire.IPFlagMF
 		}
-		st.Stats.IPFragsOut++
+		st.Stats.IPFragsOut.Inc()
 		if err := st.emitIP(t, tcp, h, nextHop, frag, take, -1); err != nil {
 			seg.Release()
 			return err
@@ -214,25 +214,24 @@ func (st *Stack) ipInput(t *sim.Proc, eh wire.EthHeader, pkt []byte) {
 	h, hlen, err := wire.UnmarshalIPv4(pkt)
 	if err != nil {
 		if errors.Is(err, wire.ErrChecksum) {
-			st.Stats.ChecksumErrors++
-			st.Stats.IPChecksumErrors++
+			st.Stats.IPChecksumErrors.Inc()
 			if st.traceOn() {
 				st.traceEmit(trace.EvChecksumDrop, "", "ip", int64(len(pkt)), 0, 0)
 			}
 		}
-		st.Stats.Drops++
+		st.Stats.Drops.Inc()
 		return
 	}
 	if int(h.TotalLen) > len(pkt) {
-		st.Stats.Drops++
+		st.Stats.Drops.Inc()
 		return
 	}
 	pkt = pkt[:h.TotalLen]
 	if h.Dst != st.cfg.LocalIP && !h.Dst.IsBroadcast() {
-		st.Stats.Drops++ // not for us (no forwarding in this stack)
+		st.Stats.Drops.Inc() // not for us (no forwarding in this stack)
 		return
 	}
-	st.Stats.IPIn++
+	st.Stats.IPIn.Inc()
 	body := pkt[hlen:]
 
 	tcp := h.Proto == wire.ProtoTCP
@@ -256,7 +255,7 @@ func (st *Stack) ipInput(t *sim.Proc, eh wire.EthHeader, pkt []byte) {
 	case wire.ProtoICMP:
 		st.icmpInput(t, h, body)
 	default:
-		st.Stats.Drops++
+		st.Stats.Drops.Inc()
 	}
 }
 
@@ -319,7 +318,7 @@ func (st *Stack) ipReassemble(t *sim.Proc, h wire.IPv4Header, body []byte) ([]by
 		return nil, false
 	}
 	delete(st.reasm, key)
-	st.Stats.IPReasmOK++
+	st.Stats.IPReasmOK.Inc()
 	return full, true
 }
 
@@ -337,7 +336,7 @@ func (st *Stack) ipReasmTimo(t *sim.Proc) {
 		e.ttlTick--
 		if e.ttlTick <= 0 {
 			delete(st.reasm, k)
-			st.Stats.IPReasmTimeout++
+			st.Stats.IPReasmTimeout.Inc()
 		}
 	}
 }
@@ -360,23 +359,22 @@ func (k reasmKey) less(o reasmKey) bool {
 // icmpInput handles ICMP messages: echo requests are answered; errors are
 // mapped onto the sockets they concern (icmp_input + PRC_* upcalls).
 func (st *Stack) icmpInput(t *sim.Proc, h wire.IPv4Header, body []byte) {
-	st.Stats.ICMPIn++
+	st.Stats.ICMPIn.Inc()
 	ih, payload, err := wire.UnmarshalICMP(body)
 	if err != nil {
 		if errors.Is(err, wire.ErrChecksum) {
-			st.Stats.ChecksumErrors++
-			st.Stats.ICMPChecksumErrors++
+			st.Stats.ICMPChecksumErrors.Inc()
 			if st.traceOn() {
 				st.traceEmit(trace.EvChecksumDrop, "", "icmp", int64(len(body)), 0, 0)
 			}
 		}
-		st.Stats.Drops++
+		st.Stats.Drops.Inc()
 		return
 	}
 	switch ih.Type {
 	case wire.ICMPEchoRequest:
 		reply := wire.ICMPHeader{Type: wire.ICMPEchoReply, ID: ih.ID, Seq: ih.Seq}
-		st.Stats.ICMPOut++
+		st.Stats.ICMPOut.Inc()
 		st.ipOutput(t, false, wire.ProtoICMP, h.Src, mbuf.FromBytesCopy(reply.Marshal(payload)), len(payload), -1)
 	case wire.ICMPEchoReply:
 		if cv, ok := st.icmpEcho[ih.ID]; ok {
@@ -415,7 +413,7 @@ func (st *Stack) icmpSendUnreachable(t *sim.Proc, code uint8, orig wire.IPv4Head
 	}
 	quote = append(quote, origBody[:n]...)
 	msg := wire.ICMPHeader{Type: wire.ICMPDestUnreachable, Code: code}
-	st.Stats.ICMPOut++
+	st.Stats.ICMPOut.Inc()
 	st.ipOutput(t, false, wire.ProtoICMP, orig.Src, mbuf.FromBytesCopy(msg.Marshal(quote)), 0, -1)
 }
 
@@ -428,7 +426,7 @@ func (st *Stack) Ping(t *sim.Proc, dst wire.IPAddr, id uint16, timeoutTicks int)
 	st.icmpEcho[id] = cv
 	defer delete(st.icmpEcho, id)
 	req := wire.ICMPHeader{Type: wire.ICMPEchoRequest, ID: id, Seq: 1}
-	st.Stats.ICMPOut++
+	st.Stats.ICMPOut.Inc()
 	if err := st.ipOutput(t, false, wire.ProtoICMP, dst, mbuf.FromBytesCopy(req.Marshal(nil)), 0, -1); err != nil {
 		st.unlock()
 		return false

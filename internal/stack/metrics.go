@@ -1,0 +1,149 @@
+package stack
+
+import (
+	"sort"
+	"strings"
+
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// SetMetrics binds the stack's counters into a registry scope (e.g.
+// "host.alpha.stack.kstack"), allocates the latency histograms, and
+// registers population gauges (sockets, per-TCP-state counts) that are
+// evaluated only at snapshot time by walking the live socket tables —
+// the netstat model of reading kernel state, with no per-transition
+// bookkeeping on the hot path.
+func (st *Stack) SetMetrics(sc *metrics.Scope) {
+	if sc == nil {
+		return
+	}
+	s := &st.Stats
+	sc.Counter("ip_in", &s.IPIn)
+	sc.Counter("ip_out", &s.IPOut)
+	sc.Counter("ip_frags_out", &s.IPFragsOut)
+	sc.Counter("ip_reasm_ok", &s.IPReasmOK)
+	sc.Counter("ip_reasm_timeout", &s.IPReasmTimeout)
+	sc.Counter("tcp_in", &s.TCPIn)
+	sc.Counter("tcp_out", &s.TCPOut)
+	sc.Counter("tcp_pure_acks", &s.TCPPureAcks)
+	sc.Counter("tcp_rexmit", &s.TCPRexmit)
+	sc.Counter("tcp_fast_rexmit", &s.TCPFastRexmit)
+	sc.Counter("tcp_dup_acks", &s.TCPDupAcks)
+	sc.Counter("tcp_delayed_acks", &s.TCPDelayedAcks)
+	sc.Counter("udp_in", &s.UDPIn)
+	sc.Counter("udp_out", &s.UDPOut)
+	sc.Counter("udp_no_port", &s.UDPNoPort)
+	sc.Counter("icmp_in", &s.ICMPIn)
+	sc.Counter("icmp_out", &s.ICMPOut)
+	sc.Counter("checksum_errors_ip", &s.IPChecksumErrors)
+	sc.Counter("checksum_errors_tcp", &s.TCPChecksumErrors)
+	sc.Counter("checksum_errors_udp", &s.UDPChecksumErrors)
+	sc.Counter("checksum_errors_icmp", &s.ICMPChecksumErrors)
+	sc.Counter("drops", &s.Drops)
+	sc.GaugeFunc("checksum_errors", func() int64 { return int64(s.ChecksumErrors()) })
+
+	st.mRTT = sc.Histogram("rtt_ns")
+	st.mConnect = sc.Histogram("connect_ns")
+	st.mCwnd = sc.Histogram("cwnd_bytes")
+
+	sc.GaugeFunc("sockets", func() int64 { return int64(len(st.sockets())) })
+	ts := sc.Sub("tcp_state")
+	for i := range tcpStateNames {
+		name := strings.ToLower(tcpStateNames[i])
+		state := tcpStateNames[i]
+		ts.GaugeFunc(name, func() int64 {
+			var n int64
+			for _, sk := range st.sockets() {
+				if sk.Proto == wire.ProtoTCP && TCPStateOf(sk) == state {
+					n++
+				}
+			}
+			return n
+		})
+	}
+}
+
+// sockets returns every live socket exactly once (a socket can appear
+// in both tables only transiently, never within one event).
+func (st *Stack) sockets() []*Socket {
+	out := make([]*Socket, 0, len(st.conns)+len(st.binds))
+	seen := make(map[uint64]bool, len(st.conns)+len(st.binds))
+	for _, sk := range st.conns {
+		if !seen[sk.uid] {
+			seen[sk.uid] = true
+			out = append(out, sk)
+		}
+	}
+	for _, sk := range st.binds {
+		if !seen[sk.uid] {
+			seen[sk.uid] = true
+			out = append(out, sk)
+		}
+	}
+	return out
+}
+
+// SocketInfo is one row of the netstat-style socket table.
+type SocketInfo struct {
+	Stack  string `json:"stack"` // which stack instance owns the socket
+	Proto  string `json:"proto"` // "tcp" or "udp"
+	Local  Addr   `json:"local"`
+	Remote Addr   `json:"remote"`
+	State  string `json:"state"` // TCP state; "-" for UDP
+	RecvQ  int    `json:"recv_q"`
+	SendQ  int    `json:"send_q"`
+}
+
+// SocketTable reads the live socket tables into a deterministic,
+// sorted per-socket view (protocol, then local address, then remote
+// address, then creation order).
+func (st *Stack) SocketTable() []SocketInfo {
+	socks := st.sockets()
+	sort.Slice(socks, func(i, j int) bool {
+		a, b := socks[i], socks[j]
+		if a.Proto != b.Proto {
+			return a.Proto < b.Proto
+		}
+		if au, bu := a.local.IP.Uint32(), b.local.IP.Uint32(); au != bu {
+			return au < bu
+		}
+		if a.local.Port != b.local.Port {
+			return a.local.Port < b.local.Port
+		}
+		if au, bu := a.remote.IP.Uint32(), b.remote.IP.Uint32(); au != bu {
+			return au < bu
+		}
+		if a.remote.Port != b.remote.Port {
+			return a.remote.Port < b.remote.Port
+		}
+		return a.uid < b.uid
+	})
+	out := make([]SocketInfo, 0, len(socks))
+	for _, sk := range socks {
+		info := SocketInfo{
+			Stack:  st.cfg.Name,
+			Local:  sk.local,
+			Remote: sk.remote,
+		}
+		switch sk.Proto {
+		case wire.ProtoTCP:
+			info.Proto = "tcp"
+			info.State = TCPStateOf(sk)
+			if sk.rcv != nil {
+				info.RecvQ = sk.rcv.len()
+			}
+			if sk.snd != nil {
+				info.SendQ = sk.snd.len()
+			}
+		case wire.ProtoUDP:
+			info.Proto = "udp"
+			info.State = "-"
+			if sk.drcv != nil {
+				info.RecvQ = sk.drcv.len()
+			}
+		}
+		out = append(out, info)
+	}
+	return out
+}

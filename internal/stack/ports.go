@@ -1,6 +1,7 @@
 package stack
 
 import (
+	"repro/internal/metrics"
 	"repro/internal/socketapi"
 )
 
@@ -11,6 +12,12 @@ import (
 type LocalPorts struct {
 	inUse     map[portKey]*portState
 	nextEphem uint16
+
+	// Reserves counts successful port acquisitions (ephemeral or
+	// explicit); Releases counts ports whose last reference went away.
+	// At quiesce, Reserves - Releases == Active().
+	Reserves metrics.Counter
+	Releases metrics.Counter
 }
 
 type portKey struct {
@@ -47,6 +54,7 @@ func (lp *LocalPorts) AllocEphemeral(proto uint8) (uint16, error) {
 		}
 		if _, taken := lp.inUse[portKey{proto, p}]; !taken && p >= ephemeralFirst {
 			lp.inUse[portKey{proto, p}] = &portState{refs: 1}
+			lp.Reserves.Inc()
 			return p, nil
 		}
 	}
@@ -65,11 +73,13 @@ func (lp *LocalPorts) Reserve(proto uint8, port uint16, reuse bool) error {
 		}
 		if st.reuse && reuse {
 			st.refs++
+			lp.Reserves.Inc()
 			return nil
 		}
 		return socketapi.ErrAddrInUse
 	}
 	lp.inUse[k] = &portState{refs: 1, reuse: reuse}
+	lp.Reserves.Inc()
 	return nil
 }
 
@@ -78,6 +88,7 @@ func (lp *LocalPorts) Release(proto uint8, port uint16) {
 	k := portKey{proto, port}
 	if st, ok := lp.inUse[k]; ok {
 		st.refs--
+		lp.Releases.Inc()
 		if st.refs <= 0 {
 			delete(lp.inUse, k)
 		}
@@ -113,3 +124,7 @@ func (lp *LocalPorts) InUse(proto uint8, port uint16) bool {
 	_, ok := lp.inUse[portKey{proto, port}]
 	return ok
 }
+
+// Active returns the number of reserved ports (including quarantined
+// ones), for the ports-in-use gauge.
+func (lp *LocalPorts) Active() int { return len(lp.inUse) }

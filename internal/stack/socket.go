@@ -246,6 +246,7 @@ func (st *Stack) Connect(t *sim.Proc, s *Socket, raddr Addr) error {
 		s.remote = raddr
 		st.registerConn(s)
 		s.tcb = newTCPCB(st, s)
+		connStart := st.now()
 		if err := s.tcb.connect(t); err != nil {
 			return err
 		}
@@ -261,6 +262,7 @@ func (st *Stack) Connect(t *sim.Proc, s *Socket, raddr Addr) error {
 			st.deregister(s)
 			return socketapi.ErrConnRefused
 		}
+		st.mConnect.Observe(int64(st.now().Sub(connStart)))
 		return nil
 	}
 	return socketapi.ErrNotSupported

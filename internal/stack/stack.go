@@ -26,6 +26,7 @@ import (
 
 	"repro/internal/costs"
 	"repro/internal/mbuf"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/wire"
@@ -158,31 +159,46 @@ type Stack struct {
 
 	// Stats, exported for tests and the benchmark harness.
 	Stats Stats
+
+	// Latency histograms on the virtual clock; nil (free) unless
+	// SetMetrics is called.
+	mRTT     *metrics.Histogram // smoothed-RTT input samples (send-to-ACK), ns
+	mConnect *metrics.Histogram // active-open SYN-sent to ESTABLISHED, ns
+	mCwnd    *metrics.Histogram // congestion-window samples at change points, bytes
 }
 
-// Stats counts stack activity.
+// Stats counts stack activity. The fields are metrics counters so the
+// registry binds to the same storage the tests read: the two can never
+// disagree, and counting stays a plain increment whether or not a
+// registry is attached.
 type Stats struct {
-	IPIn, IPOut           int
-	IPFragsOut, IPReasmOK int
-	IPReasmTimeout        int
-	TCPIn, TCPOut         int
-	TCPPureAcks           int
-	TCPRexmit             int
-	TCPFastRexmit         int
-	TCPDupAcks            int
-	TCPDelayedAcks        int
-	UDPIn, UDPOut         int
-	UDPNoPort             int
-	ICMPIn, ICMPOut       int
-	// ChecksumErrors is the total number of inbound packets discarded
-	// for a bad checksum; the per-protocol counters below break it down
-	// (IP header, TCP segment, UDP datagram, ICMP message).
-	ChecksumErrors     int
-	IPChecksumErrors   int
-	TCPChecksumErrors  int
-	UDPChecksumErrors  int
-	ICMPChecksumErrors int
-	Drops              int
+	IPIn, IPOut           metrics.Counter
+	IPFragsOut, IPReasmOK metrics.Counter
+	IPReasmTimeout        metrics.Counter
+	TCPIn, TCPOut         metrics.Counter
+	TCPPureAcks           metrics.Counter
+	TCPRexmit             metrics.Counter
+	TCPFastRexmit         metrics.Counter
+	TCPDupAcks            metrics.Counter
+	TCPDelayedAcks        metrics.Counter
+	UDPIn, UDPOut         metrics.Counter
+	UDPNoPort             metrics.Counter
+	ICMPIn, ICMPOut       metrics.Counter
+	// Per-protocol checksum discard counters (IP header, TCP segment,
+	// UDP datagram, ICMP message). The total is the ChecksumErrors
+	// method — a derived sum, not a second field that could drift.
+	IPChecksumErrors   metrics.Counter
+	TCPChecksumErrors  metrics.Counter
+	UDPChecksumErrors  metrics.Counter
+	ICMPChecksumErrors metrics.Counter
+	Drops              metrics.Counter
+}
+
+// ChecksumErrors is the total number of inbound packets discarded for a
+// bad checksum, across all protocols.
+func (s *Stats) ChecksumErrors() uint64 {
+	return s.IPChecksumErrors.Value() + s.TCPChecksumErrors.Value() +
+		s.UDPChecksumErrors.Value() + s.ICMPChecksumErrors.Value()
 }
 
 // New builds a stack. The caller must arrange for Input to be fed frames
@@ -321,7 +337,7 @@ func (st *Stack) Input(t *sim.Proc, frame []byte) {
 func (st *Stack) input(t *sim.Proc, frame []byte) {
 	eh, err := wire.UnmarshalEth(frame)
 	if err != nil {
-		st.Stats.Drops++
+		st.Stats.Drops.Inc()
 		return
 	}
 	switch eh.Type {
@@ -332,7 +348,7 @@ func (st *Stack) input(t *sim.Proc, frame []byte) {
 			st.arp.input(t, frame[wire.EthHeaderLen:])
 		}
 	default:
-		st.Stats.Drops++
+		st.Stats.Drops.Inc()
 	}
 }
 

@@ -187,6 +187,9 @@ func (tp *tcpcb) setState(ns tcpState) {
 // traceCwnd records a congestion-window sample after any cwnd/ssthresh
 // change (growth, fast recovery, RTO collapse).
 func (tp *tcpcb) traceCwnd() {
+	if tp.st != nil {
+		tp.st.mCwnd.Observe(int64(tp.cwnd))
+	}
 	if tp.traceOn() {
 		tp.st.traceEmit(trace.EvTCPCwnd, tp.connName(), "", int64(tp.cwnd), int64(tp.ssthresh), 0)
 	}
@@ -285,6 +288,9 @@ func (tp *tcpcb) rttUpdate(rtt time.Duration) {
 		tp.rttvar = m / 2
 	}
 	tp.rexmtShift = 0
+	if tp.st != nil {
+		tp.st.mRTT.Observe(int64(rtt))
+	}
 	if tp.traceOn() {
 		tp.st.traceEmit(trace.EvTCPRTT, tp.connName(), "",
 			int64(rtt), int64(tp.srtt), int64(tp.rttvar))

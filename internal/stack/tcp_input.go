@@ -12,10 +12,9 @@ import (
 // tcpInput processes one received TCP segment (tcp_input). ih is the IP
 // header; seg holds the TCP header and payload.
 func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
-	st.Stats.TCPIn++
+	st.Stats.TCPIn.Inc()
 	if !wire.VerifyTCPChecksum(ih.Src, ih.Dst, seg) {
-		st.Stats.ChecksumErrors++
-		st.Stats.TCPChecksumErrors++
+		st.Stats.TCPChecksumErrors.Inc()
 		if st.traceOn() {
 			st.traceEmit(trace.EvChecksumDrop, "", "tcp", int64(len(seg)), 0, 0)
 		}
@@ -23,7 +22,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	}
 	th, hlen, err := wire.UnmarshalTCP(seg)
 	if err != nil {
-		st.Stats.Drops++
+		st.Stats.Drops.Inc()
 		return
 	}
 	payload := seg[hlen:]
@@ -62,7 +61,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 		}
 		// Enforce the backlog against connections not yet accepted.
 		if len(s.listenQ) >= s.listenBacklog {
-			st.Stats.Drops++
+			st.Stats.Drops.Inc()
 			return
 		}
 		ns := st.NewSocket(wire.ProtoTCP)
@@ -240,13 +239,13 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	if seqLEQ(th.Ack, tp.sndUna) {
 		// Duplicate ACK.
 		if len(data) == 0 && uint32(th.Window) == tp.sndWnd && tp.sndUna != tp.sndMax {
-			st.Stats.TCPDupAcks++
+			st.Stats.TCPDupAcks.Inc()
 			tp.dupAcks++
 			if tp.dupAcks == 3 {
 				// Fast retransmit (Net/2): halve the pipe, resend the
 				// missing segment, inflate for the segments the dupacks
 				// acknowledge.
-				st.Stats.TCPFastRexmit++
+				st.Stats.TCPFastRexmit.Inc()
 				if st.traceOn() {
 					st.traceEmit(trace.EvTCPRexmit, tp.connName(), "fast", int64(tp.dupAcks), 0, 0)
 				}
@@ -427,7 +426,7 @@ func (st *Stack) tcpReassemble(t *sim.Proc, tp *tcpcb, seq uint32, data []byte, 
 			tp.ackNow = true // ACK every second segment
 		} else {
 			tp.delAck = true
-			st.Stats.TCPDelayedAcks++
+			st.Stats.TCPDelayedAcks.Inc()
 		}
 		s.sorwakeup(t, len(data))
 		if fin {

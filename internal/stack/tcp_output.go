@@ -235,7 +235,7 @@ func (st *Stack) tcpSendSegment(t *sim.Proc, tp *tcpcb, flags uint8, length int,
 	}
 
 	st.charge(t, true, costs.CompTransportOutput, length)
-	st.Stats.TCPOut++
+	st.Stats.TCPOut.Inc()
 	if DebugSegLens != nil && length > 0 {
 		DebugSegLens[length]++
 		if DebugSegTrace {
@@ -243,7 +243,7 @@ func (st *Stack) tcpSendSegment(t *sim.Proc, tp *tcpcb, flags uint8, length int,
 		}
 	}
 	if length == 0 && flags&(flagSYN|flagFIN|flagRST) == 0 {
-		st.Stats.TCPPureAcks++
+		st.Stats.TCPPureAcks.Inc()
 		if debugRST {
 			println(st.cfg.Name, "pure ACK: ackNow?", tp.ackNow, "delAck?", tp.delAck, "force?", tp.force, "state", int(tp.state))
 		}
@@ -314,7 +314,7 @@ func (st *Stack) tcpRespond(t *sim.Proc, local, remote Addr, seq, ack uint32, fl
 		hdr.Ack = 0
 	}
 	st.charge(t, true, costs.CompTransportOutput, 0)
-	st.Stats.TCPOut++
+	st.Stats.TCPOut.Inc()
 	seg := mbuf.New()
 	hdr.Marshal(seg.Prepend(hdr.HeaderLen()))
 	st.ipOutput(t, true, wire.ProtoTCP, remote.IP, seg, 0, wire.TCPChecksumOffset)

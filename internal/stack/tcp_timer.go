@@ -77,7 +77,7 @@ func (st *Stack) tcpTimerFired(t *sim.Proc, tp *tcpcb, which int) {
 		st.tcpRexmtTimo(t, tp)
 	case timerPersist:
 		// Probe the zero window, then re-arm with backoff.
-		st.Stats.TCPRexmit++
+		st.Stats.TCPRexmit.Inc()
 		if st.traceOn() {
 			st.traceEmit(trace.EvTCPRexmit, tp.connName(), "persist", int64(tp.rexmtShift), 0, 0)
 		}
@@ -122,7 +122,7 @@ func (st *Stack) tcpRexmtTimo(t *sim.Proc, tp *tcpcb) {
 		tp.drop(t, socketapi.ErrTimedOut)
 		return
 	}
-	st.Stats.TCPRexmit++
+	st.Stats.TCPRexmit.Inc()
 	if st.traceOn() {
 		st.traceEmit(trace.EvTCPRexmit, tp.connName(), "rto", int64(tp.rexmtShift), 0, 0)
 	}

@@ -249,7 +249,7 @@ func TestTCPNagleCoalesces(t *testing.T) {
 				t.Error(err)
 				return
 			}
-			before := w.a.st.Stats.TCPOut
+			before := w.a.st.Stats.TCPOut.Value()
 			for i := 0; i < 100; i++ {
 				if _, err := w.a.st.Send(p, s, [][]byte{[]byte("abcd")}, stack.SendOpts{}); err != nil {
 					t.Error(err)
@@ -258,7 +258,7 @@ func TestTCPNagleCoalesces(t *testing.T) {
 			}
 			// Wait for everything to drain so all segments are counted.
 			p.Sleep(2 * time.Second)
-			segs = w.a.st.Stats.TCPOut - before
+			segs = int(w.a.st.Stats.TCPOut.Value() - before)
 		})
 		if err := w.s.Run(); err != nil {
 			t.Fatal(err)
@@ -327,8 +327,8 @@ func TestTCPRexmitBackoffGivesUp(t *testing.T) {
 	if got := fmt.Sprint(sendErr); got != "connection timed out (ETIMEDOUT)" {
 		t.Fatalf("err = %v, want ETIMEDOUT", sendErr)
 	}
-	if w.a.st.Stats.TCPRexmit < 5 {
-		t.Fatalf("rexmits = %d; expected several backoff rounds", w.a.st.Stats.TCPRexmit)
+	if w.a.st.Stats.TCPRexmit.Value() < 5 {
+		t.Fatalf("rexmits = %d; expected several backoff rounds", w.a.st.Stats.TCPRexmit.Value())
 	}
 }
 
@@ -472,7 +472,7 @@ func TestKeepaliveDetectsDeadPeer(t *testing.T) {
 		if err := w.s.Run(); err != nil && clientErr == nil {
 			t.Fatal(err)
 		}
-		return clientErr, w.a.st.Stats.TCPOut
+		return clientErr, int(w.a.st.Stats.TCPOut.Value())
 	}
 
 	err, _ := run(true)

@@ -13,7 +13,7 @@ import (
 func (st *Stack) udpOutput(t *sim.Proc, src, dst Addr, payload *mbuf.Chain) error {
 	n := payload.Len()
 	st.charge(t, false, costs.CompTransportOutput, n)
-	st.Stats.UDPOut++
+	st.Stats.UDPOut.Inc()
 
 	h := wire.UDPHeader{
 		SrcPort: src.Port,
@@ -28,10 +28,9 @@ func (st *Stack) udpOutput(t *sim.Proc, src, dst Addr, payload *mbuf.Chain) erro
 
 // udpInput delivers a received datagram to the owning socket (udp_input).
 func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
-	st.Stats.UDPIn++
+	st.Stats.UDPIn.Inc()
 	if !wire.VerifyUDPChecksum(ih.Src, ih.Dst, seg) {
-		st.Stats.ChecksumErrors++
-		st.Stats.UDPChecksumErrors++
+		st.Stats.UDPChecksumErrors.Inc()
 		if st.traceOn() {
 			st.traceEmit(trace.EvChecksumDrop, "", "udp", int64(len(seg)), 0, 0)
 		}
@@ -39,7 +38,7 @@ func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	}
 	h, err := wire.UnmarshalUDP(seg)
 	if err != nil || int(h.Length) > len(seg) {
-		st.Stats.Drops++
+		st.Stats.Drops.Inc()
 		return
 	}
 	payload := seg[wire.UDPHeaderLen:h.Length]
@@ -49,7 +48,7 @@ func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	remote := Addr{IP: ih.Src, Port: h.SrcPort}
 	s := st.lookup(wire.ProtoUDP, local, remote)
 	if s == nil {
-		st.Stats.UDPNoPort++
+		st.Stats.UDPNoPort.Inc()
 		if !ih.Dst.IsBroadcast() && !st.orphanQuiet(wire.ProtoUDP, local, remote) {
 			st.icmpSendUnreachable(t, wire.ICMPCodePortUnreachable, ih, seg)
 		}
@@ -61,7 +60,7 @@ func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	d := mbuf.FromBytes(payload)
 	if !s.drcv.enqueue(remote, d) {
 		d.Release()
-		st.Stats.Drops++ // receive buffer full: datagram lost
+		st.Stats.Drops.Inc() // receive buffer full: datagram lost
 		return
 	}
 	s.sorwakeup(t, len(payload))

@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/costs"
 	"repro/internal/kern"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
@@ -50,6 +51,16 @@ type System struct {
 func (sys *System) SetTrace(r *trace.Recorder) {
 	sys.Host.Trace = r
 	sys.St.SetTrace(r)
+}
+
+// SetMetrics attaches a registry scope (e.g. "host.alpha") to the
+// system: kernel host counters plus the network server's stack.
+func (sys *System) SetMetrics(hs *metrics.Scope) {
+	if hs == nil {
+		return
+	}
+	sys.Host.SetMetrics(hs)
+	sys.St.SetMetrics(hs.Sub("stack").Sub("uxstack"))
 }
 
 // handle is a server-side session handle, shared across fork.

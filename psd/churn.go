@@ -1,0 +1,246 @@
+package psd
+
+import (
+	"fmt"
+	"time"
+)
+
+// ChurnConfig parameterizes the connection-churn scale workload: many
+// hosts opening and closing thousands of short-lived TCP connections,
+// with a fraction of clients dying without cleanup so the OS servers'
+// orphan-abort machinery runs at scale. Acceptance is expressed
+// entirely in metrics-registry assertions (see ChurnReport.Check).
+type ChurnConfig struct {
+	Seed           int64
+	Servers        int // echo-server hosts
+	Clients        int // client hosts
+	ConnsPerClient int // sequential connections per client
+	OrphanEvery    int // every Nth client exits without closing its last conn (0 = none)
+	MsgBytes       int // payload echoed once per connection
+	Arch           Arch
+	Drain          time.Duration // virtual time after the workload for TIME_WAIT and port quarantines to expire (0 = 75 s)
+}
+
+// DefaultChurn is the scale point the acceptance criteria call for:
+// 2,016 connections across 106 hosts, one in eight clients orphaned.
+func DefaultChurn(seed int64) ChurnConfig {
+	return ChurnConfig{
+		Seed:           seed,
+		Servers:        10,
+		Clients:        96,
+		ConnsPerClient: 21,
+		OrphanEvery:    8,
+		MsgBytes:       512,
+		Arch:           Decomposed(),
+	}
+}
+
+// ChurnReport is the registry-derived outcome of a churn run.
+type ChurnReport struct {
+	Hosts     int `json:"hosts"`
+	ConnsPlan int `json:"conns_planned"`
+
+	// Summed over every host's OS-server scope.
+	ConnSetups     int64 `json:"conn_setups"`
+	ConnTeardowns  int64 `json:"conn_teardowns"`
+	OrphansAborted int64 `json:"orphans_aborted"`
+	SessionsMade   int64 `json:"sessions_made"`
+	SessionsReaped int64 `json:"sessions_reaped"`
+
+	// Residue at drain; every field must be zero.
+	LiveSessions int64 `json:"live_sessions"`
+	PortsInUse   int64 `json:"ports_in_use"`
+	TimeWait     int64 `json:"time_wait"`
+
+	Snapshot *MetricsSnapshot `json:"-"`
+}
+
+// Check verifies the workload's conservation laws against the registry:
+// every connection established was either torn down normally or orphan-
+// aborted, every session record was reaped, and no port, session, or
+// TIME_WAIT socket leaked through the churn.
+func (r *ChurnReport) Check() error {
+	// Each logical connection is set up on both the client's and the
+	// server's OS server, so the global count is 2x the plan.
+	if want := int64(2 * r.ConnsPlan); r.ConnSetups < want {
+		return fmt.Errorf("churn: %d connection setups, want >= %d", r.ConnSetups, want)
+	}
+	if r.ConnSetups != r.ConnTeardowns+r.OrphansAborted {
+		return fmt.Errorf("churn: setups %d != teardowns %d + orphans aborted %d",
+			r.ConnSetups, r.ConnTeardowns, r.OrphansAborted)
+	}
+	if r.SessionsMade != r.SessionsReaped {
+		return fmt.Errorf("churn: sessions made %d != reaped %d", r.SessionsMade, r.SessionsReaped)
+	}
+	if r.LiveSessions != 0 {
+		return fmt.Errorf("churn: %d sessions leaked", r.LiveSessions)
+	}
+	if r.PortsInUse != 0 {
+		return fmt.Errorf("churn: %d ports leaked", r.PortsInUse)
+	}
+	if r.TimeWait != 0 {
+		return fmt.Errorf("churn: %d sockets stuck in TIME_WAIT after drain", r.TimeWait)
+	}
+	return nil
+}
+
+const churnPort = 5001
+
+// RunChurn builds the network, runs the workload to completion plus the
+// drain period, and reads the registry into a report. Deterministic for
+// a given config: two runs with the same seed produce byte-identical
+// snapshots.
+func RunChurn(cfg ChurnConfig) (*ChurnReport, error) {
+	if cfg.MsgBytes <= 0 {
+		cfg.MsgBytes = 512
+	}
+	if cfg.Drain <= 0 {
+		// 2MSL TIME_WAIT (60 s) and the orphan port quarantine (60 s)
+		// both expire within this window.
+		cfg.Drain = 75 * time.Second
+	}
+	n := NewConfig(Config{Seed: cfg.Seed, Metrics: true})
+
+	// Servers at 10.0.1.x, clients at 10.0.2.x/10.0.3.x.
+	servers := make([]*Host, cfg.Servers)
+	for i := range servers {
+		servers[i] = n.Host(fmt.Sprintf("srv%d", i), fmt.Sprintf("10.0.1.%d", i+1), cfg.Arch)
+	}
+	clients := make([]*Host, cfg.Clients)
+	for j := range clients {
+		clients[j] = n.Host(fmt.Sprintf("cli%d", j), fmt.Sprintf("10.0.%d.%d", 2+j/200, j%200+1), cfg.Arch)
+	}
+
+	// Every client walks the server list round-robin from its own
+	// offset, so each server's expected accept count is known up front.
+	expect := make([]int, cfg.Servers)
+	for j := 0; j < cfg.Clients; j++ {
+		for k := 0; k < cfg.ConnsPerClient; k++ {
+			expect[(j+k)%cfg.Servers]++
+		}
+	}
+
+	var firstErr error
+	fail := func(err error) {
+		if err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+
+	for i, h := range servers {
+		i, h := i, h
+		app := h.NewApp("echo")
+		n.Spawn(fmt.Sprintf("srv%d", i), func(t *Thread) {
+			ls, err := app.Socket(t, SockStream)
+			if err != nil {
+				fail(err)
+				return
+			}
+			if err := app.Bind(t, ls, SockAddr{Port: churnPort}); err != nil {
+				fail(err)
+				return
+			}
+			app.Listen(t, ls, 64)
+			buf := make([]byte, cfg.MsgBytes)
+			for served := 0; served < expect[i]; served++ {
+				fd, _, err := app.Accept(t, ls)
+				if err != nil {
+					fail(err)
+					return
+				}
+				got := 0
+				for got < cfg.MsgBytes {
+					n, err := app.Recv(t, fd, buf[got:], 0)
+					if err != nil || n == 0 {
+						break // client died mid-stream; still count it served
+					}
+					got += n
+				}
+				if got == cfg.MsgBytes {
+					if _, err := app.Send(t, fd, buf, 0); err != nil {
+						fail(err)
+					}
+				}
+				app.Close(t, fd)
+			}
+			app.Close(t, ls)
+		})
+	}
+
+	msg := make([]byte, cfg.MsgBytes)
+	for b := range msg {
+		msg[b] = byte(b)
+	}
+	for j, h := range clients {
+		j := j
+		orphan := cfg.OrphanEvery > 0 && (j+1)%cfg.OrphanEvery == 0
+		app := h.NewApp("churn")
+		n.Spawn(fmt.Sprintf("cli%d", j), func(t *Thread) {
+			// Stagger starts so the SYN burst stays inside listen backlogs.
+			t.Sleep(time.Duration(j) * 3 * time.Millisecond)
+			for k := 0; k < cfg.ConnsPerClient; k++ {
+				srv := servers[(j+k)%cfg.Servers]
+				fd, err := app.Socket(t, SockStream)
+				if err != nil {
+					fail(err)
+					return
+				}
+				if err := app.Connect(t, fd, srv.Addr(churnPort)); err != nil {
+					fail(fmt.Errorf("cli%d conn %d: %w", j, k, err))
+					return
+				}
+				if _, err := app.Send(t, fd, msg, 0); err != nil {
+					fail(err)
+					return
+				}
+				buf := make([]byte, cfg.MsgBytes)
+				got := 0
+				for got < cfg.MsgBytes {
+					n, err := app.Recv(t, fd, buf[got:], 0)
+					if err != nil {
+						fail(err)
+						return
+					}
+					if n == 0 {
+						fail(fmt.Errorf("cli%d conn %d: premature EOF", j, k))
+						return
+					}
+					got += n
+				}
+				if orphan && k == cfg.ConnsPerClient-1 {
+					// Die with the connection open: the host's OS server
+					// must abort the orphan and quarantine the port.
+					app.ExitProcess(t)
+					return
+				}
+				app.Close(t, fd)
+			}
+		})
+	}
+
+	if err := n.Run(); err != nil {
+		return nil, err
+	}
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	if err := n.RunFor(cfg.Drain); err != nil {
+		return nil, err
+	}
+
+	snap := n.MetricsSnapshot()
+	rep := &ChurnReport{
+		Hosts:          cfg.Servers + cfg.Clients,
+		ConnsPlan:      cfg.Clients * cfg.ConnsPerClient,
+		ConnSetups:     snap.Sum(".core.conn_setup"),
+		ConnTeardowns:  snap.Sum(".core.conn_teardown"),
+		OrphansAborted: snap.Sum(".core.orphans_aborted"),
+		SessionsMade:   snap.Sum(".core.sessions_made"),
+		SessionsReaped: snap.Sum(".core.sessions_reaped"),
+		LiveSessions:   snap.Sum(".core.sessions"),
+		PortsInUse:     snap.Sum(".core.ports_in_use"),
+		TimeWait:       snap.Sum(".tcp_state.time_wait"),
+		Snapshot:       snap,
+	}
+	return rep, nil
+}

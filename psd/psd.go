@@ -29,12 +29,29 @@ import (
 	"repro/internal/costs"
 	"repro/internal/fault"
 	"repro/internal/inkernel"
+	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
+	"repro/internal/stack"
 	"repro/internal/trace"
 	"repro/internal/uxserver"
 	"repro/internal/wire"
+)
+
+// Metrics types, re-exported so tooling and tests can consume registry
+// snapshots without importing internal packages.
+type (
+	// Registry is the deterministic metrics registry (see Config.Metrics).
+	Registry = metrics.Registry
+	// MetricsSnapshot is a point-in-time, sorted reading of a registry.
+	MetricsSnapshot = metrics.Snapshot
+	// MetricsItem is one named instrument inside a snapshot.
+	MetricsItem = metrics.Item
+	// HistView is a rendered histogram (count/sum/min/max/quantiles).
+	HistView = metrics.HistView
+	// SocketInfo is one row of a netstat-style socket table.
+	SocketInfo = stack.SocketInfo
 )
 
 // Flight-recorder types, re-exported so tooling and tests can consume
@@ -120,6 +137,7 @@ type Network struct {
 	sim  *sim.Sim
 	seg  *simnet.Segment
 	rec  *trace.Recorder
+	reg  *metrics.Registry
 	next byte
 }
 
@@ -139,6 +157,12 @@ type Config struct {
 
 	// TraceLimit caps the number of retained records (0 = unlimited).
 	TraceLimit int
+
+	// Metrics enables the deterministic metrics registry: every layer's
+	// counters, gauges, and virtual-clock latency histograms become
+	// readable through Network.Metrics and Host.Netstat. Disabled (the
+	// default) it costs nothing on any hot path.
+	Metrics bool
 }
 
 // New creates a network; runs are deterministic for a given seed.
@@ -152,6 +176,10 @@ func NewConfig(cfg Config) *Network {
 		s.Deadline = sim.Time(cfg.Deadline)
 	}
 	n := &Network{sim: s, seg: simnet.NewSegment(s)}
+	if cfg.Metrics {
+		n.reg = metrics.NewRegistry()
+		n.seg.SetMetrics(n.reg.Scope("net"))
+	}
 	if len(cfg.Trace) > 0 {
 		n.rec = trace.New(s, cfg.Trace...)
 		if cfg.TraceLimit > 0 {
@@ -166,6 +194,21 @@ func NewConfig(cfg Config) *Network {
 // Trace returns the flight recorder, or nil when tracing was not
 // enabled in the Config.
 func (n *Network) Trace() *Recorder { return n.rec }
+
+// Metrics returns the metrics registry, or nil when metrics were not
+// enabled in the Config.
+func (n *Network) Metrics() *Registry { return n.reg }
+
+// MetricsSnapshot reads the whole registry at the current virtual time
+// (nil when metrics are disabled). The result is sorted by name and
+// byte-stable across identical runs.
+func (n *Network) MetricsSnapshot() *MetricsSnapshot {
+	if n.reg == nil {
+		return nil
+	}
+	snap := n.reg.Snapshot(n.Now())
+	return &snap
+}
 
 // Sim exposes the underlying simulator for advanced use (timers, custom
 // processes).
@@ -212,20 +255,32 @@ func (n *Network) Host(name, addr string, arch Arch) *Host {
 		if n.rec != nil {
 			sys.SetTrace(n.rec)
 		}
+		if n.reg != nil {
+			sys.SetMetrics(n.reg.Scope("host." + name))
+		}
 		h.newApp = func(app string) App { return sys.NewLibrary(app) }
 		h.core = sys
+		h.stacks = sys.Stacks
 	case 1:
 		sys := inkernel.New(n.sim, n.seg, name, mac, ip, arch.prof)
 		if n.rec != nil {
 			sys.SetTrace(n.rec)
 		}
+		if n.reg != nil {
+			sys.SetMetrics(n.reg.Scope("host." + name))
+		}
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
+		h.stacks = func() []*stack.Stack { return []*stack.Stack{sys.St} }
 	case 2:
 		sys := uxserver.New(n.sim, n.seg, name, mac, ip, arch.prof)
 		if n.rec != nil {
 			sys.SetTrace(n.rec)
 		}
+		if n.reg != nil {
+			sys.SetMetrics(n.reg.Scope("host." + name))
+		}
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
+		h.stacks = func() []*stack.Stack { return []*stack.Stack{sys.St} }
 	}
 	return h
 }
@@ -248,6 +303,18 @@ type Host struct {
 	ip     wire.IPAddr
 	newApp func(string) App
 	core   *core.System
+	stacks func() []*stack.Stack
+}
+
+// Netstat reads every protocol stack on the host (a Decomposed host has
+// one per library plus the OS server's) into a deterministic, sorted
+// netstat-style socket table.
+func (h *Host) Netstat() []SocketInfo {
+	var out []SocketInfo
+	for _, st := range h.stacks() {
+		out = append(out, st.SocketTable()...)
+	}
+	return out
 }
 
 // Name returns the host name.
@@ -269,7 +336,7 @@ func (h *Host) ServerStats() (sessions, migrations, returns, orphans int) {
 		return
 	}
 	srv := h.core.Server
-	return srv.Sessions(), srv.Migrations, srv.Returns, srv.OrphansAborted
+	return srv.Sessions(), int(srv.Migrations.Value()), int(srv.Returns.Value()), int(srv.OrphansAborted.Value())
 }
 
 // ParseIP parses a dotted IPv4 address.
