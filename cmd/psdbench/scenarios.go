@@ -1,0 +1,100 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/psd"
+)
+
+// ScenarioReport is one BENCH_scenarios.json entry: the full suite run
+// across every architecture under one label.
+type ScenarioReport struct {
+	Label   string                `json:"label"`
+	Date    string                `json:"date"`
+	Seed    int64                 `json:"seed"`
+	Results []*psd.ScenarioResult `json:"results"`
+}
+
+var scenarioArchs = []struct {
+	name string
+	arch func() psd.Arch
+}{
+	{"decomposed", psd.Decomposed},
+	{"inkernel", psd.InKernel},
+	{"server", psd.ServerBased},
+}
+
+// runScenarios executes every named scenario on every architecture,
+// prints the verdict table (and SLO details for failures), and writes a
+// BENCH_scenarios-style JSON entry to path ("-" for stdout, "" for
+// none). A failed SLO makes the whole run return an error so CI gates
+// on the exit status.
+func runScenarios(path, label string, seed int64) error {
+	if label == "" {
+		label = "psdbench"
+	}
+	rep := ScenarioReport{
+		Label: label,
+		Date:  time.Now().UTC().Format("2006-01-02"),
+		Seed:  seed,
+	}
+
+	fmt.Printf("Scenario suite (seed %d)\n", seed)
+	fmt.Printf("%-14s %-12s %5s %4s %12s %12s %9s %7s %7s  %s\n",
+		"scenario", "arch", "reqs", "errs", "p50", "p99", "conn-p99", "drops", "rexmit", "verdict")
+	failed := 0
+	for _, name := range psd.ScenarioNames() {
+		for _, a := range scenarioArchs {
+			res, err := psd.RunScenario(psd.ScenarioConfig{
+				Name: name, Seed: seed, Arch: a.arch(), ArchName: a.name,
+			})
+			if err != nil {
+				return err
+			}
+			rep.Results = append(rep.Results, res)
+			verdict := "pass"
+			if !res.Passed {
+				verdict = "FAIL"
+				failed++
+			}
+			fmt.Printf("%-14s %-12s %5d %4d %12s %12s %9s %7d %7d  %s\n",
+				res.Name, res.Arch, res.Requests, res.Errors,
+				time.Duration(res.ReqP50Ns), time.Duration(res.ReqP99Ns),
+				time.Duration(res.ConnectP99Ns),
+				res.NetDrops+res.RouterDrops, res.TCPRexmits, verdict)
+			if !res.Passed {
+				for _, r := range res.SLO {
+					fmt.Printf("    %s\n", r.String())
+				}
+			}
+		}
+	}
+
+	if path != "" {
+		var out io.Writer = os.Stdout
+		if path != "-" {
+			f, err := os.Create(path)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			out = f
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode([]ScenarioReport{rep}); err != nil {
+			return err
+		}
+		if path != "-" {
+			fmt.Printf("wrote scenario report to %s\n", path)
+		}
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d scenario cell(s) failed their SLOs", failed)
+	}
+	return nil
+}

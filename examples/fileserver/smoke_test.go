@@ -1,0 +1,16 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+// TestSmoke runs the example end to end in-process with a small
+// workload. main calls flag.Parse, so os.Args is swapped to hide the
+// test harness's own flags.
+func TestSmoke(t *testing.T) {
+	old := os.Args
+	defer func() { os.Args = old }()
+	os.Args = []string{"fileserver", "-clients", "2", "-kb", "64"}
+	main()
+}

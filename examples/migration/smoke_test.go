@@ -1,0 +1,7 @@
+package main
+
+import "testing"
+
+// TestSmoke runs the example end to end in-process: it passes when the
+// simulation completes without panic or deadlock.
+func TestSmoke(t *testing.T) { main() }

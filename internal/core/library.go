@@ -89,6 +89,7 @@ func (sys *System) NewLibrary(name string) *Library {
 		},
 		Transmit: sys.Host.Transmit,
 		Ports:    grantedPorts{}, // naming is always done by the server
+		Routes:   sys.Routes,     // nil = default on-link table
 		Resolver: lib.cache,
 		// A library only sees its own sessions' packets; strays are
 		// migration races, never protocol errors.
@@ -165,7 +166,7 @@ func (lib *Library) quiesce(t *sim.Proc) {
 
 // adoptTCP installs a migrated TCP session into the library stack.
 func (lib *Library) adoptTCP(t *sim.Proc, s *appSession, state *stack.TCPSessionState, mac wire.MAC) {
-	lib.cache.Insert(s.raddr.IP, mac)
+	lib.cache.Insert(lib.St.NextHop(s.raddr.IP), mac)
 	s.sock = lib.St.ImportTCPSession(t, state)
 	s.sock.Notify = func() { lib.selCond.Broadcast() }
 	s.local = true
@@ -246,7 +247,7 @@ func (lib *Library) Connect(t *sim.Proc, fd int, addr socketapi.SockAddr) error 
 	s.laddr, s.raddr = r.local, r.remote
 	switch s.proto {
 	case wire.ProtoUDP:
-		lib.cache.Insert(raddr.IP, r.remoteMAC)
+		lib.cache.Insert(lib.St.NextHop(raddr.IP), r.remoteMAC)
 		if s.sock != nil {
 			// Rebind the local socket with the narrowed remote.
 			lib.St.DropUDPSession(s.sock)

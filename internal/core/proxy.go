@@ -198,7 +198,7 @@ func (srv *Server) handle(t *sim.Proc, method string, args any) (any, error) {
 		if srv.traceOn() {
 			srv.traceEmit(trace.EvConnSetup, sessName(newSess), "accept", int64(newSess.id), 0)
 		}
-		mac, _ := srv.St.ARP().WaitResolve(t, newSess.remote.IP, 10*time.Second)
+		mac, _ := srv.St.ARP().WaitResolve(t, srv.St.NextHop(newSess.remote.IP), 10*time.Second)
 		ep, state, err := srv.migrateTCP(t, newSess, a.lib)
 		if err != nil {
 			return nil, err
@@ -408,7 +408,7 @@ func (srv *Server) connect(t *sim.Proc, sess *session, raddr stack.Addr, lib *Li
 			}
 			sess.filterID = fid
 		}
-		mac, _ := srv.St.ARP().WaitResolve(t, raddr.IP, 10*time.Second)
+		mac, _ := srv.St.ARP().WaitResolve(t, srv.St.NextHop(raddr.IP), 10*time.Second)
 		return pxConnectReply{local: sess.local, remote: sess.remote, ep: sess.ep, remoteMAC: mac}, nil
 
 	case wire.ProtoTCP:
@@ -431,7 +431,7 @@ func (srv *Server) connect(t *sim.Proc, sess *session, raddr stack.Addr, lib *Li
 		if srv.traceOn() {
 			srv.traceEmit(trace.EvConnSetup, sessName(sess), "connect", int64(sess.id), 0)
 		}
-		mac, _ := srv.St.ARP().WaitResolve(t, raddr.IP, 10*time.Second)
+		mac, _ := srv.St.ARP().WaitResolve(t, srv.St.NextHop(raddr.IP), 10*time.Second)
 		ep, state, err := srv.migrateTCP(t, sess, lib)
 		if err != nil {
 			return nil, err

@@ -92,6 +92,26 @@ type System struct {
 	// metricsScope, when set by SetMetrics, is the host-level scope new
 	// library stacks bind into at creation time.
 	metricsScope *metrics.Scope
+
+	// Routes, when set by SetRoutes, is the host's routing table, shared
+	// by the OS server's stack and every library stack (the paper keeps
+	// the authoritative table in the server; here the subnet's table is
+	// shared read-only once topology construction is done).
+	Routes *stack.RouteTable
+}
+
+// SetRoutes installs the host's routing table on the server stack and
+// on every library stack, current and future. Call it before traffic
+// flows (topology construction time).
+func (sys *System) SetRoutes(rt *stack.RouteTable) {
+	if rt == nil {
+		return
+	}
+	sys.Routes = rt
+	sys.Server.St.SetRoutes(rt)
+	for _, lib := range sys.Server.libs {
+		lib.St.SetRoutes(rt)
+	}
 }
 
 // SetTrace attaches a flight recorder to the whole system: the kernel
@@ -341,7 +361,14 @@ func (srv *Server) fragIntercept(t *sim.Proc, eh wire.EthHeader, h wire.IPv4Head
 // given flow.
 func (srv *Server) appSessionMatches(proto uint8, localIP wire.IPAddr, localPort uint16, remoteIP wire.IPAddr, remotePort uint16) bool {
 	for _, sess := range srv.sessions {
-		if sess.loc != atApp || sess.proto != proto {
+		if sess.proto != proto {
+			continue
+		}
+		// Quiet while the application owns the session, and also during
+		// a return migration: loc has flipped to atServer but the state
+		// import has not landed yet (srvSock == nil), so segments racing
+		// the hand-back must not be answered with RST.
+		if sess.loc != atApp && !(sess.loc == atServer && sess.srvSock == nil) {
 			continue
 		}
 		if sess.local.Port != localPort {

@@ -1,0 +1,308 @@
+package router
+
+import (
+	"encoding/binary"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/simnet"
+	"repro/internal/wire"
+)
+
+// testHost is a bare station that answers ARP for its address and
+// captures every IP packet delivered to it.
+type testHost struct {
+	nic *simnet.NIC
+	mac wire.MAC
+	ip  wire.IPAddr
+	got []ipPacket
+}
+
+type ipPacket struct {
+	h    wire.IPv4Header
+	body []byte
+}
+
+func newTestHost(seg *simnet.Segment, name string, mac wire.MAC, ip wire.IPAddr) *testHost {
+	h := &testHost{mac: mac, ip: ip}
+	h.nic = seg.AttachNamed(name, mac)
+	h.nic.Rx = func(f simnet.Frame) {
+		eh, err := wire.UnmarshalEth(f.Data)
+		if err != nil {
+			return
+		}
+		switch eh.Type {
+		case wire.EtherTypeARP:
+			ap, err := wire.UnmarshalARP(f.Data[wire.EthHeaderLen:])
+			if err != nil || ap.Op != wire.ARPRequest || ap.TargetIP != h.ip {
+				return
+			}
+			reply := wire.ARPPacket{
+				Op:        wire.ARPReply,
+				SenderMAC: h.mac,
+				SenderIP:  h.ip,
+				TargetMAC: ap.SenderMAC,
+				TargetIP:  ap.SenderIP,
+			}
+			frame := make([]byte, wire.EthHeaderLen+wire.ARPLen)
+			(&wire.EthHeader{Dst: ap.SenderMAC, Src: h.mac, Type: wire.EtherTypeARP}).Marshal(frame)
+			copy(frame[wire.EthHeaderLen:], reply.Marshal())
+			h.nic.Transmit(frame)
+		case wire.EtherTypeIPv4:
+			ih, hlen, err := wire.UnmarshalIPv4(f.Data[wire.EthHeaderLen:])
+			if err != nil {
+				return
+			}
+			body := f.Data[wire.EthHeaderLen+hlen : wire.EthHeaderLen+int(ih.TotalLen)]
+			h.got = append(h.got, ipPacket{h: ih, body: append([]byte(nil), body...)})
+		}
+	}
+	return h
+}
+
+// sendIP builds a UDP/IP frame addressed (at the link layer) to dstMAC
+// and transmits it.
+func (h *testHost) sendIP(dstMAC wire.MAC, dst wire.IPAddr, ttl uint8, payload []byte) {
+	udp := make([]byte, wire.UDPHeaderLen+len(payload))
+	binary.BigEndian.PutUint16(udp[0:2], 1111)
+	binary.BigEndian.PutUint16(udp[2:4], 2222)
+	binary.BigEndian.PutUint16(udp[4:6], uint16(len(udp)))
+	copy(udp[wire.UDPHeaderLen:], payload)
+	iph := wire.IPv4Header{
+		TotalLen: uint16(wire.IPv4HeaderLen + len(udp)),
+		TTL:      ttl,
+		Proto:    wire.ProtoUDP,
+		Src:      h.ip,
+		Dst:      dst,
+	}
+	frame := make([]byte, wire.EthHeaderLen+wire.IPv4HeaderLen+len(udp))
+	(&wire.EthHeader{Dst: dstMAC, Src: h.mac, Type: wire.EtherTypeIPv4}).Marshal(frame)
+	iph.Marshal(frame[wire.EthHeaderLen : wire.EthHeaderLen+wire.IPv4HeaderLen])
+	copy(frame[wire.EthHeaderLen+wire.IPv4HeaderLen:], udp)
+	h.nic.Transmit(frame)
+}
+
+func mac(b byte) wire.MAC { return wire.MAC{0x02, 0, 0, 0, 0, b} }
+
+// topo2 builds two subnets joined by one router and a host on each.
+func topo2(s *sim.Sim, q QueueConfig) (*Router, *testHost, *testHost) {
+	segA, segB := simnet.NewSegment(s), simnet.NewSegment(s)
+	r := New(s, "core")
+	r.Attach(segA, "a", mac(0xa0), wire.IP(10, 1, 0, 254), 24, q)
+	r.Attach(segB, "b", mac(0xb0), wire.IP(10, 2, 0, 254), 24, q)
+	ha := newTestHost(segA, "ha", mac(0x01), wire.IP(10, 1, 0, 1))
+	hb := newTestHost(segB, "hb", mac(0x02), wire.IP(10, 2, 0, 1))
+	return r, ha, hb
+}
+
+func TestForwardDecrementsTTL(t *testing.T) {
+	s := sim.New(1)
+	r, ha, hb := topo2(s, QueueConfig{})
+
+	ha.sendIP(mac(0xa0), hb.ip, 64, []byte("hello"))
+	if err := s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.got) != 1 {
+		t.Fatalf("hostB received %d packets, want 1", len(hb.got))
+	}
+	pkt := hb.got[0]
+	if pkt.h.TTL != 63 {
+		t.Errorf("forwarded TTL = %d, want 63", pkt.h.TTL)
+	}
+	if pkt.h.Src != ha.ip || pkt.h.Dst != hb.ip {
+		t.Errorf("forwarded addresses %v -> %v", pkt.h.Src, pkt.h.Dst)
+	}
+	if string(pkt.body[wire.UDPHeaderLen:]) != "hello" {
+		t.Errorf("payload corrupted in flight: %q", pkt.body)
+	}
+	if got := r.Stats.Forwarded.Value(); got != 1 {
+		t.Errorf("Forwarded = %d, want 1", got)
+	}
+}
+
+func TestTTLExpiryEmitsTimeExceeded(t *testing.T) {
+	s := sim.New(2)
+	r, ha, hb := topo2(s, QueueConfig{})
+
+	ha.sendIP(mac(0xa0), hb.ip, 1, []byte("doomed"))
+	if err := s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(hb.got) != 0 {
+		t.Fatalf("hostB received %d packets, want 0", len(hb.got))
+	}
+	if len(ha.got) != 1 {
+		t.Fatalf("hostA received %d packets, want 1 ICMP error", len(ha.got))
+	}
+	pkt := ha.got[0]
+	if pkt.h.Proto != wire.ProtoICMP || pkt.h.Src != wire.IP(10, 1, 0, 254) {
+		t.Fatalf("error packet proto=%d src=%v", pkt.h.Proto, pkt.h.Src)
+	}
+	ih, quote, err := wire.UnmarshalICMP(pkt.body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih.Type != wire.ICMPTimeExceeded || ih.Code != wire.ICMPCodeTTLExceeded {
+		t.Errorf("ICMP type/code = %d/%d, want %d/%d", ih.Type, ih.Code, wire.ICMPTimeExceeded, wire.ICMPCodeTTLExceeded)
+	}
+	// The quote holds the offending IP header + 8 transport bytes.
+	oh, _, err := wire.UnmarshalIPv4(quote)
+	if err != nil {
+		t.Fatalf("bad quoted header: %v", err)
+	}
+	if oh.Src != ha.ip || oh.Dst != hb.ip {
+		t.Errorf("quoted flow %v -> %v", oh.Src, oh.Dst)
+	}
+	if got := r.Stats.TTLExpired.Value(); got != 1 {
+		t.Errorf("TTLExpired = %d, want 1", got)
+	}
+}
+
+func TestNoRouteEmitsUnreachable(t *testing.T) {
+	s := sim.New(3)
+	r, ha, _ := topo2(s, QueueConfig{})
+
+	ha.sendIP(mac(0xa0), wire.IP(172, 16, 9, 9), 64, []byte("lost"))
+	if err := s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(ha.got) != 1 {
+		t.Fatalf("hostA received %d packets, want 1 ICMP error", len(ha.got))
+	}
+	ih, _, err := wire.UnmarshalICMP(ha.got[0].body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih.Type != wire.ICMPDestUnreachable || ih.Code != wire.ICMPCodeNetUnreachable {
+		t.Errorf("ICMP type/code = %d/%d, want %d/%d", ih.Type, ih.Code, wire.ICMPDestUnreachable, wire.ICMPCodeNetUnreachable)
+	}
+	if got := r.Stats.NoRoute.Value(); got != 1 {
+		t.Errorf("NoRoute = %d, want 1", got)
+	}
+}
+
+func TestNoErrorAboutICMPError(t *testing.T) {
+	s := sim.New(4)
+	r, ha, _ := topo2(s, QueueConfig{})
+
+	// An ICMP time-exceeded with an unroutable destination must be
+	// dropped silently, not answered with unreachable.
+	msg := wire.ICMPHeader{Type: wire.ICMPTimeExceeded}
+	body := msg.Marshal(make([]byte, wire.IPv4HeaderLen+8))
+	iph := wire.IPv4Header{
+		TotalLen: uint16(wire.IPv4HeaderLen + len(body)),
+		TTL:      64,
+		Proto:    wire.ProtoICMP,
+		Src:      ha.ip,
+		Dst:      wire.IP(172, 16, 9, 9),
+	}
+	frame := make([]byte, wire.EthHeaderLen+int(iph.TotalLen))
+	(&wire.EthHeader{Dst: mac(0xa0), Src: ha.mac, Type: wire.EtherTypeIPv4}).Marshal(frame)
+	iph.Marshal(frame[wire.EthHeaderLen : wire.EthHeaderLen+wire.IPv4HeaderLen])
+	copy(frame[wire.EthHeaderLen+wire.IPv4HeaderLen:], body)
+	ha.nic.Transmit(frame)
+
+	if err := s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(ha.got) != 0 {
+		t.Fatalf("hostA received %d packets, want 0 (no error about an error)", len(ha.got))
+	}
+	if got := r.Stats.ICMPSent.Value(); got != 0 {
+		t.Errorf("ICMPSent = %d, want 0", got)
+	}
+}
+
+func TestPingRouterPort(t *testing.T) {
+	s := sim.New(5)
+	_, ha, _ := topo2(s, QueueConfig{})
+
+	req := wire.ICMPHeader{Type: wire.ICMPEchoRequest, ID: 7, Seq: 1}
+	body := req.Marshal([]byte("probe"))
+	iph := wire.IPv4Header{
+		TotalLen: uint16(wire.IPv4HeaderLen + len(body)),
+		TTL:      64,
+		Proto:    wire.ProtoICMP,
+		Src:      ha.ip,
+		Dst:      wire.IP(10, 1, 0, 254),
+	}
+	frame := make([]byte, wire.EthHeaderLen+int(iph.TotalLen))
+	(&wire.EthHeader{Dst: mac(0xa0), Src: ha.mac, Type: wire.EtherTypeIPv4}).Marshal(frame)
+	iph.Marshal(frame[wire.EthHeaderLen : wire.EthHeaderLen+wire.IPv4HeaderLen])
+	copy(frame[wire.EthHeaderLen+wire.IPv4HeaderLen:], body)
+	ha.nic.Transmit(frame)
+
+	if err := s.RunFor(100 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(ha.got) != 1 {
+		t.Fatalf("hostA received %d packets, want 1 echo reply", len(ha.got))
+	}
+	ih, payload, err := wire.UnmarshalICMP(ha.got[0].body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ih.Type != wire.ICMPEchoReply || ih.ID != 7 || string(payload) != "probe" {
+		t.Errorf("echo reply type=%d id=%d payload=%q", ih.Type, ih.ID, payload)
+	}
+}
+
+// burst floods frames through the router faster than its egress link —
+// deliberately slower than the ingress, as when a fast LAN funnels into
+// a thin uplink — can drain, forcing the finite queue to drop.
+func burst(t *testing.T, seed int64, frames int) (forwarded, red, tail uint64, maxQ int) {
+	t.Helper()
+	s := sim.New(seed)
+	segA, segB := simnet.NewSegment(s), simnet.NewSegment(s)
+	segB.SetBitRate(1_000_000) // 1 Mb/s uplink behind a 10 Mb/s LAN
+	r := New(s, "core")
+	r.Attach(segA, "a", mac(0xa0), wire.IP(10, 1, 0, 254), 24, QueueConfig{Capacity: 8})
+	r.Attach(segB, "b", mac(0xb0), wire.IP(10, 2, 0, 254), 24, QueueConfig{Capacity: 8})
+	ha := newTestHost(segA, "ha", mac(0x01), wire.IP(10, 1, 0, 1))
+	hb := newTestHost(segB, "hb", mac(0x02), wire.IP(10, 2, 0, 1))
+	_ = hb
+
+	// Resolve ARP with one packet, then flood back-to-back.
+	ha.sendIP(mac(0xa0), hb.ip, 64, []byte("warm"))
+	if err := s.RunFor(50 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	payload := make([]byte, 1024)
+	for i := 0; i < frames; i++ {
+		i := i
+		s.After(time.Duration(i)*50*time.Microsecond, func() {
+			ha.sendIP(mac(0xa0), hb.ip, 64, payload)
+		})
+	}
+	if err := s.RunFor(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	return r.Stats.Forwarded.Value(), r.Stats.REDDrops.Value(), r.Stats.TailDrops.Value(), r.Ports()[1].MaxQLen
+}
+
+func TestREDDropsUnderOverload(t *testing.T) {
+	const frames = 200
+	forwarded, red, tail, maxQ := burst(t, 42, frames)
+	if red == 0 {
+		t.Errorf("RED dropped nothing under a %d-frame burst", frames)
+	}
+	// Conservation: every offered frame (flood + warmup) was either
+	// forwarded or dropped at the queue.
+	if forwarded+red+tail != frames+1 {
+		t.Errorf("forwarded %d + red %d + tail %d != offered %d", forwarded, red, tail, frames+1)
+	}
+	if maxQ > 8+1 { // +1: the frame serializing on the wire
+		t.Errorf("queue reached %d frames, capacity 8", maxQ)
+	}
+	if forwarded < 10 {
+		t.Errorf("only %d frames survived the burst", forwarded)
+	}
+
+	f2, r2, t2, q2 := burst(t, 42, frames)
+	if f2 != forwarded || r2 != red || t2 != tail || q2 != maxQ {
+		t.Errorf("burst not deterministic: (%d,%d,%d,%d) vs (%d,%d,%d,%d)",
+			forwarded, red, tail, maxQ, f2, r2, t2, q2)
+	}
+}

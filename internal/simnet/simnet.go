@@ -142,6 +142,12 @@ type NIC struct {
 	Promisc bool
 	Rx      func(f Frame)
 
+	// TxDone, when set, is invoked in event context each time one of
+	// this station's frames finishes serializing onto the medium. Router
+	// ports use it to track egress-queue occupancy (frames handed to
+	// Transmit that have not yet cleared the wire).
+	TxDone func(f Frame)
+
 	TxFrames metrics.Counter
 	RxFrames metrics.Counter
 	TxBytes  metrics.Counter // wire bytes, including padding and CRC
@@ -214,6 +220,9 @@ func (j *txJob) done() {
 	n.TxBytes.Add(wireBytes)
 	if g.tr.On(trace.LayerNet) {
 		g.tr.EmitFrame(trace.EvFrameTx, n.name, "", f.Data, int64(f.WireSize()))
+	}
+	if n.TxDone != nil {
+		n.TxDone(f)
 	}
 	g.inject(n, f)
 }

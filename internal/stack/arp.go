@@ -220,6 +220,16 @@ func (st *Stack) ARP() *arpEngine { return st.arp }
 // Routes exposes the stack's routing table.
 func (st *Stack) Routes() *RouteTable { return st.cfg.Routes }
 
+// NextHop returns the link-layer destination for dst: dst itself when
+// on-link, the gateway when routed, dst when unroutable (the caller's
+// ARP attempt then fails and upper layers recover).
+func (st *Stack) NextHop(dst wire.IPAddr) wire.IPAddr {
+	if nh, ok := st.cfg.Routes.Lookup(dst); ok {
+		return nh
+	}
+	return dst
+}
+
 // WaitResolve resolves ip, blocking the calling thread up to timeout.
 // It is safe only on threads that do not process this stack's input
 // (the OS server's RPC workers use it to answer library proxy_arp calls;

@@ -20,11 +20,14 @@ type Route struct {
 	PrefixLen int
 	Gateway   wire.IPAddr // next hop; ignored when OnLink
 	OnLink    bool        // destination is directly reachable
+	Ifindex   int         // egress interface for multi-homed owners (routers)
 }
 
 // RouteTable is a longest-prefix-match IPv4 routing table. In the
 // decomposed architecture the authoritative table lives in the
 // operating-system server and libraries cache entries from it (§3.3).
+// Router hosts reuse the same table, distinguishing egress interfaces
+// through Ifindex.
 type RouteTable struct {
 	routes  []Route
 	version int
@@ -34,9 +37,14 @@ type RouteTable struct {
 func NewRouteTable() *RouteTable { return &RouteTable{} }
 
 // Add installs a route and bumps the table version (which invalidates
-// library caches).
+// library caches). Hosts have a single interface, so the ifindex is 0.
 func (rt *RouteTable) Add(dest wire.IPAddr, prefixLen int, gw wire.IPAddr, onLink bool) {
-	rt.routes = append(rt.routes, Route{Dest: dest.Mask(prefixLen), PrefixLen: prefixLen, Gateway: gw, OnLink: onLink})
+	rt.AddIf(dest, prefixLen, gw, onLink, 0)
+}
+
+// AddIf is Add with an explicit egress interface index (routers).
+func (rt *RouteTable) AddIf(dest wire.IPAddr, prefixLen int, gw wire.IPAddr, onLink bool, ifindex int) {
+	rt.routes = append(rt.routes, Route{Dest: dest.Mask(prefixLen), PrefixLen: prefixLen, Gateway: gw, OnLink: onLink, Ifindex: ifindex})
 	sort.SliceStable(rt.routes, func(i, j int) bool {
 		return rt.routes[i].PrefixLen > rt.routes[j].PrefixLen
 	})
@@ -49,15 +57,30 @@ func (rt *RouteTable) Version() int { return rt.version }
 // Lookup returns the next hop for dst: dst itself for on-link routes, the
 // gateway otherwise.
 func (rt *RouteTable) Lookup(dst wire.IPAddr) (nextHop wire.IPAddr, ok bool) {
+	nextHop, _, ok = rt.LookupIf(dst)
+	return nextHop, ok
+}
+
+// LookupIf is Lookup plus the matched route's egress interface index.
+// Ties between equal-length prefixes go to the earlier Add (stable sort).
+func (rt *RouteTable) LookupIf(dst wire.IPAddr) (nextHop wire.IPAddr, ifindex int, ok bool) {
 	for _, r := range rt.routes {
 		if dst.Mask(r.PrefixLen) == r.Dest {
 			if r.OnLink {
-				return dst, true
+				return dst, r.Ifindex, true
 			}
-			return r.Gateway, true
+			return r.Gateway, r.Ifindex, true
 		}
 	}
-	return wire.IPAddr{}, false
+	return wire.IPAddr{}, 0, false
+}
+
+// Routes returns a copy of the table's entries in match-preference order
+// (longest prefix first), for diagnostics and tests.
+func (rt *RouteTable) Entries() []Route {
+	out := make([]Route, len(rt.routes))
+	copy(out, rt.routes)
+	return out
 }
 
 // ipOutput encapsulates a transport segment and transmits it, fragmenting
@@ -405,13 +428,7 @@ func (st *Stack) icmpInput(t *sim.Proc, h wire.IPv4Header, body []byte) {
 // sender (icmp_error).
 func (st *Stack) icmpSendUnreachable(t *sim.Proc, code uint8, orig wire.IPv4Header, origBody []byte) {
 	// Quote the original IP header plus the first 8 payload bytes.
-	quote := make([]byte, wire.IPv4HeaderLen, wire.IPv4HeaderLen+8)
-	orig.Marshal(quote)
-	n := len(origBody)
-	if n > 8 {
-		n = 8
-	}
-	quote = append(quote, origBody[:n]...)
+	quote := wire.ICMPErrorPayload(orig, origBody)
 	msg := wire.ICMPHeader{Type: wire.ICMPDestUnreachable, Code: code}
 	st.Stats.ICMPOut.Inc()
 	st.ipOutput(t, false, wire.ProtoICMP, orig.Src, mbuf.FromBytesCopy(msg.Marshal(quote)), 0, -1)

@@ -39,6 +39,7 @@ type TCPSessionState struct {
 	FinSent                bool
 	FinSeq                 uint32
 	SawFin                 bool
+	AckPending             bool // an ACK was owed (delayed or immediate) at export
 
 	SndQ  []byte // bytes in the send buffer (unacked + unsent)
 	RcvQ  []byte // bytes received but not yet read by the application
@@ -89,6 +90,7 @@ func (st *Stack) ExportTCPSession(t *sim.Proc, s *Socket) (*TCPSessionState, err
 		SRTT: tp.srtt, RTTVar: tp.rttvar,
 		MSS:     tp.mss,
 		FinSent: tp.finSent, FinSeq: tp.finSeq, SawFin: tp.sawFin,
+		AckPending: tp.delAck || tp.ackNow,
 		SndQ:       s.snd.data.Bytes(),
 		RcvQ:       s.rcv.data.Bytes(),
 		OOB:        append([]byte(nil), s.oob...),
@@ -150,10 +152,14 @@ func (st *Stack) ImportTCPSession(t *sim.Proc, ss *TCPSessionState) *Socket {
 	st.conns[tuple{wire.ProtoTCP, s.local, s.remote}] = s
 
 	// Re-arm the retransmit timer if data is in flight, and continue the
-	// close handshake if one was interrupted mid-migration.
+	// close handshake if one was interrupted mid-migration. An ACK the
+	// exporting stack still owed the peer (its delayed-ACK timer died
+	// with the export) is sent immediately — otherwise the peer's Nagle
+	// algorithm deadlocks against our silence until its RTO fires.
 	if tp.sndMax != tp.sndUna {
 		tp.timers[timerRexmt] = tp.rexmtTicks()
 	}
+	tp.ackNow = ss.AckPending
 	if tp.state == tcpTimeWait {
 		tp.canonTimeWait()
 	}

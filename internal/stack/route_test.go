@@ -1,0 +1,134 @@
+package stack
+
+import (
+	"testing"
+
+	"repro/internal/wire"
+)
+
+func ip(a, b, c, d byte) wire.IPAddr { return wire.IPAddr{a, b, c, d} }
+
+// TestRouteTableLookup drives the longest-prefix-match table through its
+// edge cases: default routes, overlapping prefixes, host routes,
+// equal-length ties, and the no-route miss that upper layers turn into
+// ICMP unreachable / ErrHostUnreach.
+func TestRouteTableLookup(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(ip(0, 0, 0, 0), 0, ip(10, 0, 0, 254), false)  // default via .254
+	rt.Add(ip(10, 0, 0, 0), 24, wire.IPAddr{}, true)     // on-link subnet
+	rt.Add(ip(10, 1, 0, 0), 16, ip(10, 0, 0, 1), false)  // aggregate via .1
+	rt.Add(ip(10, 1, 2, 0), 24, ip(10, 0, 0, 2), false)  // more-specific via .2
+	rt.Add(ip(10, 1, 2, 99), 32, ip(10, 0, 0, 3), false) // host route via .3
+	rt.Add(ip(192, 168, 0, 7), 32, wire.IPAddr{}, true)  // on-link host route
+
+	cases := []struct {
+		name string
+		dst  wire.IPAddr
+		want wire.IPAddr
+		ok   bool
+	}{
+		{"on-link subnet returns dst itself", ip(10, 0, 0, 9), ip(10, 0, 0, 9), true},
+		{"aggregate /16", ip(10, 1, 9, 9), ip(10, 0, 0, 1), true},
+		{"/24 beats /16", ip(10, 1, 2, 5), ip(10, 0, 0, 2), true},
+		{"/32 beats /24", ip(10, 1, 2, 99), ip(10, 0, 0, 3), true},
+		{"on-link host route", ip(192, 168, 0, 7), ip(192, 168, 0, 7), true},
+		{"default route catches the rest", ip(8, 8, 8, 8), ip(10, 0, 0, 254), true},
+		{"broadcast-ish falls to default", ip(172, 16, 0, 1), ip(10, 0, 0, 254), true},
+	}
+	for _, tc := range cases {
+		nh, ok := rt.Lookup(tc.dst)
+		if ok != tc.ok || nh != tc.want {
+			t.Errorf("%s: Lookup(%v) = %v, %v; want %v, %v", tc.name, tc.dst, nh, ok, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestRouteTableNoRoute checks the miss path: without a default route a
+// non-matching destination must report no route (the host stack maps
+// this to ErrHostUnreach; a router answers ICMP net-unreachable).
+func TestRouteTableNoRoute(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(ip(10, 0, 0, 0), 24, wire.IPAddr{}, true)
+	if nh, ok := rt.Lookup(ip(10, 99, 0, 1)); ok {
+		t.Fatalf("Lookup off-table dst = %v, true; want miss", nh)
+	}
+	if _, ok := rt.Lookup(ip(10, 0, 1, 1)); ok {
+		t.Fatal("/24 must not match the adjacent subnet")
+	}
+}
+
+// TestRouteTableEqualPrefixTie: ties between equal-length prefixes go to
+// the earlier Add (documented stable-sort behavior libraries rely on for
+// deterministic cache contents).
+func TestRouteTableEqualPrefixTie(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(ip(10, 5, 0, 0), 24, ip(10, 0, 0, 1), false)
+	rt.Add(ip(10, 5, 0, 0), 24, ip(10, 0, 0, 2), false)
+	if nh, _ := rt.Lookup(ip(10, 5, 0, 77)); nh != ip(10, 0, 0, 1) {
+		t.Fatalf("equal-prefix tie went to %v, want first-added 10.0.0.1", nh)
+	}
+}
+
+// TestRouteTableMaskedInsert: Add canonicalizes the destination with the
+// prefix mask, so a sloppy "10.0.0.7/24" matches the whole /24.
+func TestRouteTableMaskedInsert(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(ip(10, 0, 0, 7), 24, ip(10, 0, 0, 254), false)
+	if nh, ok := rt.Lookup(ip(10, 0, 0, 200)); !ok || nh != ip(10, 0, 0, 254) {
+		t.Fatalf("masked insert: got %v, %v", nh, ok)
+	}
+	if e := rt.Entries()[0]; e.Dest != ip(10, 0, 0, 0) {
+		t.Fatalf("stored dest %v not masked", e.Dest)
+	}
+}
+
+// TestRouteTableVersion: every Add bumps the version counter; the
+// decomposed architecture's library caches invalidate on it.
+func TestRouteTableVersion(t *testing.T) {
+	rt := NewRouteTable()
+	v0 := rt.Version()
+	rt.Add(ip(10, 0, 0, 0), 24, wire.IPAddr{}, true)
+	if rt.Version() != v0+1 {
+		t.Fatalf("version %d after one Add (was %d)", rt.Version(), v0)
+	}
+	rt.Add(wire.IPAddr{}, 0, ip(10, 0, 0, 254), false)
+	if rt.Version() != v0+2 {
+		t.Fatalf("version %d after two Adds", rt.Version())
+	}
+}
+
+// TestRouteTableIfindex: multi-homed owners (routers) resolve the egress
+// interface through the same longest-prefix match.
+func TestRouteTableIfindex(t *testing.T) {
+	rt := NewRouteTable()
+	rt.AddIf(ip(10, 1, 0, 0), 24, wire.IPAddr{}, true, 0)
+	rt.AddIf(ip(10, 2, 0, 0), 24, wire.IPAddr{}, true, 1)
+	rt.AddIf(wire.IPAddr{}, 0, ip(10, 2, 0, 254), false, 1)
+
+	if _, ifi, _ := rt.LookupIf(ip(10, 1, 0, 5)); ifi != 0 {
+		t.Fatalf("10.1/24 egress %d, want 0", ifi)
+	}
+	if _, ifi, _ := rt.LookupIf(ip(10, 2, 0, 5)); ifi != 1 {
+		t.Fatalf("10.2/24 egress %d, want 1", ifi)
+	}
+	if nh, ifi, ok := rt.LookupIf(ip(4, 4, 4, 4)); !ok || ifi != 1 || nh != ip(10, 2, 0, 254) {
+		t.Fatalf("default: %v if%d %v", nh, ifi, ok)
+	}
+}
+
+// TestStackNextHop: the stack-level helper used by ARP call sites — the
+// next hop for an off-link destination is the gateway, never the
+// destination itself.
+func TestStackNextHop(t *testing.T) {
+	rt := NewRouteTable()
+	rt.Add(ip(10, 0, 0, 0), 24, wire.IPAddr{}, true)
+	rt.Add(wire.IPAddr{}, 0, ip(10, 0, 0, 254), false)
+	st := &Stack{cfg: Config{Routes: rt}}
+
+	if nh := st.NextHop(ip(10, 0, 0, 9)); nh != ip(10, 0, 0, 9) {
+		t.Fatalf("on-link next hop %v", nh)
+	}
+	if nh := st.NextHop(ip(8, 8, 8, 8)); nh != ip(10, 0, 0, 254) {
+		t.Fatalf("routed next hop %v, want gateway", nh)
+	}
+}

@@ -233,6 +233,15 @@ func New(cfg Config) *Stack {
 	return st
 }
 
+// SetRoutes replaces the stack's routing table (multi-subnet
+// deployments share one table per subnet, built before any traffic
+// flows). A nil table is ignored.
+func (st *Stack) SetRoutes(rt *RouteTable) {
+	if rt != nil {
+		st.cfg.Routes = rt
+	}
+}
+
 // LocalIP returns the stack's IP address.
 func (st *Stack) LocalIP() wire.IPAddr { return st.cfg.LocalIP }
 

@@ -15,12 +15,36 @@ const (
 	ICMPEchoRequest     = 8
 	ICMPTimeExceeded    = 11
 
+	ICMPCodeNetUnreachable   = 0
 	ICMPCodePortUnreachable  = 3
 	ICMPCodeHostUnreachable  = 1
 	ICMPCodeFragNeeded       = 4
 	ICMPCodeTTLExceeded      = 0
 	ICMPCodeReassemblyExpiry = 1
 )
+
+// ICMPQuoteLen is how much of the offending datagram's transport payload
+// an ICMP error message quotes after the IP header (RFC 792).
+const ICMPQuoteLen = 8
+
+// ICMPErrorPayload builds the payload of an ICMP error message: the
+// offending datagram's IP header followed by its first ICMPQuoteLen
+// transport bytes — enough for the receiver to identify the socket.
+func ICMPErrorPayload(orig IPv4Header, origBody []byte) []byte {
+	quote := make([]byte, IPv4HeaderLen, IPv4HeaderLen+ICMPQuoteLen)
+	orig.Marshal(quote)
+	n := len(origBody)
+	if n > ICMPQuoteLen {
+		n = ICMPQuoteLen
+	}
+	return append(quote, origBody[:n]...)
+}
+
+// ICMPIsError reports whether an ICMP type is an error message (an error
+// must never be generated in response to another error).
+func ICMPIsError(typ uint8) bool {
+	return typ == ICMPDestUnreachable || typ == ICMPTimeExceeded
+}
 
 // ICMPHeader is the fixed part of an ICMP message. For echo messages, ID
 // and Seq hold the identifier and sequence; for errors they are unused.

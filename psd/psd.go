@@ -132,13 +132,17 @@ func InKernel() Arch { return Arch{kind: 1, prof: costs.CalibrateTable2(costs.DE
 // server.
 func ServerBased() Arch { return Arch{kind: 2, prof: costs.CalibrateTable2(costs.DECServerUX())} }
 
-// Network is a simulated 10 Mb/s Ethernet with attached hosts.
+// Network is a simulated 10 Mb/s Ethernet with attached hosts. Larger
+// internets are built from Subnets joined by Routers (see NewSubnet and
+// NewRouter); the Network itself doubles as the default subnet.
 type Network struct {
-	sim  *sim.Sim
-	seg  *simnet.Segment
-	rec  *trace.Recorder
-	reg  *metrics.Registry
-	next byte
+	sim     *sim.Sim
+	seg     *simnet.Segment
+	rec     *trace.Recorder
+	reg     *metrics.Registry
+	next    int
+	subnets []*Subnet
+	routers []*Router
 }
 
 // Config collects network construction options beyond the seed.
@@ -242,47 +246,62 @@ func (n *Network) ApplyFaultPlan(text string) error {
 // Host attaches a machine running the given architecture. addr is a
 // dotted IPv4 address, e.g. "10.0.0.1".
 func (n *Network) Host(name, addr string, arch Arch) *Host {
+	return n.hostOn(n.seg, nil, name, addr, arch)
+}
+
+// hostOn builds a host on a specific segment, optionally installing a
+// shared route table (subnet hosts route through their gateway; the
+// default segment keeps each stack's everything-on-link table).
+func (n *Network) hostOn(seg *simnet.Segment, routes *stack.RouteTable, name, addr string, arch Arch) *Host {
 	ip, err := ParseIP(addr)
 	if err != nil {
 		panic(err)
 	}
-	n.next++
-	mac := wire.MAC{0x02, 0, 0, 0, 0, n.next}
+	mac := n.nextMAC()
 	h := &Host{name: name, ip: ip}
 	switch arch.kind {
 	case 0:
-		sys := core.New(n.sim, n.seg, name, mac, ip, arch.prof, arch.srv)
+		sys := core.New(n.sim, seg, name, mac, ip, arch.prof, arch.srv)
 		if n.rec != nil {
 			sys.SetTrace(n.rec)
 		}
 		if n.reg != nil {
 			sys.SetMetrics(n.reg.Scope("host." + name))
 		}
+		sys.SetRoutes(routes)
 		h.newApp = func(app string) App { return sys.NewLibrary(app) }
 		h.core = sys
 		h.stacks = sys.Stacks
 	case 1:
-		sys := inkernel.New(n.sim, n.seg, name, mac, ip, arch.prof)
+		sys := inkernel.New(n.sim, seg, name, mac, ip, arch.prof)
 		if n.rec != nil {
 			sys.SetTrace(n.rec)
 		}
 		if n.reg != nil {
 			sys.SetMetrics(n.reg.Scope("host." + name))
 		}
+		sys.St.SetRoutes(routes)
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
 		h.stacks = func() []*stack.Stack { return []*stack.Stack{sys.St} }
 	case 2:
-		sys := uxserver.New(n.sim, n.seg, name, mac, ip, arch.prof)
+		sys := uxserver.New(n.sim, seg, name, mac, ip, arch.prof)
 		if n.rec != nil {
 			sys.SetTrace(n.rec)
 		}
 		if n.reg != nil {
 			sys.SetMetrics(n.reg.Scope("host." + name))
 		}
+		sys.St.SetRoutes(routes)
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
 		h.stacks = func() []*stack.Stack { return []*stack.Stack{sys.St} }
 	}
 	return h
+}
+
+// nextMAC hands out locally-administered MACs in attach order.
+func (n *Network) nextMAC() wire.MAC {
+	n.next++
+	return wire.MAC{0x02, 0, 0, 0, byte(n.next >> 8), byte(n.next)}
 }
 
 // Spawn starts an application thread; Run waits for all spawned threads.
