@@ -50,10 +50,23 @@ func main() {
 	scenarios := flag.Bool("scenarios", false, "run the internet-scale scenario suite (all scenarios x all architectures) and gate on its SLOs")
 	scenariosOut := flag.String("scenarios-json", "", "with -scenarios, also write a BENCH_scenarios-style JSON report to this file (\"-\" for stdout)")
 	scenarioSeed := flag.Int64("scenario-seed", 1, "seed for -scenarios traffic generators")
+	scale := flag.Bool("scale", false, "run the sharded-simulation scale sweep (RunCity at growing host counts, classic loop vs shard groups) and gate on conservation laws plus the multi-shard speedup")
+	scaleOut := flag.String("scale-json", "", "with -scale, also write a BENCH_scale-style JSON report to this file (\"-\" for stdout)")
+	scaleHosts := flag.Int("scale-hosts", 10000, "largest host count for the -scale sweep")
+	scaleSeed := flag.Int64("scale-seed", 1, "seed for the -scale city workload")
+	shards := flag.Int("shards", -1, "with -scale, sweep only the classic loop plus this shard count (default: classic, 1, 4, and 8 shards)")
 	benchLabel := flag.String("label", "", "label stored in the -json report (default: current date)")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file (go tool pprof)")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit (go tool pprof)")
 	flag.Parse()
+
+	if *scalePointFlag != "" {
+		if err := runScalePointCmd(*scalePointFlag); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *cpuprofile != "" {
 		f, err := os.Create(*cpuprofile)
@@ -174,6 +187,20 @@ func main() {
 	if *scenarios {
 		ran = true
 		if err := runScenarios(*scenariosOut, *benchLabel, *scenarioSeed); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *scale {
+		ran = true
+		shardCounts := []int{0, 1, 4, 8}
+		if *shards >= 0 {
+			shardCounts = []int{0}
+			if *shards > 0 {
+				shardCounts = append(shardCounts, *shards)
+			}
+		}
+		if err := runScale(*scaleOut, *benchLabel, *scaleSeed, *scaleHosts, shardCounts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -1,0 +1,240 @@
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"time"
+
+	"repro/psd"
+)
+
+// The scale suite measures the simulator's own scheduler at internet
+// scale: the RunCity districted workload at growing host counts, run on
+// the classic single event loop (shards=0, the baseline) and on shard
+// groups of increasing width. Every point must pass the conservation
+// laws; the headline number is sim_per_real — virtual seconds simulated
+// per wall-clock second — whose trajectory across host counts is what
+// BENCH_scale.json records.
+
+// ScalePoint is one measured (workload size, scheduler shape) cell.
+type ScalePoint struct {
+	Hosts          int     `json:"hosts"`
+	Districts      int     `json:"districts"`
+	Conns          int     `json:"conns"`
+	Shards         int     `json:"shards"` // 0 = classic single loop
+	SingleThreaded bool    `json:"single_threaded,omitempty"`
+	VirtSeconds    float64 `json:"virt_seconds"`
+	RealSeconds    float64 `json:"real_seconds"`
+	SimPerReal     float64 `json:"sim_per_real"`
+	Events         uint64  `json:"events"`
+	EventsPerSec   float64 `json:"events_per_sec"`
+	Windows        uint64  `json:"windows,omitempty"`
+}
+
+// ScaleReport is one BENCH_scale.json entry.
+type ScaleReport struct {
+	Label  string       `json:"label"`
+	Date   string       `json:"date"`
+	Seed   int64        `json:"seed"`
+	Points []ScalePoint `json:"points"`
+}
+
+// scaleCity sizes a city to roughly the requested host count: 100
+// hosts per district (10 echo servers, 90 clients), one connection per
+// client, a quarter of them crossing districts over the trunks.
+func scaleCity(seed int64, hosts, shards int, single bool) psd.CityConfig {
+	districts := hosts / 100
+	if districts < 1 {
+		districts = 1
+	}
+	return psd.CityConfig{
+		Seed:               seed,
+		Districts:          districts,
+		ServersPerDistrict: 10,
+		ClientsPerDistrict: 90,
+		ConnsPerClient:     1,
+		CrossEvery:         4,
+		OrphanEvery:        16,
+		MsgBytes:           256,
+		Arch:               psd.Decomposed(),
+		Shards:             shards,
+		SingleThreaded:     single,
+		TrunkProp:          time.Millisecond,
+	}
+}
+
+// pointSpec is the child-process work order for one cell.
+type pointSpec struct {
+	Seed   int64 `json:"seed"`
+	Hosts  int   `json:"hosts"`
+	Shards int   `json:"shards"`
+	Single bool  `json:"single"`
+}
+
+// scalePointFlag is the internal child mode: measure one cell and print
+// the ScalePoint as JSON. Each cell runs in its own process because a
+// finished simulation's parked daemon goroutines are pinned until
+// process exit — a shared process would tax every later cell's GC with
+// the previous cells' heaps and make the comparison order-dependent.
+var scalePointFlag = flag.String("scale-point", "",
+	"internal: measure one scale cell (JSON spec) and print the point as JSON")
+
+// runScalePointCmd is the -scale-point child entry.
+func runScalePointCmd(spec string) error {
+	var ps pointSpec
+	if err := json.Unmarshal([]byte(spec), &ps); err != nil {
+		return fmt.Errorf("scale-point: %w", err)
+	}
+	p, err := runScalePoint(ps.Seed, ps.Hosts, ps.Shards, ps.Single)
+	if err != nil {
+		return err
+	}
+	return json.NewEncoder(os.Stdout).Encode(p)
+}
+
+// spawnScalePoint measures one cell in a fresh child process.
+func spawnScalePoint(seed int64, hosts, shards int, single bool) (ScalePoint, error) {
+	exe, err := os.Executable()
+	if err != nil {
+		return ScalePoint{}, err
+	}
+	spec, _ := json.Marshal(pointSpec{Seed: seed, Hosts: hosts, Shards: shards, Single: single})
+	cmd := exec.Command(exe, "-scale-point", string(spec))
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("scale: hosts=%d shards=%d: %w", hosts, shards, err)
+	}
+	var p ScalePoint
+	if err := json.Unmarshal(out, &p); err != nil {
+		return ScalePoint{}, fmt.Errorf("scale: hosts=%d shards=%d: bad child output: %w", hosts, shards, err)
+	}
+	return p, nil
+}
+
+// runScalePoint executes one cell and folds the run into a point.
+func runScalePoint(seed int64, hosts, shards int, single bool) (ScalePoint, error) {
+	cfg := scaleCity(seed, hosts, shards, single)
+	start := time.Now()
+	rep, err := psd.RunCity(cfg)
+	real := time.Since(start)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("scale: hosts=%d shards=%d: %w", hosts, shards, err)
+	}
+	if err := rep.Check(); err != nil {
+		return ScalePoint{}, fmt.Errorf("scale: hosts=%d shards=%d: %w", hosts, shards, err)
+	}
+	// Virtual time is identical across scheduler shapes for a given
+	// workload (that is the determinism guarantee); real time is the
+	// variable under test.
+	virt := float64(rep.Snapshot.At) / float64(time.Second)
+	p := ScalePoint{
+		Hosts:          rep.Hosts,
+		Districts:      rep.Districts,
+		Conns:          rep.ConnsPlan,
+		Shards:         shards,
+		SingleThreaded: single,
+		VirtSeconds:    virt,
+		RealSeconds:    real.Seconds(),
+		SimPerReal:     virt / real.Seconds(),
+		Events:         rep.DispatchedTotal,
+		EventsPerSec:   float64(rep.DispatchedTotal) / real.Seconds(),
+		Windows:        rep.Windows,
+	}
+	return p, nil
+}
+
+// runScale sweeps host counts x scheduler shapes, prints a table, and
+// writes a BENCH_scale-style JSON entry to path ("-" for stdout, "" for
+// none). The sweep fails if any conservation law fails, or if no
+// multi-shard run at the largest host count beats the classic
+// single-loop baseline on sim_per_real.
+func runScale(path, label string, seed int64, maxHosts int, shardCounts []int) error {
+	if label == "" {
+		label = "psdbench"
+	}
+	hostSteps := []int{2500, 10000, 40000, 100000}
+	var hosts []int
+	for _, h := range hostSteps {
+		if h <= maxHosts {
+			hosts = append(hosts, h)
+		}
+	}
+	if len(hosts) == 0 {
+		hosts = []int{maxHosts}
+	}
+
+	rep := ScaleReport{Label: label, Date: time.Now().UTC().Format("2006-01-02"), Seed: seed}
+	fmt.Printf("%8s %10s %7s %8s %10s %10s %12s %9s\n",
+		"hosts", "conns", "shards", "virt_s", "real_s", "sim/real", "events", "windows")
+	var baseline, bestMulti float64
+	for _, h := range hosts {
+		for _, k := range shardCounts {
+			p, err := spawnScalePoint(seed, h, k, false)
+			if err != nil {
+				return err
+			}
+			if h == hosts[len(hosts)-1] {
+				// The largest host count is the gating row: measure it
+				// twice and keep the faster run, so single-run timing
+				// noise cannot flip the speedup verdict. The simulation
+				// itself is deterministic — only wall time varies.
+				p2, err := spawnScalePoint(seed, h, k, false)
+				if err != nil {
+					return err
+				}
+				if p2.SimPerReal > p.SimPerReal {
+					p = p2
+				}
+			}
+			rep.Points = append(rep.Points, p)
+			mode := "classic"
+			if k > 0 {
+				mode = fmt.Sprintf("%d", k)
+			}
+			fmt.Printf("%8d %10d %7s %8.1f %10.2f %10.1f %12d %9d\n",
+				p.Hosts, p.Conns, mode, p.VirtSeconds, p.RealSeconds, p.SimPerReal, p.Events, p.Windows)
+			if h == hosts[len(hosts)-1] {
+				if k == 0 {
+					baseline = p.SimPerReal
+				} else if p.SimPerReal > bestMulti {
+					bestMulti = p.SimPerReal
+				}
+			}
+		}
+	}
+	if baseline > 0 && bestMulti > 0 && bestMulti <= baseline {
+		return fmt.Errorf("scale: no multi-shard run beat the single-loop baseline (%.1f vs %.1f sim/real)",
+			bestMulti, baseline)
+	}
+	if baseline > 0 && bestMulti > 0 {
+		fmt.Printf("multi-shard best %.1f sim/real vs single-loop %.1f (%+.0f%%)\n",
+			bestMulti, baseline, 100*(bestMulti/baseline-1))
+	}
+
+	if path == "" {
+		return nil
+	}
+	var out io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("wrote scale report to %s\n", path)
+	}
+	return nil
+}

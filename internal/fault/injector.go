@@ -48,19 +48,21 @@ func (in *Injector) link(name string) *link {
 	return l
 }
 
-// streamSeed mixes the simulation seed with a link name (FNV-1a over the
-// name, then a splitmix64 finalizer) into an independent stream seed.
-func streamSeed(seed int64, name string) int64 {
-	h := uint64(14695981039346656037)
-	for i := 0; i < len(name); i++ {
-		h ^= uint64(name[i])
-		h *= 1099511628211
+// streamSeed mixes the simulation seed with a link name into an
+// independent stream seed. It is sim.StreamSeed: a link's stream
+// depends only on (seed, name), never on creation order, traffic, or
+// which shard the link's segment landed on — which is what keeps fault
+// decisions identical when a topology is resharded.
+func streamSeed(seed int64, name string) int64 { return sim.StreamSeed(seed, name) }
+
+// Prime materializes per-link state up front. Trunk segments call it at
+// attach time: their two directions make fault decisions from different
+// shards, so the lazily-grown link map must be complete before the
+// simulation starts.
+func (in *Injector) Prime(names ...string) {
+	for _, n := range names {
+		in.link(n)
 	}
-	z := uint64(seed) ^ h
-	z += 0x9e3779b97f4a7c15
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	return int64(z ^ (z >> 31))
 }
 
 // SetDefaultRates installs the rates used by links with no override.
@@ -203,6 +205,22 @@ func (in *Injector) Outbound(linkName string, corruptibleBits int) Decision {
 func (in *Injector) Cut(from, to string) bool {
 	if in.link(to).down {
 		in.link(to).c.DownDrops++
+		return true
+	}
+	if in.Partitioned(from, to) {
+		in.link(from).c.PartDrops++
+		return true
+	}
+	return false
+}
+
+// CutTx is Cut with single-writer counter attribution: every loss is
+// counted on the sending link. Trunk segments use it because their two
+// directions run on different shards — Cut's receiver-side DownDrops
+// increment would be a cross-shard write.
+func (in *Injector) CutTx(from, to string) bool {
+	if in.link(to).down {
+		in.link(from).c.DownDrops++
 		return true
 	}
 	if in.Partitioned(from, to) {

@@ -157,7 +157,7 @@ func (r *Router) Attach(seg *simnet.Segment, name string, mac wire.MAC, ip wire.
 		q:         q.withDefaults(),
 		arp:       make(map[wire.IPAddr]*arpState),
 	}
-	p.nic = seg.AttachNamed(r.name+"."+name, mac)
+	p.nic = seg.AttachOn(r.sim, r.name+"."+name, mac)
 	p.nic.Rx = func(f simnet.Frame) { r.rx(p, f) }
 	p.nic.TxDone = func(simnet.Frame) {
 		if p.qlen > 0 {
@@ -186,6 +186,13 @@ func (r *Router) Ports() []*Port { return r.ports }
 
 // IP returns the port's address.
 func (p *Port) IP() wire.IPAddr { return p.ip }
+
+// NIC exposes the port's station, so topology code can bind trunk
+// per-direction stats and trace lanes.
+func (p *Port) NIC() *simnet.NIC { return p.nic }
+
+// Sim returns the event queue (shard) the router runs on.
+func (r *Router) Sim() *sim.Sim { return r.sim }
 
 // QueueLen returns the port's instantaneous egress-queue length.
 func (p *Port) QueueLen() int { return p.qlen }

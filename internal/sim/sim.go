@@ -40,12 +40,22 @@ func (t Time) String() string { return time.Duration(t).String() }
 // pooled on the owning Sim's free list; gen counts reuses so that stale
 // Timer handles (whose event has fired and been recycled) are detected
 // instead of cancelling an unrelated event.
+//
+// The full ordering key is (at, band, origin, seq). Locally scheduled
+// events are band 0 with origin 0, so for a standalone Sim the key
+// degenerates to the classic (at, seq) FIFO tie-break. Cross-shard
+// deliveries (see ScheduleRemote) are band 1, keyed by a stable origin
+// id and a per-origin sequence number: the key is intrinsic to the
+// message, never to which shard happened to carry it, which is what
+// makes the merged order invariant under resharding.
 type event struct {
 	at      Time
 	seq     uint64 // tie-break: FIFO among events at the same instant
+	origin  uint64 // band 1: stable source-stream id (0 for band 0)
 	fn      func()
 	proc    *Proc      // if non-nil, resume this process instead of calling fn
 	rw      *resWaiter // if non-nil, a resource grant expiry (UseEvent)
+	band    uint8      // 0 local, 1 remote delivery
 	stopped bool
 	index   int    // heap index, -1 when not queued
 	gen     uint64 // incremented each time the event is recycled
@@ -88,6 +98,12 @@ func (h eventHeap) Less(i, j int) bool {
 	if h[i].at != h[j].at {
 		return h[i].at < h[j].at
 	}
+	if h[i].band != h[j].band {
+		return h[i].band < h[j].band
+	}
+	if h[i].origin != h[j].origin {
+		return h[i].origin < h[j].origin
+	}
 	return h[i].seq < h[j].seq
 }
 func (h eventHeap) Swap(i, j int) {
@@ -124,6 +140,14 @@ type Sim struct {
 	panicV  any
 	tracer  Tracer
 	free    []*event // recycled events (the pool behind the heap)
+
+	// Sharding state. A standalone Sim has group == nil and none of it
+	// is touched on the hot path.
+	group      *Group
+	shardID    int
+	outbox     []remoteMsg // cross-shard sends staged until the window barrier
+	dispatched uint64      // events executed (per-shard accounting)
+	origins    uint64      // local origin-id allocator when no group exists
 
 	// Deadline is the virtual time at which Run gives up and returns an
 	// error. It guards against livelock (for example, protocol timers that
@@ -170,7 +194,36 @@ func (s *Sim) SetTracer(t Tracer) { s.tracer = t }
 func (s *Sim) Seed() int64 { return s.seed }
 
 // Rand returns the simulation's deterministic random source.
+//
+// Deprecated for new code: draws interleave with every other caller, so
+// values depend on global event order. Components that must stay stable
+// under resharding should use Stream instead.
 func (s *Sim) Rand() *rand.Rand { return s.rng }
+
+// StreamSeed mixes a simulation seed with a component name (FNV-1a over
+// the name, then a splitmix64 finalizer) into an independent stream
+// seed. It depends only on (seed, name) — never on creation order,
+// traffic, or shard placement.
+func StreamSeed(seed int64, name string) int64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(name); i++ {
+		h ^= uint64(name[i])
+		h *= 1099511628211
+	}
+	z := uint64(seed) ^ h
+	z += 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return int64(z ^ (z >> 31))
+}
+
+// Stream returns an independent deterministic random source keyed by
+// (sim seed, name). Every shard of a Group carries the same seed, so a
+// named stream yields the same values no matter which shard its owner
+// lands on.
+func (s *Sim) Stream(name string) *rand.Rand {
+	return rand.New(rand.NewSource(StreamSeed(s.seed, name)))
+}
 
 func (s *Sim) schedule(at Time, fn func(), p *Proc) *event {
 	if at < s.now {
@@ -196,9 +249,80 @@ func (s *Sim) schedule(at Time, fn func(), p *Proc) *event {
 func (s *Sim) recycle(ev *event) {
 	ev.gen++
 	ev.fn, ev.proc, ev.rw = nil, nil, nil
+	ev.band, ev.origin = 0, 0
 	ev.stopped = false
 	s.free = append(s.free, ev)
 }
+
+// ScheduleRemote inserts a band-1 delivery event keyed by (at, origin,
+// oseq). It is how merged cross-shard messages enter a shard's queue: at
+// equal times all local (band-0) events sort first, then deliveries in
+// (origin, oseq) order. Keys are unique, so insertion order is
+// irrelevant — which is what lets the barrier merge stay deterministic.
+func (s *Sim) ScheduleRemote(at Time, origin, oseq uint64, fn func()) {
+	if at < s.now {
+		panic(fmt.Sprintf("sim: lookahead violation: remote delivery at %v but shard %d is already at %v", at, s.shardID, s.now))
+	}
+	var ev *event
+	if n := len(s.free); n > 0 {
+		ev = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		ev.at, ev.seq, ev.fn, ev.proc = at, oseq, fn, nil
+	} else {
+		ev = &event{at: at, seq: oseq, fn: fn}
+	}
+	ev.band, ev.origin = 1, origin
+	ev.index = -1
+	heap.Push(&s.events, ev)
+}
+
+// remoteMsg is one staged cross-shard delivery awaiting the barrier.
+type remoteMsg struct {
+	dst    *Sim
+	at     Time
+	origin uint64
+	oseq   uint64
+	fn     func()
+}
+
+// SendRemote schedules fn at time `at` on dst with the band-1 key
+// (origin, oseq). A same-sim send is inserted immediately (the heap
+// handles any future time); a cross-shard send is staged in the sender's
+// outbox and merged by the Group at the next window barrier. Both paths
+// give the event the identical key, so the executed order does not
+// depend on whether the two endpoints shared a shard.
+func (s *Sim) SendRemote(dst *Sim, at Time, origin, oseq uint64, fn func()) {
+	if dst == s {
+		s.ScheduleRemote(at, origin, oseq, fn)
+		return
+	}
+	if s.group == nil || dst.group != s.group {
+		panic("sim: SendRemote between sims that do not share a Group")
+	}
+	s.outbox = append(s.outbox, remoteMsg{dst: dst, at: at, origin: origin, oseq: oseq, fn: fn})
+}
+
+// AllocOrigin hands out a stable band-1 origin id. Allocation follows
+// topology construction order, which is identical across shard counts,
+// so origins are reshard-invariant. Group shards share one allocator.
+func (s *Sim) AllocOrigin() uint64 {
+	if s.group != nil {
+		return s.group.allocOrigin()
+	}
+	s.origins++
+	return s.origins
+}
+
+// Group returns the shard group this sim belongs to, or nil for a
+// standalone sim.
+func (s *Sim) Group() *Group { return s.group }
+
+// ShardID returns this sim's index within its Group (0 standalone).
+func (s *Sim) ShardID() int { return s.shardID }
+
+// Dispatched returns the number of events this sim has executed.
+func (s *Sim) Dispatched() uint64 { return s.dispatched }
 
 // At schedules fn to run at virtual time t (or now, if t is in the past).
 func (s *Sim) At(t Time, fn func()) *Timer {
@@ -259,6 +383,9 @@ func (s *Sim) Run() error {
 	if deadline == 0 {
 		deadline = Time(int64(time.Hour))
 	}
+	if s.group != nil {
+		return fmt.Errorf("sim: shard %d belongs to a Group; drive it with Group.Run", s.shardID)
+	}
 	if s.running {
 		return fmt.Errorf("sim: Run called reentrantly")
 	}
@@ -302,6 +429,36 @@ func (s *Sim) next() *event {
 	return nil
 }
 
+// peek returns the earliest live event without removing it, discarding
+// cancelled events as it goes. Nil means the queue is empty.
+func (s *Sim) peek() *event {
+	for len(s.events) > 0 {
+		ev := s.events[0]
+		if !ev.stopped {
+			return ev
+		}
+		heap.Pop(&s.events)
+		s.recycle(ev)
+	}
+	return nil
+}
+
+// runWindow executes every event strictly before end, in key order. It
+// is the per-shard inner loop of a Group window: no fg/deadline checks
+// (the Group applies those at barriers), and it stops early on Stop or
+// on a captured proc panic so the coordinator can surface it.
+func (s *Sim) runWindow(end Time) {
+	for !s.stopped && s.panicV == nil {
+		ev := s.peek()
+		if ev == nil || ev.at >= end {
+			return
+		}
+		heap.Pop(&s.events)
+		s.now = ev.at
+		s.dispatch(ev)
+	}
+}
+
 // RunFor advances the simulation by d, executing all events scheduled in
 // [now, now+d]. Foreground completion does not stop it; it is intended for
 // draining (for example TIME_WAIT expiry) and for tests.
@@ -310,6 +467,9 @@ func (s *Sim) RunFor(d time.Duration) error { return s.RunUntil(s.now.Add(d)) }
 // RunUntil executes all events scheduled at or before t and then sets the
 // clock to t.
 func (s *Sim) RunUntil(t Time) error {
+	if s.group != nil {
+		return fmt.Errorf("sim: shard %d belongs to a Group; drive it with Group.RunUntil", s.shardID)
+	}
 	if s.running {
 		return fmt.Errorf("sim: RunUntil called reentrantly")
 	}
@@ -337,6 +497,7 @@ func (s *Sim) RunUntil(t Time) error {
 }
 
 func (s *Sim) dispatch(ev *event) {
+	s.dispatched++
 	if s.tracer != nil {
 		name := ""
 		if ev.proc != nil {

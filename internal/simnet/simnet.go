@@ -68,7 +68,9 @@ func (s *Stats) FramesDropped() uint64 {
 	return s.DropsLoss.Value() + s.DropsDown.Value() + s.DropsMalformed.Value()
 }
 
-// Segment is a shared Ethernet segment.
+// Segment is a shared Ethernet segment, or — in point-to-point trunk
+// mode (see NewTrunk) — a full-duplex link whose two stations may live
+// on different simulation shards.
 type Segment struct {
 	sim    *sim.Sim
 	medium sim.Resource
@@ -76,16 +78,55 @@ type Segment struct {
 	stats  Stats
 	inj    *fault.Injector // nil until Faults() is first called
 	tr     *trace.Recorder // nil unless tracing; see SetTrace
-	freeTx []*txJob        // recycled transmit jobs
 
 	// ByteTime is the per-byte serialization time; defaults to 0.8 µs
 	// (10 Mb/s).
 	byteTime time.Duration
+
+	// Trunk mode: exactly two stations, each with its own serialization
+	// medium (full duplex) and its own shard clock; frames cross with
+	// prop delay, which doubles as the shard group's lookahead.
+	ptp  bool
+	prop time.Duration
 }
 
-// NewSegment returns an idle 10 Mb/s segment on s.
+// NewSegment returns an idle 10 Mb/s segment on s. Every station shares
+// s's event queue: a shared segment is one serialization domain and must
+// be wholly owned by one shard.
 func NewSegment(s *sim.Sim) *Segment {
 	return &Segment{sim: s, byteTime: ByteTime, medium: sim.Resource{Name: "ether"}}
+}
+
+// NewTrunk returns a point-to-point full-duplex link with the given
+// propagation delay — the only legal place to cut a topology into
+// shards, because the delay is the conservative lookahead that lets
+// both sides run ahead. Delays below sim.MinLookahead (including zero)
+// are clamped to it; the clamp is the documented alternative to
+// rejecting zero-latency links outright. Attach each end with AttachOn,
+// passing that end's shard sim. s seeds the trunk's fault streams and
+// registers the lookahead with s's shard group, if any.
+func NewTrunk(s *sim.Sim, prop time.Duration) *Segment {
+	if prop < sim.MinLookahead {
+		prop = sim.MinLookahead
+	}
+	if g := s.Group(); g != nil {
+		// Observed unconditionally — even if both ends land on one
+		// shard — so the window schedule depends on the topology alone,
+		// never on the shard mapping.
+		prop = g.ObserveLookahead(prop)
+	}
+	return &Segment{sim: s, byteTime: ByteTime, ptp: true, prop: prop}
+}
+
+// IsTrunk reports whether the segment is a point-to-point trunk.
+func (g *Segment) IsTrunk() bool { return g.ptp }
+
+// Prop returns a trunk's propagation delay (0 for shared segments).
+func (g *Segment) Prop() time.Duration {
+	if !g.ptp {
+		return 0
+	}
+	return g.prop
 }
 
 // SetBitRate overrides the default 10 Mb/s serialization rate.
@@ -96,23 +137,29 @@ func (g *Segment) SetBitRate(bitsPerSec int64) {
 // Stats returns the live segment counters.
 func (g *Segment) Stats() *Stats { return &g.stats }
 
-// SetMetrics binds the segment's counters into a registry scope
-// (typically "net"). Pass nil to leave metrics disabled; counting
-// happens either way at plain-increment cost.
-func (g *Segment) SetMetrics(sc *metrics.Scope) {
+// Bind registers the stats counters under a scope.
+func (s *Stats) Bind(sc *metrics.Scope) {
 	if sc == nil {
 		return
 	}
-	sc.Counter("frames_sent", &g.stats.FramesSent)
-	sc.Counter("bytes_sent", &g.stats.BytesSent)
-	sc.Counter("drops_loss", &g.stats.DropsLoss)
-	sc.Counter("drops_down", &g.stats.DropsDown)
-	sc.Counter("drops_malformed", &g.stats.DropsMalformed)
-	sc.Counter("frames_dup", &g.stats.FramesDup)
-	sc.Counter("frames_corrupted", &g.stats.FramesCorrupted)
-	sc.Counter("frames_delayed", &g.stats.FramesDelayed)
-	sc.Counter("partition_drops", &g.stats.PartitionDrops)
-	sc.Counter("delivery_events", &g.stats.DeliveryEvents)
+	sc.Counter("frames_sent", &s.FramesSent)
+	sc.Counter("bytes_sent", &s.BytesSent)
+	sc.Counter("drops_loss", &s.DropsLoss)
+	sc.Counter("drops_down", &s.DropsDown)
+	sc.Counter("drops_malformed", &s.DropsMalformed)
+	sc.Counter("frames_dup", &s.FramesDup)
+	sc.Counter("frames_corrupted", &s.FramesCorrupted)
+	sc.Counter("frames_delayed", &s.FramesDelayed)
+	sc.Counter("partition_drops", &s.PartitionDrops)
+	sc.Counter("delivery_events", &s.DeliveryEvents)
+}
+
+// SetMetrics binds the segment's counters into a registry scope
+// (typically "net"). Pass nil to leave metrics disabled; counting
+// happens either way at plain-increment cost. Trunk directions bind
+// their own Stats instead (NIC.DirStats).
+func (g *Segment) SetMetrics(sc *metrics.Scope) {
+	g.stats.Bind(sc)
 }
 
 // SetTrace attaches a flight recorder to the segment (nil to detach).
@@ -137,6 +184,7 @@ func (g *Segment) Faults() *fault.Injector {
 // interrupt and must not block.
 type NIC struct {
 	seg     *Segment
+	sim     *sim.Sim // owner shard: all of this station's events run here
 	name    string
 	mac     wire.MAC
 	Promisc bool
@@ -152,6 +200,22 @@ type NIC struct {
 	RxFrames metrics.Counter
 	TxBytes  metrics.Counter // wire bytes, including padding and CRC
 	RxBytes  metrics.Counter
+
+	free []*txJob // recycled transmit jobs (per station: single-writer)
+
+	// Trunk direction state. stats points at the direction's own
+	// counters in ptp mode and at the segment's in shared mode, so every
+	// counter has exactly one writing shard. tr, when set, overrides the
+	// segment recorder (psd gives each direction its own trace lane).
+	// origin/oseq key this direction's deliveries in the global merge
+	// order; medium models the direction's private wire (full duplex).
+	stats    *Stats
+	tr       *trace.Recorder
+	peer     *NIC
+	medium   *sim.Resource
+	dirStats Stats
+	origin   uint64
+	oseq     uint64
 }
 
 // BindMetrics registers the NIC's counters under a scope (typically
@@ -176,9 +240,54 @@ func (g *Segment) Attach(mac wire.MAC) *NIC {
 // name identifies the station to the fault injector ("partition a from
 // b", per-link rates, per-link counters).
 func (g *Segment) AttachNamed(name string, mac wire.MAC) *NIC {
-	n := &NIC{seg: g, name: name, mac: mac}
+	return g.AttachOn(g.sim, name, mac)
+}
+
+// AttachOn adds a station owned by shard sim s. On a shared segment s
+// must be the segment's own sim (one serialization domain, one shard);
+// on a trunk it is the attaching end's shard, and the trunk takes at
+// most two stations.
+func (g *Segment) AttachOn(s *sim.Sim, name string, mac wire.MAC) *NIC {
+	if !g.ptp && s != g.sim {
+		panic("simnet: a shared segment's stations must all live on the segment's own shard; cut shards at trunks")
+	}
+	if g.ptp && len(g.nics) >= 2 {
+		panic("simnet: a trunk is point-to-point; it takes exactly two stations")
+	}
+	n := &NIC{seg: g, sim: s, name: name, mac: mac, stats: &g.stats}
+	if g.ptp {
+		n.stats = &n.dirStats
+		n.medium = &sim.Resource{Name: "trunk-" + name}
+		n.origin = s.AllocOrigin()
+		// Both directions' fault streams must exist before shards run
+		// concurrently: the injector's link map grows lazily otherwise.
+		g.Faults().Prime(name)
+		if len(g.nics) == 1 {
+			prev := g.nics[0]
+			prev.peer, n.peer = n, prev
+		}
+	}
 	g.nics = append(g.nics, n)
 	return n
+}
+
+// Sim returns the shard sim that owns this station.
+func (n *NIC) Sim() *sim.Sim { return n.sim }
+
+// DirStats returns this station's transmit-direction counters: its own
+// on a trunk, the shared segment's otherwise.
+func (n *NIC) DirStats() *Stats { return n.stats }
+
+// SetTrace overrides the segment recorder for records attributed to
+// this station (per-direction trace lanes in sharded runs).
+func (n *NIC) SetTrace(r *trace.Recorder) { n.tr = r }
+
+// rec returns the recorder for this station's records.
+func (n *NIC) rec() *trace.Recorder {
+	if n.tr != nil {
+		return n.tr
+	}
+	return n.seg.tr
 }
 
 // MAC returns the station's hardware address.
@@ -188,38 +297,39 @@ func (n *NIC) MAC() wire.MAC { return n.mac }
 func (n *NIC) Name() string { return n.name }
 
 // txJob carries one frame through medium acquisition. Jobs are pooled on
-// the segment and the completion continuation is bound once, so the
-// steady-state transmit path allocates nothing beyond the frame itself.
+// the transmitting station and the completion continuation is bound
+// once, so the steady-state transmit path allocates nothing beyond the
+// frame itself.
 type txJob struct {
-	g      *Segment
 	n      *NIC
 	f      Frame
 	doneFn func()
 }
 
-func (g *Segment) getTxJob() *txJob {
-	if n := len(g.freeTx); n > 0 {
-		j := g.freeTx[n-1]
-		g.freeTx[n-1] = nil
-		g.freeTx = g.freeTx[:n-1]
+func (n *NIC) getTxJob() *txJob {
+	if k := len(n.free); k > 0 {
+		j := n.free[k-1]
+		n.free[k-1] = nil
+		n.free = n.free[:k-1]
 		return j
 	}
-	j := &txJob{g: g}
+	j := &txJob{n: n}
 	j.doneFn = j.done
 	return j
 }
 
 // done runs when the frame has finished serializing onto the medium.
 func (j *txJob) done() {
-	g, n, f := j.g, j.n, j.f
-	j.n, j.f = nil, Frame{}
-	g.freeTx = append(g.freeTx, j)
+	n, f := j.n, j.f
+	g := n.seg
+	j.f = Frame{}
+	n.free = append(n.free, j)
 	wireBytes := uint64(f.WireSize())
-	g.stats.FramesSent.Inc()
-	g.stats.BytesSent.Add(wireBytes)
+	n.stats.FramesSent.Inc()
+	n.stats.BytesSent.Add(wireBytes)
 	n.TxBytes.Add(wireBytes)
-	if g.tr.On(trace.LayerNet) {
-		g.tr.EmitFrame(trace.EvFrameTx, n.name, "", f.Data, int64(f.WireSize()))
+	if r := n.rec(); r.On(trace.LayerNet) {
+		r.EmitFrame(trace.EvFrameTx, n.name, "", f.Data, int64(f.WireSize()))
 	}
 	if n.TxDone != nil {
 		n.TxDone(f)
@@ -227,11 +337,13 @@ func (j *txJob) done() {
 	g.inject(n, f)
 }
 
-// Transmit queues a frame for the shared medium. It may be called from
-// event or process context; the frame is delivered to receivers after the
-// medium has been acquired and the frame serialized. The data slice is
-// owned by the network after the call and must not be mutated by anyone
-// afterwards — delivery is by reference (see Frame).
+// Transmit queues a frame for the medium (the shared wire, or this
+// direction's private wire on a trunk). It may be called from event or
+// process context on the station's own shard; the frame is delivered to
+// receivers after the medium has been acquired and the frame
+// serialized. The data slice is owned by the network after the call and
+// must not be mutated by anyone afterwards — delivery is by reference
+// (see Frame).
 func (n *NIC) Transmit(data []byte) error {
 	if len(data) < wire.EthHeaderLen {
 		return fmt.Errorf("simnet: frame shorter than Ethernet header (%d bytes)", len(data))
@@ -241,11 +353,14 @@ func (n *NIC) Transmit(data []byte) error {
 	}
 	g := n.seg
 	n.TxFrames.Inc()
-	j := g.getTxJob()
-	j.n = n
+	j := n.getTxJob()
 	j.f = Frame{Data: data}
 	txTime := time.Duration(j.f.WireSize()) * g.byteTime
-	g.medium.UseEvent(g.sim, sim.TaskPriority, txTime, j.doneFn)
+	m := &g.medium
+	if n.medium != nil {
+		m = n.medium
+	}
+	m.UseEvent(n.sim, sim.TaskPriority, txTime, j.doneFn)
 	return nil
 }
 
@@ -260,19 +375,20 @@ func (g *Segment) inject(from *NIC, f Frame) {
 	// frame CRC would catch link-header damage, so modeling it would
 	// only test the simulator, not the protocol stack.
 	d := g.inj.Outbound(from.name, (len(f.Data)-wire.EthHeaderLen)*8)
-	on := g.tr.On(trace.LayerNet)
+	r := from.rec()
+	on := r.On(trace.LayerNet)
 	if d.Drop {
 		// Attribute the drop regardless of tracing so the metrics
 		// registry can break drops out by cause.
 		reason := "loss"
 		if g.inj.Down(from.name) {
 			reason = "down"
-			g.stats.DropsDown.Inc()
+			from.stats.DropsDown.Inc()
 		} else {
-			g.stats.DropsLoss.Inc()
+			from.stats.DropsLoss.Inc()
 		}
 		if on {
-			g.tr.Emit(trace.LayerNet, trace.EvFrameDrop, from.name, "", reason, 0, 0, 0)
+			r.Emit(trace.LayerNet, trace.EvFrameDrop, from.name, "", reason, 0, 0, 0)
 		}
 		return
 	}
@@ -281,22 +397,22 @@ func (g *Segment) inject(from *NIC, f Frame) {
 		copy(data, f.Data)
 		data[wire.EthHeaderLen+d.CorruptBit/8] ^= 1 << (d.CorruptBit % 8)
 		f = Frame{Data: data}
-		g.stats.FramesCorrupted.Inc()
+		from.stats.FramesCorrupted.Inc()
 		if on {
-			g.tr.Emit(trace.LayerNet, trace.EvFrameCorrupt, from.name, "", "", int64(d.CorruptBit), 0, 0)
+			r.Emit(trace.LayerNet, trace.EvFrameCorrupt, from.name, "", "", int64(d.CorruptBit), 0, 0)
 		}
 	}
 	if d.Delay > 0 {
-		g.stats.FramesDelayed.Inc()
+		from.stats.FramesDelayed.Inc()
 		if on {
-			g.tr.Emit(trace.LayerNet, trace.EvFrameDelay, from.name, "", "", int64(d.Delay), 0, 0)
+			r.Emit(trace.LayerNet, trace.EvFrameDelay, from.name, "", "", int64(d.Delay), 0, 0)
 		}
 	}
 	g.deliver(from, f, d.Delay)
 	if d.Dup {
-		g.stats.FramesDup.Inc()
+		from.stats.FramesDup.Inc()
 		if on {
-			g.tr.Emit(trace.LayerNet, trace.EvFrameDup, from.name, "", "", 0, 0, 0)
+			r.Emit(trace.LayerNet, trace.EvFrameDup, from.name, "", "", 0, 0, 0)
 		}
 		g.deliver(from, f, d.Delay)
 	}
@@ -305,10 +421,14 @@ func (g *Segment) inject(from *NIC, f Frame) {
 func (g *Segment) deliver(from *NIC, f Frame, delay time.Duration) {
 	hdr, err := wire.UnmarshalEth(f.Data)
 	if err != nil {
-		g.stats.DropsMalformed.Inc()
-		if g.tr.On(trace.LayerNet) {
-			g.tr.Emit(trace.LayerNet, trace.EvFrameDrop, from.name, "", "malformed", 0, 0, 0)
+		from.stats.DropsMalformed.Inc()
+		if r := from.rec(); r.On(trace.LayerNet) {
+			r.Emit(trace.LayerNet, trace.EvFrameDrop, from.name, "", "malformed", 0, 0, 0)
 		}
+		return
+	}
+	if g.ptp {
+		g.deliverTrunk(from, hdr, f, delay)
 		return
 	}
 	for _, nic := range g.nics {
@@ -347,4 +467,43 @@ func (g *Segment) deliver(from *NIC, f Frame, delay time.Duration) {
 			})
 		}
 	}
+}
+
+// deliverTrunk carries a frame to the far end of a point-to-point link.
+// Transmit-side decisions (partition cut, delivery accounting) run on
+// the sending shard; the arrival event runs on the receiving shard at
+// now + prop (+ injected delay), keyed (at, direction origin, seq) so
+// the merged cross-shard order is intrinsic to the traffic, not to the
+// shard mapping. The receive-side counters and trace records are
+// written inside the arrival event — on the receiver's shard — keeping
+// every counter and lane single-writer.
+func (g *Segment) deliverTrunk(from *NIC, hdr wire.EthHeader, f Frame, delay time.Duration) {
+	peer := from.peer
+	if peer == nil {
+		return // far end not attached yet
+	}
+	if !peer.Promisc && peer.mac != hdr.Dst && !hdr.Dst.IsBroadcast() {
+		return
+	}
+	if g.inj != nil && g.inj.CutTx(from.name, peer.name) {
+		from.stats.PartitionDrops.Inc()
+		if r := from.rec(); r.On(trace.LayerNet) {
+			r.Emit(trace.LayerNet, trace.EvPartitionDrop, from.name, peer.name, "", 0, 0, 0)
+		}
+		return
+	}
+	from.stats.DeliveryEvents.Inc()
+	at := from.sim.Now().Add(g.prop + delay)
+	from.oseq++
+	fromName := from.name
+	from.sim.SendRemote(peer.sim, at, from.origin, from.oseq, func() {
+		peer.RxFrames.Inc()
+		peer.RxBytes.Add(uint64(f.WireSize()))
+		if r := peer.rec(); r.On(trace.LayerNet) {
+			r.Emit(trace.LayerNet, trace.EvFrameRx, peer.name, fromName, "", int64(len(f.Data)), 0, 0)
+		}
+		if peer.Rx != nil {
+			peer.Rx(f)
+		}
+	})
 }

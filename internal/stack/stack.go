@@ -211,7 +211,12 @@ func New(cfg Config) *Stack {
 		cfg.RcvBuf = 8 * 1024
 	}
 	if cfg.Rand == nil {
-		cfg.Rand = cfg.Sim.Rand()
+		// A per-stack stream keyed by the stack's name: draws (ISS
+		// generation, ephemeral-port perturbation) stay identical no
+		// matter what else runs concurrently or which shard the stack
+		// lands on. The shared cfg.Sim.Rand() would make every draw
+		// depend on global event order.
+		cfg.Rand = cfg.Sim.Stream("stack." + cfg.Name)
 	}
 	if cfg.Routes == nil {
 		cfg.Routes = NewRouteTable()

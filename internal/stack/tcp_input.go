@@ -80,6 +80,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 		ntp.irs = th.Seq
 		ntp.rcvNxt = th.Seq + 1
 		ntp.rcvAdv = ntp.rcvNxt
+		ntp.rcvUp = ntp.irs // urgent comparisons are mod-2^32 relative to the peer's ISS
 		ntp.iss = st.iss()
 		ntp.sndUna, ntp.sndNxt, ntp.sndMax = ntp.iss, ntp.iss, ntp.iss
 		ntp.sndUp = ntp.iss
@@ -113,6 +114,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 		tp.irs = th.Seq
 		tp.rcvNxt = th.Seq + 1
 		tp.rcvAdv = tp.rcvNxt
+		tp.rcvUp = tp.irs // urgent comparisons are mod-2^32 relative to the peer's ISS
 		tp.sndWnd = uint32(th.Window)
 		tp.sndWl1, tp.sndWl2 = th.Seq, th.Ack
 		if th.Flags&flagACK != 0 && seqGT(th.Ack, tp.iss) {

@@ -18,6 +18,7 @@ package trace
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/sim"
 )
@@ -161,6 +162,12 @@ type Record struct {
 // *Recorder (nil) is a valid, permanently-disabled recorder: On returns
 // false and Emit is a no-op, so instrumentation sites need no nil checks
 // beyond their On guard.
+//
+// A recorder can be split into lanes (see Lane) for sharded runs: each
+// lane is a private single-writer buffer stamped by its own shard's
+// clock, and the root merges them canonically on read. A recorder with
+// no lanes — the classic case — keeps the original single-buffer
+// behavior bit for bit.
 type Recorder struct {
 	sim     *sim.Sim
 	mask    Mask
@@ -168,6 +175,10 @@ type Recorder struct {
 	dropped int
 	seq     uint64
 	recs    []Record
+
+	root   *Recorder   // nil on the root recorder
+	laneID int         // 0 for the root's own buffer
+	lanes  []*Recorder // root only: child lanes in creation order
 }
 
 // New returns a recorder stamping records with s's virtual clock. With
@@ -178,6 +189,27 @@ func New(s *sim.Sim, layers ...Layer) *Recorder {
 		m = MaskOf(layers...)
 	}
 	return &Recorder{sim: s, mask: m}
+}
+
+// Lane returns a child recorder that buffers privately and stamps
+// records with s's clock. One lane per component (and per scheduler, in
+// sharded runs) keeps every buffer single-writer, so shards may emit
+// concurrently; Records on the root merges the lanes into one canonical
+// stream ordered by (time, lane, emission seq). Lane ids follow
+// creation order, which tracks topology construction order and is
+// therefore deterministic. Lane on a nil recorder returns nil, so
+// disabled tracing stays free.
+func (r *Recorder) Lane(s *sim.Sim) *Recorder {
+	if r == nil {
+		return nil
+	}
+	root := r
+	if root.root != nil {
+		root = root.root
+	}
+	l := &Recorder{sim: s, mask: root.mask, limit: root.limit, root: root, laneID: len(root.lanes) + 1}
+	root.lanes = append(root.lanes, l)
+	return l
 }
 
 // On reports whether layer l is being captured. It is the guard every
@@ -195,17 +227,28 @@ func (r *Recorder) Mask() Mask {
 	return r.mask
 }
 
-// SetLimit caps the number of retained records; further emits are
-// counted in Dropped instead of stored. Zero (the default) means
-// unlimited.
-func (r *Recorder) SetLimit(n int) { r.limit = n }
+// SetLimit caps the number of retained records per lane; further emits
+// are counted in Dropped instead of stored. Zero (the default) means
+// unlimited. On a root recorder the limit propagates to existing lanes
+// and is inherited by new ones.
+func (r *Recorder) SetLimit(n int) {
+	r.limit = n
+	for _, l := range r.lanes {
+		l.limit = n
+	}
+}
 
-// Dropped returns the number of records discarded due to the limit.
+// Dropped returns the number of records discarded due to the limit,
+// summed over lanes when called on a root.
 func (r *Recorder) Dropped() int {
 	if r == nil {
 		return 0
 	}
-	return r.dropped
+	d := r.dropped
+	for _, l := range r.lanes {
+		d += l.dropped
+	}
+	return d
 }
 
 // Emit appends a record. Callers must check On first; Emit on a nil
@@ -247,27 +290,70 @@ func (r *Recorder) add(rec Record) {
 	r.recs = append(r.recs, rec)
 }
 
-// Records returns the accumulated records in emission order. The slice
-// is the recorder's own backing store; callers must not modify it.
+// Records returns the accumulated records. With no lanes this is the
+// recorder's own backing store in emission order (callers must not
+// modify it) — byte-identical to the pre-lane behavior. With lanes it
+// is a fresh merged slice ordered by (At, lane id, per-lane seq) and
+// renumbered 1..n: the canonical total order, a pure function of the
+// simulation content regardless of how many shards recorded it.
 func (r *Recorder) Records() []Record {
 	if r == nil {
 		return nil
 	}
-	return r.recs
+	if len(r.lanes) == 0 {
+		return r.recs
+	}
+	type tagged struct {
+		rec  Record
+		lane int
+	}
+	n := len(r.recs)
+	for _, l := range r.lanes {
+		n += len(l.recs)
+	}
+	merged := make([]tagged, 0, n)
+	for _, rec := range r.recs {
+		merged = append(merged, tagged{rec, 0})
+	}
+	for _, l := range r.lanes {
+		for _, rec := range l.recs {
+			merged = append(merged, tagged{rec, l.laneID})
+		}
+	}
+	sort.Slice(merged, func(a, b int) bool {
+		if merged[a].rec.At != merged[b].rec.At {
+			return merged[a].rec.At < merged[b].rec.At
+		}
+		if merged[a].lane != merged[b].lane {
+			return merged[a].lane < merged[b].lane
+		}
+		return merged[a].rec.Seq < merged[b].rec.Seq
+	})
+	out := make([]Record, n)
+	for i := range merged {
+		out[i] = merged[i].rec
+		out[i].Seq = uint64(i + 1)
+	}
+	return out
 }
 
-// Len returns the number of retained records.
+// Len returns the number of retained records across all lanes.
 func (r *Recorder) Len() int {
 	if r == nil {
 		return 0
 	}
-	return len(r.recs)
+	n := len(r.recs)
+	for _, l := range r.lanes {
+		n += len(l.recs)
+	}
+	return n
 }
 
-// Reset discards all records (the drop counter included) but keeps the
-// mask and limit. The record buffer is retained and reused, so a
-// recorder that is periodically reset stops allocating; slices returned
-// by Records before the Reset are invalidated by it.
+// Reset discards all records (the drop counter included) on the
+// recorder and its lanes but keeps the mask and limit. The record
+// buffers are retained and reused, so a recorder that is periodically
+// reset stops allocating; slices returned by Records before the Reset
+// are invalidated by it.
 func (r *Recorder) Reset() {
 	for i := range r.recs {
 		r.recs[i] = Record{} // release frame copies and strings
@@ -275,6 +361,9 @@ func (r *Recorder) Reset() {
 	r.recs = r.recs[:0]
 	r.dropped = 0
 	r.seq = 0
+	for _, l := range r.lanes {
+		l.Reset()
+	}
 }
 
 // simTracer adapts the recorder to the sim.Tracer callback interface.

@@ -19,6 +19,19 @@ type ChurnConfig struct {
 	MsgBytes       int // payload echoed once per connection
 	Arch           Arch
 	Drain          time.Duration // virtual time after the workload for TIME_WAIT and port quarantines to expire (0 = 75 s)
+
+	// Districts, when positive, splits the hosts evenly across that
+	// many routed districts joined by trunks (the RunCity topology) —
+	// the form that scales past 10^4 hosts, since a single shared
+	// segment is one collision domain and one shard. Servers and
+	// Clients must divide evenly by it. Zero keeps the classic flat
+	// single-segment build, byte-identical to prior releases.
+	Districts int
+
+	// Shards and SingleThreaded forward to Config; they require
+	// Districts > 0 (a flat segment cannot be cut).
+	Shards         int
+	SingleThreaded bool
 }
 
 // DefaultChurn is the scale point the acceptance criteria call for:
@@ -91,6 +104,12 @@ const churnPort = 5001
 // a given config: two runs with the same seed produce byte-identical
 // snapshots.
 func RunChurn(cfg ChurnConfig) (*ChurnReport, error) {
+	if cfg.Districts > 0 {
+		return runChurnDistricted(cfg)
+	}
+	if cfg.Shards > 0 {
+		return nil, fmt.Errorf("churn: Shards requires Districts (a flat segment is one shard)")
+	}
 	if cfg.MsgBytes <= 0 {
 		cfg.MsgBytes = 512
 	}
@@ -243,4 +262,49 @@ func RunChurn(cfg ChurnConfig) (*ChurnReport, error) {
 		Snapshot:       snap,
 	}
 	return rep, nil
+}
+
+// runChurnDistricted maps the churn config onto the districted city
+// topology: same workload shape, same conservation laws, but the hosts
+// sit behind district routers so the build can scale past 10^4 hosts
+// and run sharded.
+func runChurnDistricted(cfg ChurnConfig) (*ChurnReport, error) {
+	if cfg.Servers%cfg.Districts != 0 || cfg.Clients%cfg.Districts != 0 {
+		return nil, fmt.Errorf("churn: Servers (%d) and Clients (%d) must divide evenly into %d districts",
+			cfg.Servers, cfg.Clients, cfg.Districts)
+	}
+	city, err := RunCity(CityConfig{
+		Seed:               cfg.Seed,
+		Districts:          cfg.Districts,
+		ServersPerDistrict: cfg.Servers / cfg.Districts,
+		ClientsPerDistrict: cfg.Clients / cfg.Districts,
+		ConnsPerClient:     cfg.ConnsPerClient,
+		CrossEvery:         4, // keep most churn local; every 4th connection rides a trunk
+		OrphanEvery:        cfg.OrphanEvery,
+		MsgBytes:           cfg.MsgBytes,
+		Arch:               cfg.Arch,
+		Shards:             cfg.Shards,
+		SingleThreaded:     cfg.SingleThreaded,
+		Drain:              cfg.Drain,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := city.Check(); err != nil {
+		return nil, err
+	}
+	c := city.Churn
+	return &ChurnReport{
+		Hosts:          city.Hosts,
+		ConnsPlan:      city.ConnsPlan,
+		ConnSetups:     c.ConnSetups,
+		ConnTeardowns:  c.ConnTeardowns,
+		OrphansAborted: c.OrphansAborted,
+		SessionsMade:   c.SessionsMade,
+		SessionsReaped: c.SessionsReaped,
+		LiveSessions:   c.LiveSessions,
+		PortsInUse:     c.PortsInUse,
+		TimeWait:       c.TimeWait,
+		Snapshot:       city.Snapshot,
+	}, nil
 }

@@ -1,0 +1,43 @@
+package psd
+
+import (
+	"os"
+	"strconv"
+	"testing"
+	"time"
+)
+
+// TestProfCity is a profiling harness, enabled only via PROF_HOSTS:
+//
+//	PROF_HOSTS=2500 PROF_SHARDS=1 go test ./psd -run TestProfCity -cpuprofile cpu.prof
+func TestProfCity(t *testing.T) {
+	hostsEnv := os.Getenv("PROF_HOSTS")
+	if hostsEnv == "" {
+		t.Skip("set PROF_HOSTS to enable")
+	}
+	hosts, _ := strconv.Atoi(hostsEnv)
+	shards, _ := strconv.Atoi(os.Getenv("PROF_SHARDS"))
+	districts := hosts / 100
+	if districts < 1 {
+		districts = 1
+	}
+	cfg := CityConfig{
+		Seed:               1,
+		Districts:          districts,
+		ServersPerDistrict: 10,
+		ClientsPerDistrict: 90,
+		ConnsPerClient:     1,
+		CrossEvery:         4,
+		OrphanEvery:        16,
+		MsgBytes:           256,
+		Arch:               Decomposed(),
+		Shards:             shards,
+		TrunkProp:          time.Millisecond,
+	}
+	start := time.Now()
+	rep, err := RunCity(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("hosts=%d shards=%d events=%d real=%v", rep.Hosts, shards, rep.DispatchedTotal, time.Since(start))
+}

@@ -135,14 +135,23 @@ func ServerBased() Arch { return Arch{kind: 2, prof: costs.CalibrateTable2(costs
 // Network is a simulated 10 Mb/s Ethernet with attached hosts. Larger
 // internets are built from Subnets joined by Routers (see NewSubnet and
 // NewRouter); the Network itself doubles as the default subnet.
+//
+// With Config.Shards set, the network runs as a shard group: subnets
+// and routers are placed on shards (NewSubnetOn, NewRouterOn), shards
+// are joined only by Trunks (whose propagation delay is the group's
+// conservative lookahead), and the observable schedule — traces,
+// metrics, socket tables — is byte-identical whether the shards run
+// serially or on worker goroutines, and for any shard count.
 type Network struct {
 	sim     *sim.Sim
+	group   *sim.Group // nil in classic single-loop mode
 	seg     *simnet.Segment
 	rec     *trace.Recorder
 	reg     *metrics.Registry
 	next    int
 	subnets []*Subnet
 	routers []*Router
+	trunks  []*Trunk
 }
 
 // Config collects network construction options beyond the seed.
@@ -167,6 +176,20 @@ type Config struct {
 	// readable through Network.Metrics and Host.Netstat. Disabled (the
 	// default) it costs nothing on any hot path.
 	Metrics bool
+
+	// Shards splits the simulation into that many per-shard event
+	// queues joined at Trunk boundaries (conservative lookahead
+	// synchronization). Zero keeps the classic single event loop,
+	// bit-identical to prior releases. Shards >= 1 selects group mode;
+	// results are independent of the count, so Shards: 1 is the
+	// reference schedule any higher count must reproduce exactly.
+	Shards int
+
+	// SingleThreaded runs a shard group serially on the calling
+	// goroutine instead of on worker goroutines. Results are identical
+	// either way; the serial mode exists so equivalence tests (and
+	// debuggers) can hold everything on one stack.
+	SingleThreaded bool
 }
 
 // New creates a network; runs are deterministic for a given seed.
@@ -174,12 +197,24 @@ func New(seed int64) *Network { return NewConfig(Config{Seed: seed}) }
 
 // NewConfig creates a network with explicit options.
 func NewConfig(cfg Config) *Network {
-	s := sim.New(cfg.Seed)
-	s.Deadline = sim.Time(2 * time.Hour)
+	deadline := sim.Time(2 * time.Hour)
 	if cfg.Deadline > 0 {
-		s.Deadline = sim.Time(cfg.Deadline)
+		deadline = sim.Time(cfg.Deadline)
 	}
-	n := &Network{sim: s, seg: simnet.NewSegment(s)}
+	n := &Network{}
+	var s *sim.Sim
+	if cfg.Shards > 0 {
+		g := sim.NewGroup(cfg.Seed, cfg.Shards)
+		g.SingleThreaded = cfg.SingleThreaded
+		g.Deadline = deadline
+		n.group = g
+		s = g.Shard(0)
+	} else {
+		s = sim.New(cfg.Seed)
+		s.Deadline = deadline
+	}
+	n.sim = s
+	n.seg = simnet.NewSegment(s)
 	if cfg.Metrics {
 		n.reg = metrics.NewRegistry()
 		n.seg.SetMetrics(n.reg.Scope("net"))
@@ -189,10 +224,55 @@ func NewConfig(cfg Config) *Network {
 		if cfg.TraceLimit > 0 {
 			n.rec.SetLimit(cfg.TraceLimit)
 		}
-		n.seg.SetTrace(n.rec)
-		s.SetTracer(n.rec.SimTracer())
+		if n.group != nil {
+			// Group mode: nothing writes to the root buffer. Every
+			// component gets a lane (ids follow construction order, so
+			// the merged stream is independent of the shard mapping),
+			// and each shard's scheduler gets one of its own.
+			for _, sh := range n.group.Shards() {
+				sh.SetTracer(n.rec.Lane(sh).SimTracer())
+			}
+			n.seg.SetTrace(n.rec.Lane(s))
+		} else {
+			n.seg.SetTrace(n.rec)
+			s.SetTracer(n.rec.SimTracer())
+		}
 	}
 	return n
+}
+
+// lane returns the recorder a component owned by shard s should write
+// to: the root recorder in classic mode (single event loop, single
+// writer), a fresh per-component lane in group mode. Returns nil when
+// tracing is off.
+func (n *Network) lane(s *sim.Sim) *trace.Recorder {
+	if n.rec == nil || n.group == nil {
+		return n.rec
+	}
+	return n.rec.Lane(s)
+}
+
+// shardSim maps a shard index to its event queue. Classic networks have
+// exactly shard 0.
+func (n *Network) shardSim(i int) *sim.Sim {
+	if n.group == nil {
+		if i != 0 {
+			panic(fmt.Sprintf("psd: shard %d requested but Config.Shards is 0 (classic mode has only shard 0)", i))
+		}
+		return n.sim
+	}
+	return n.group.Shard(i)
+}
+
+// Group exposes the shard group, or nil in classic mode.
+func (n *Network) Group() *sim.Group { return n.group }
+
+// NumShards returns the shard count (1 in classic mode).
+func (n *Network) NumShards() int {
+	if n.group == nil {
+		return 1
+	}
+	return n.group.NumShards()
 }
 
 // Trace returns the flight recorder, or nil when tracing was not
@@ -246,24 +326,26 @@ func (n *Network) ApplyFaultPlan(text string) error {
 // Host attaches a machine running the given architecture. addr is a
 // dotted IPv4 address, e.g. "10.0.0.1".
 func (n *Network) Host(name, addr string, arch Arch) *Host {
-	return n.hostOn(n.seg, nil, name, addr, arch)
+	return n.hostOn(n.sim, n.seg, nil, name, addr, arch)
 }
 
-// hostOn builds a host on a specific segment, optionally installing a
-// shared route table (subnet hosts route through their gateway; the
-// default segment keeps each stack's everything-on-link table).
-func (n *Network) hostOn(seg *simnet.Segment, routes *stack.RouteTable, name, addr string, arch Arch) *Host {
+// hostOn builds a host on a specific segment and shard, optionally
+// installing a shared route table (subnet hosts route through their
+// gateway; the default segment keeps each stack's everything-on-link
+// table). s must be the shard that owns seg.
+func (n *Network) hostOn(s *sim.Sim, seg *simnet.Segment, routes *stack.RouteTable, name, addr string, arch Arch) *Host {
 	ip, err := ParseIP(addr)
 	if err != nil {
 		panic(err)
 	}
 	mac := n.nextMAC()
-	h := &Host{name: name, ip: ip}
+	h := &Host{name: name, ip: ip, sim: s}
+	rec := n.lane(s)
 	switch arch.kind {
 	case 0:
-		sys := core.New(n.sim, seg, name, mac, ip, arch.prof, arch.srv)
-		if n.rec != nil {
-			sys.SetTrace(n.rec)
+		sys := core.New(s, seg, name, mac, ip, arch.prof, arch.srv)
+		if rec != nil {
+			sys.SetTrace(rec)
 		}
 		if n.reg != nil {
 			sys.SetMetrics(n.reg.Scope("host." + name))
@@ -273,9 +355,9 @@ func (n *Network) hostOn(seg *simnet.Segment, routes *stack.RouteTable, name, ad
 		h.core = sys
 		h.stacks = sys.Stacks
 	case 1:
-		sys := inkernel.New(n.sim, seg, name, mac, ip, arch.prof)
-		if n.rec != nil {
-			sys.SetTrace(n.rec)
+		sys := inkernel.New(s, seg, name, mac, ip, arch.prof)
+		if rec != nil {
+			sys.SetTrace(rec)
 		}
 		if n.reg != nil {
 			sys.SetMetrics(n.reg.Scope("host." + name))
@@ -284,9 +366,9 @@ func (n *Network) hostOn(seg *simnet.Segment, routes *stack.RouteTable, name, ad
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
 		h.stacks = func() []*stack.Stack { return []*stack.Stack{sys.St} }
 	case 2:
-		sys := uxserver.New(n.sim, seg, name, mac, ip, arch.prof)
-		if n.rec != nil {
-			sys.SetTrace(n.rec)
+		sys := uxserver.New(s, seg, name, mac, ip, arch.prof)
+		if rec != nil {
+			sys.SetTrace(rec)
 		}
 		if n.reg != nil {
 			sys.SetMetrics(n.reg.Scope("host." + name))
@@ -304,26 +386,50 @@ func (n *Network) nextMAC() wire.MAC {
 	return wire.MAC{0x02, 0, 0, 0, byte(n.next >> 8), byte(n.next)}
 }
 
-// Spawn starts an application thread; Run waits for all spawned threads.
+// Spawn starts an application thread on shard 0; Run waits for all
+// spawned threads on every shard. Threads that talk to a host placed
+// on another shard should be spawned with Host.Spawn instead, so the
+// thread runs on the same event queue as the sockets it drives.
 func (n *Network) Spawn(name string, fn func(t *Thread)) { n.sim.Spawn(name, fn) }
 
 // Run executes the simulation until every spawned thread finishes.
-func (n *Network) Run() error { return n.sim.Run() }
+func (n *Network) Run() error {
+	if n.group != nil {
+		return n.group.Run()
+	}
+	return n.sim.Run()
+}
 
 // RunFor advances virtual time by d regardless of thread state.
-func (n *Network) RunFor(d time.Duration) error { return n.sim.RunFor(d) }
+func (n *Network) RunFor(d time.Duration) error {
+	if n.group != nil {
+		return n.group.RunFor(d)
+	}
+	return n.sim.RunFor(d)
+}
 
 // Now returns the current virtual time.
-func (n *Network) Now() time.Duration { return n.sim.Now().Duration() }
+func (n *Network) Now() time.Duration {
+	if n.group != nil {
+		return n.group.Now().Duration()
+	}
+	return n.sim.Now().Duration()
+}
 
 // Host is one simulated machine.
 type Host struct {
 	name   string
 	ip     wire.IPAddr
+	sim    *sim.Sim
 	newApp func(string) App
 	core   *core.System
 	stacks func() []*stack.Stack
 }
+
+// Spawn starts an application thread on the host's own shard. In group
+// mode every thread that uses a host's sockets must run on that host's
+// shard; Spawn is how workloads arrange it.
+func (h *Host) Spawn(name string, fn func(t *Thread)) { h.sim.Spawn(name, fn) }
 
 // Netstat reads every protocol stack on the host (a Decomposed host has
 // one per library plus the OS server's) into a deterministic, sorted

@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/fault"
 	"repro/internal/router"
+	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stack"
 	"repro/internal/wire"
@@ -24,6 +26,7 @@ type RouterQueue = router.QueueConfig
 type Subnet struct {
 	net       *Network
 	name      string
+	sim       *sim.Sim
 	seg       *simnet.Segment
 	prefix    wire.IPAddr
 	prefixLen int
@@ -32,27 +35,38 @@ type Subnet struct {
 	hasGW     bool
 }
 
-// NewSubnet creates a routed segment. cidr is the subnet prefix in
-// "10.1.0.0/24" form; every host attached with Subnet.Host must carry
-// an address inside it. Hosts get an on-link route for the prefix and,
-// once a router attaches, a default route through the first router port.
+// NewSubnet creates a routed segment on shard 0. cidr is the subnet
+// prefix in "10.1.0.0/24" form; every host attached with Subnet.Host
+// must carry an address inside it. Hosts get an on-link route for the
+// prefix and, once a router attaches, a default route through the
+// first router port.
 func (n *Network) NewSubnet(name, cidr string) *Subnet {
+	return n.NewSubnetOn(0, name, cidr)
+}
+
+// NewSubnetOn creates a routed segment owned by the given shard. A
+// shared segment is one collision domain and must live wholly on one
+// shard: its hosts and router ports land there too. Shards are joined
+// only by trunks (NewTrunk).
+func (n *Network) NewSubnetOn(shard int, name, cidr string) *Subnet {
 	prefix, plen, err := ParseCIDR(cidr)
 	if err != nil {
 		panic(err)
 	}
-	seg := simnet.NewSegment(n.sim)
+	ssim := n.shardSim(shard)
+	seg := simnet.NewSegment(ssim)
 	if n.reg != nil {
 		seg.SetMetrics(n.reg.Scope("net." + name))
 	}
 	if n.rec != nil {
-		seg.SetTrace(n.rec)
+		seg.SetTrace(n.lane(ssim))
 	}
 	rt := stack.NewRouteTable()
 	rt.Add(prefix, plen, wire.IPAddr{}, true)
 	s := &Subnet{
 		net:       n,
 		name:      name,
+		sim:       ssim,
 		seg:       seg,
 		prefix:    prefix.Mask(plen),
 		prefixLen: plen,
@@ -78,7 +92,7 @@ func (s *Subnet) Host(name, addr string, arch Arch) *Host {
 	if ip.Mask(s.prefixLen) != s.prefix {
 		panic(fmt.Sprintf("psd: host %s address %s is outside subnet %s (%s)", name, addr, s.name, s.CIDR()))
 	}
-	return s.net.hostOn(s.seg, s.routes, name, addr, arch)
+	return s.net.hostOn(s.sim, s.seg, s.routes, name, addr, arch)
 }
 
 // Segment exposes the subnet's raw Ethernet segment for monitoring.
@@ -117,9 +131,17 @@ type Router struct {
 	Queue RouterQueue
 }
 
-// NewRouter creates a router; call Attach to join it to subnets.
+// NewRouter creates a router on shard 0; call Attach to join it to
+// subnets.
 func (n *Network) NewRouter(name string) *Router {
-	r := &Router{net: n, r: router.New(n.sim, name)}
+	return n.NewRouterOn(0, name)
+}
+
+// NewRouterOn creates a router owned by the given shard. A router may
+// only attach to subnets on its own shard; it reaches other shards
+// over trunks.
+func (n *Network) NewRouterOn(shard int, name string) *Router {
+	r := &Router{net: n, r: router.New(n.shardSim(shard), name)}
 	if n.reg != nil {
 		r.r.BindMetrics(n.reg.Scope("router." + name))
 	}
@@ -154,6 +176,82 @@ func (r *Router) Attach(s *Subnet, addr string) *Router {
 	}
 	return r
 }
+
+// Trunk is a point-to-point full-duplex link joining two routers,
+// usually on different shards: its propagation delay is the shard
+// group's conservative lookahead (delays below sim.MinLookahead clamp
+// to it), and trunks are the only legal place to cut a sharded
+// topology. Each direction has its own serialization medium, fault
+// stream, counters, and trace lane, all single-writer on the sending
+// or receiving shard.
+type Trunk struct {
+	net       *Network
+	name      string
+	seg       *simnet.Segment
+	prefix    wire.IPAddr
+	prefixLen int
+	dirs      []*simnet.NIC // attach order
+}
+
+// NewTrunk creates a trunk link with its own small prefix (typically a
+// /30) and propagation delay. Attach exactly two routers to it.
+func (n *Network) NewTrunk(name, cidr string, prop time.Duration) *Trunk {
+	prefix, plen, err := ParseCIDR(cidr)
+	if err != nil {
+		panic(err)
+	}
+	seg := simnet.NewTrunk(n.sim, prop)
+	t := &Trunk{net: n, name: name, seg: seg, prefix: prefix.Mask(plen), prefixLen: plen}
+	n.trunks = append(n.trunks, t)
+	return t
+}
+
+// Name returns the trunk name.
+func (t *Trunk) Name() string { return t.name }
+
+// Prop returns the trunk's propagation delay after clamping.
+func (t *Trunk) Prop() time.Duration { return t.seg.Prop() }
+
+// Segment exposes the trunk's raw segment for monitoring.
+func (t *Trunk) Segment() *simnet.Segment { return t.seg }
+
+// Faults returns the trunk's fault injector. The two directions are
+// the links, named "<router>.<trunk>".
+func (t *Trunk) Faults() *fault.Injector { return t.seg.Faults() }
+
+// Attach joins a router to the trunk with the given port address. The
+// port lands on the router's own shard; the port's link name — and its
+// metrics scope "trunk.<name>.<router>.<name>" — follow the router.
+// Returns the trunk for chaining.
+func (t *Trunk) Attach(r *Router, addr string) *Trunk {
+	ip, err := ParseIP(addr)
+	if err != nil {
+		panic(err)
+	}
+	if ip.Mask(t.prefixLen) != t.prefix {
+		panic(fmt.Sprintf("psd: router %s port %s is outside trunk %s (%v/%d)",
+			r.Name(), addr, t.name, t.prefix, t.prefixLen))
+	}
+	n := t.net
+	p := r.r.Attach(t.seg, t.name, n.nextMAC(), ip, t.prefixLen, r.Queue)
+	nic := p.NIC()
+	if n.reg != nil {
+		nic.DirStats().Bind(n.reg.Scope("trunk." + t.name + "." + p.LinkName()))
+		p.BindMetrics(n.reg.Scope("router." + r.Name() + ".port." + p.LinkName()))
+	}
+	if n.rec != nil {
+		nic.SetTrace(n.lane(nic.Sim()))
+	}
+	t.dirs = append(t.dirs, nic)
+	return t
+}
+
+// Directions returns the trunk's two attached stations in attach
+// order (fewer while attachment is in progress).
+func (t *Trunk) Directions() []*simnet.NIC { return t.dirs }
+
+// Trunks returns the network's trunks in creation order.
+func (n *Network) Trunks() []*Trunk { return n.trunks }
 
 // AddRoute installs a static route on the router: destinations in cidr
 // go through gateway via, which must be on one of the router's attached
