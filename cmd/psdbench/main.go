@@ -47,6 +47,8 @@ func main() {
 	traceDir := flag.String("trace", "", "record every run on the flight recorder and dump the slowest run's trace (text, pcap, Chrome JSON) into this directory")
 	jsonOut := flag.String("json", "", "run the wall-clock hot-path suite and write BENCH_hotpath-style JSON to this file (\"-\" for stdout)")
 	metricsOut := flag.String("metrics", "", "run the metrics-registry digest suite and write BENCH_metrics-style JSON to this file (\"-\" for stdout)")
+	proxyOut := flag.String("proxy", "", "run the proxy forwarding suite (bsd vs chain vs splice on three architectures) and write BENCH_proxy-style JSON to this file (\"-\" for stdout)")
+	proxyMB := flag.Int("proxy-mb", 4, "bytes forwarded per -proxy cell, in MB")
 	scenarios := flag.Bool("scenarios", false, "run the internet-scale scenario suite (all scenarios x all architectures) and gate on its SLOs")
 	scenariosOut := flag.String("scenarios-json", "", "with -scenarios, also write a BENCH_scenarios-style JSON report to this file (\"-\" for stdout)")
 	scenarioSeed := flag.Int64("scenario-seed", 1, "seed for -scenarios traffic generators")
@@ -184,6 +186,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *proxyOut != "" {
+		ran = true
+		if err := runProxy(*proxyOut, *benchLabel, *proxyMB<<20); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *scenarios {
 		ran = true
 		if err := runScenarios(*scenariosOut, *benchLabel, *scenarioSeed); err != nil {
@@ -297,6 +306,40 @@ func runMetrics(path, label string) error {
 	}
 	if path != "-" {
 		fmt.Printf("wrote metrics report to %s\n", path)
+	}
+	return nil
+}
+
+// runProxy measures the socket-to-socket forwarding workload — the
+// flat-buffer loop against the chain and splice paths — on the three
+// reference architectures, and writes the BENCH_proxy-style report.
+func runProxy(path, label string, totalBytes int) error {
+	results, err := bench.RunProxySuite(totalBytes)
+	if err != nil {
+		return err
+	}
+	if label == "" {
+		label = "psdbench"
+	}
+	rep := bench.ProxyReport{
+		Label:   label,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Results: results,
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteProxyJSON(out, rep); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("wrote proxy report to %s\n", path)
 	}
 	return nil
 }

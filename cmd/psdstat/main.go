@@ -140,6 +140,52 @@ func scenario(n *psd.Network, a, b *psd.Host) {
 		t.Sleep(time.Hour)
 	})
 
+	// Chain-interface leg: a splice-echo service on beta. The server
+	// never reads the bytes — it splices the connection into itself, so
+	// the echo is pure reference motion and the splice counters tick.
+	// The client peeks each reply chunk with a selective 16-byte range,
+	// ticking the zero-copy-receive and selective-copy counters.
+	const echoBytes = 512
+	echo := b.NewApp("splice-echo")
+	n.Spawn("splice-echo", func(t *sim.Proc) {
+		ls, _ := echo.Socket(t, psd.SockStream)
+		check(echo.Bind(t, ls, psd.SockAddr{Port: 81}))
+		check(echo.Listen(t, ls, 4))
+		fd, _, err := echo.Accept(t, ls)
+		check(err)
+		ch, ok := psd.ChainOps(echo)
+		if !ok {
+			panic("psdstat: architecture lacks the chain interface")
+		}
+		if _, err := ch.Splice(t, fd, fd, echoBytes); err != nil {
+			panic(err)
+		}
+		check(echo.Close(t, fd))
+		check(echo.Close(t, ls))
+	})
+	chainCli := a.NewApp("chain-client")
+	n.Spawn("chain-client", func(t *sim.Proc) {
+		t.Sleep(2 * time.Millisecond)
+		fd, _ := chainCli.Socket(t, psd.SockStream)
+		check(chainCli.Connect(t, fd, b.Addr(81)))
+		ch, ok := psd.ChainOps(chainCli)
+		if !ok {
+			panic("psdstat: architecture lacks the chain interface")
+		}
+		if _, err := ch.SendChain(t, fd, psd.ChainCopy(make([]byte, echoBytes)), 0); err != nil {
+			panic(err)
+		}
+		for got := 0; got < echoBytes; {
+			v, err := ch.RecvPeek(t, fd, 0, []psd.Range{{Off: 0, Len: 16}})
+			check(err)
+			nr := v.Chain.Len()
+			check(ch.RecvRelease(t, fd, nr))
+			v.Chain.Release()
+			got += nr
+		}
+		check(chainCli.Close(t, fd))
+	})
+
 	cli := a.NewApp("stat-client")
 	n.Spawn("stat-client", func(t *sim.Proc) {
 		t.Sleep(time.Millisecond)
@@ -174,13 +220,14 @@ func writeSocketTable(w io.Writer, n *psd.Network, hosts []*psd.Host) error {
 	for _, h := range hosts {
 		fmt.Fprintf(w, "\nHost %s:\n", h.Name())
 		tw := tabwriter.NewWriter(w, 2, 0, 2, ' ', 0)
-		fmt.Fprintln(tw, "Proto\tRecv-Q\tSend-Q\tLocal Address\tForeign Address\tState\tStack")
+		fmt.Fprintln(tw, "Proto\tRecv-Q\tSend-Q\tLocal Address\tForeign Address\tState\tSpliced\tZC-Rx\tSelCopy\tStack")
 		for _, row := range h.Netstat() {
-			fmt.Fprintf(tw, "%s\t%d\t%d\t%s:%d\t%s:%d\t%s\t%s\n",
+			fmt.Fprintf(tw, "%s\t%d\t%d\t%s:%d\t%s:%d\t%s\t%d\t%d\t%d\t%s\n",
 				row.Proto, row.RecvQ, row.SendQ,
 				row.Local.IP, row.Local.Port,
 				row.Remote.IP, row.Remote.Port,
-				row.State, row.Stack)
+				row.State, row.SplicedBytes, row.ZeroCopyRx, row.SelectiveCopy,
+				row.Stack)
 		}
 		if err := tw.Flush(); err != nil {
 			return err
@@ -231,6 +278,12 @@ func writeSummary(w io.Writer, snap *psd.MetricsSnapshot, hosts []*psd.Host) err
 	fmt.Fprintf(w, "wire:\n")
 	fmt.Fprintf(w, "    %d frames delivered\n", sum("net.frames_sent"))
 	fmt.Fprintf(w, "    %d frames dropped\n", sum(".drops_loss")+sum(".drops_down")+sum(".partition_drops"))
+	fmt.Fprintf(w, "sockets:\n")
+	fmt.Fprintf(w, "    %d bytes copied at the socket layer\n", sum(".sock_copied_bytes"))
+	fmt.Fprintf(w, "    %d bytes moved by reference\n", sum(".sock_aliased_bytes"))
+	fmt.Fprintf(w, "    %d splice operations moving %d bytes\n", sum(".splice_ops"), sum(".splice_bytes"))
+	fmt.Fprintf(w, "    %d bytes received zero-copy\n", sum(".zc_rx_bytes"))
+	fmt.Fprintf(w, "    %d bytes selectively materialized\n", sum(".selective_copy_bytes"))
 	fmt.Fprintf(w, "core:\n")
 	fmt.Fprintf(w, "    %d sessions created\n", sum(".core.sessions_made"))
 	fmt.Fprintf(w, "    %d sessions migrated to applications\n", sum(".core.migrations"))

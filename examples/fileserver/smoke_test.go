@@ -1,16 +1,17 @@
 package main
 
-import (
-	"os"
-	"testing"
-)
+import "testing"
 
 // TestSmoke runs the example end to end in-process with a small
-// workload. main calls flag.Parse, so os.Args is swapped to hide the
-// test harness's own flags.
+// workload and asserts the zero-copy claim: the server moves every
+// payload byte by reference, copying none at the socket layer.
 func TestSmoke(t *testing.T) {
-	old := os.Args
-	defer func() { os.Args = old }()
-	os.Args = []string{"fileserver", "-clients", "2", "-kb", "64"}
-	main()
+	const clients, size = 2, 64 * 1024
+	copied, aliased := run(clients, size)
+	if copied != 0 {
+		t.Fatalf("server copied %d bytes at the socket layer; SendChain must alias", copied)
+	}
+	if aliased < clients*size {
+		t.Fatalf("server aliased %d bytes, want at least %d", aliased, clients*size)
+	}
 }

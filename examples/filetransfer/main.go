@@ -4,12 +4,20 @@
 // story: the decomposed library architecture is comparable to an
 // in-kernel implementation and much faster than a server-based one.
 //
+// The transfer uses the chain interface end to end — SendChain on the
+// sender, RecvPeek/RecvRelease on the receiver — so the copies/byte
+// column shows the architectural contrast directly: the library stack
+// runs in the application's address space and moves every byte by
+// reference, while the in-kernel and server stacks sit behind a
+// protection boundary and must copy.
+//
 // Run: go run ./examples/filetransfer [-mb 8]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/psd"
@@ -33,22 +41,29 @@ func main() {
 		{"in-kernel", psd.InKernel()},
 		{"server-based", psd.ServerBased()},
 	} {
-		kbps := transfer(arch.a, total)
+		kbps, copiesPerByte := transfer(arch.a, total)
 		results = append(results, result{arch.name, kbps})
-		fmt.Printf("%-22s %8.0f KB/s\n", arch.name, kbps)
+		fmt.Printf("%-22s %8.0f KB/s   %.1f copies/byte\n", arch.name, kbps, copiesPerByte)
 	}
 	fmt.Printf("\nlibrary/kernel ratio: %.2f   library/server ratio: %.2f\n",
 		results[0].kbps/results[1].kbps, results[0].kbps/results[2].kbps)
 }
 
-func transfer(arch psd.Arch, total int) float64 {
-	n := psd.New(42)
+// transfer moves total bytes over one TCP connection using the chain
+// interface on both ends and returns throughput plus the socket-layer
+// copy cost per payload byte across both hosts.
+func transfer(arch psd.Arch, total int) (kbps, copiesPerByte float64) {
+	n := psd.NewConfig(psd.Config{Seed: 42, Metrics: true})
 	src := n.Host("src", "10.0.0.1", arch)
 	dst := n.Host("dst", "10.0.0.2", arch)
 
 	var start, end time.Duration
 
 	receiver := dst.NewApp("recv")
+	rch, ok := psd.ChainOps(receiver)
+	if !ok {
+		panic("filetransfer: architecture lacks the chain interface")
+	}
 	n.Spawn("recv", func(t *psd.Thread) {
 		ls, err := receiver.Socket(t, psd.SockStream)
 		check(err)
@@ -58,13 +73,17 @@ func transfer(arch psd.Arch, total int) float64 {
 		fd, _, err := receiver.Accept(t, ls)
 		check(err)
 		got := 0
-		buf := make([]byte, 8192)
 		for got < total {
-			nr, err := receiver.Recv(t, fd, buf, 0)
+			// Peek an aliased view of the receive queue, then release it:
+			// the receiver never asks for the bytes as flat memory.
+			v, err := rch.RecvPeek(t, fd, 0, nil)
 			check(err)
+			nr := v.Chain.Len()
+			v.Chain.Release()
 			if nr == 0 {
 				break
 			}
+			check(rch.RecvRelease(t, fd, nr))
 			got += nr
 		}
 		end = t.Now().Duration()
@@ -73,6 +92,10 @@ func transfer(arch psd.Arch, total int) float64 {
 	})
 
 	sender := src.NewApp("send")
+	sch, ok := psd.ChainOps(sender)
+	if !ok {
+		panic("filetransfer: architecture lacks the chain interface")
+	}
 	n.Spawn("send", func(t *psd.Thread) {
 		t.Sleep(time.Millisecond)
 		fd, err := sender.Socket(t, psd.SockStream)
@@ -82,7 +105,7 @@ func transfer(arch psd.Arch, total int) float64 {
 		start = t.Now().Duration()
 		chunk := make([]byte, 8192)
 		for sent := 0; sent < total; {
-			nw, err := sender.Send(t, fd, chunk, 0)
+			nw, err := sch.SendChain(t, fd, psd.ChainOf(chunk), 0)
 			check(err)
 			sent += nw
 		}
@@ -90,7 +113,13 @@ func transfer(arch psd.Arch, total int) float64 {
 	})
 
 	check(n.Run())
-	return float64(total) / 1024 / (end - start).Seconds()
+	var copied int64
+	for _, it := range n.MetricsSnapshot().Items {
+		if strings.HasPrefix(it.Name, "host.") && strings.HasSuffix(it.Name, ".sock_copied_bytes") {
+			copied += it.Value
+		}
+	}
+	return float64(total) / 1024 / (end - start).Seconds(), float64(copied) / float64(total)
 }
 
 func check(err error) {

@@ -1,16 +1,33 @@
 package main
 
 import (
-	"os"
 	"testing"
+
+	"repro/psd"
 )
 
-// TestSmoke runs the example end to end in-process with a small
-// transfer. main calls flag.Parse, so os.Args is swapped to hide the
-// test harness's own flags.
+// TestSmoke runs the transfer on every architecture with a small
+// payload and asserts the copy contrast the example exists to show:
+// the decomposed library moves every byte by reference while the
+// kernel and server architectures must copy across their protection
+// boundaries.
 func TestSmoke(t *testing.T) {
-	old := os.Args
-	defer func() { os.Args = old }()
-	os.Args = []string{"filetransfer", "-mb", "1"}
-	main()
+	const total = 1 << 20
+	for _, tc := range []struct {
+		name   string
+		arch   psd.Arch
+		copies float64
+	}{
+		{"decomposed", psd.Decomposed(), 0},
+		{"in-kernel", psd.InKernel(), 2},
+		{"server-based", psd.ServerBased(), 2},
+	} {
+		kbps, copiesPerByte := transfer(tc.arch, total)
+		if kbps <= 0 {
+			t.Fatalf("%s: throughput %v KB/s", tc.name, kbps)
+		}
+		if copiesPerByte != tc.copies {
+			t.Fatalf("%s: %.2f copies/byte, want %.0f", tc.name, copiesPerByte, tc.copies)
+		}
+	}
 }

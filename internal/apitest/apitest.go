@@ -49,6 +49,7 @@ func RunAll(t *testing.T, build Builder) {
 		{"BindConflict", testBindConflict},
 	}
 	tests = append(tests, moreTests...)
+	tests = append(tests, chainTests...)
 	for i, tc := range tests {
 		tc := tc
 		seed := int64(i + 1)

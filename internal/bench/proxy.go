@@ -1,0 +1,375 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/socketapi"
+)
+
+// Proxy forwarding benchmark: a source on host A streams through a
+// forwarding proxy on host B back to a sink on host A. The proxy is the
+// workload where data movement dominates — every payload byte enters
+// and leaves the same process — so it isolates exactly what the chain
+// interface buys over flat BSD calls. Three forwarding strategies:
+//
+//	bsd:    Recv into a flat buffer, Send it on — the classic loop,
+//	        two socket-layer copies per forwarded byte.
+//	chain:  RecvPeek an aliased view, surrender it to SendChain —
+//	        zero copies where the architecture can alias protocol
+//	        storage, an honest degradation to copies where a
+//	        protection boundary forbids it.
+//	splice: one Splice call — the pump runs below the socket API, and
+//	        on the decomposed architecture inside the OS server, so
+//	        forwarded bytes are never even mapped into the proxy.
+const (
+	proxyInPort  = 5003 // proxy listens here for the source
+	proxyOutPort = 5004 // sink listens here for the proxy
+	proxyChunk   = 8 << 10
+)
+
+// ProxyModes lists the forwarding strategies in report order.
+var ProxyModes = []string{"bsd", "chain", "splice"}
+
+// ProxyResult is one proxy forwarding measurement.
+type ProxyResult struct {
+	Mode     string
+	Bytes    int
+	Duration time.Duration // first byte sent to last byte sunk, virtual time
+
+	// Copy accounting on the proxy host (host B), from the socket-layer
+	// counters of every stack running there.
+	CopiedBytes  int64 // bytes physically copied at the socket layer
+	AliasedBytes int64 // bytes moved by reference
+	SplicedBytes int64 // bytes moved by Splice
+	Segments     int   // frames the proxy host transmitted
+
+	Err error
+}
+
+// KBps returns forwarding throughput in KB/second.
+func (r ProxyResult) KBps() float64 {
+	if r.Duration <= 0 {
+		return 0
+	}
+	return float64(r.Bytes) / 1024 / r.Duration.Seconds()
+}
+
+// CopiesPerByte is the headline ratio: socket-layer copied bytes on the
+// proxy host per payload byte forwarded. 2.0 for the classic loop,
+// ~0 for a fully aliased path.
+func (r ProxyResult) CopiesPerByte() float64 {
+	if r.Bytes == 0 {
+		return 0
+	}
+	return float64(r.CopiedBytes) / float64(r.Bytes)
+}
+
+// RunProxy forwards totalBytes through a proxy on host B using the
+// given mode, on a fresh world built from cfg. Deterministic for a
+// given (cfg, mode, totalBytes).
+func RunProxy(cfg SysConfig, mode string, totalBytes int) ProxyResult {
+	if totalBytes == 0 {
+		totalBytes = 4 << 20
+	}
+	wasOn := metricsCfg.enabled
+	EnableMetrics()
+	var w *World
+	restore := captureBuild(&w)
+	w = cfg.Build(43)
+	restore()
+	metricsCfg.enabled = wasOn
+
+	res := ProxyResult{Mode: mode}
+	var start, end sim.Time
+
+	sink := w.NewA("proxy-sink")
+	source := w.NewA("proxy-source")
+	proxy := w.NewB("proxy-fwd")
+
+	w.Sim.Spawn("sink", func(p *sim.Proc) {
+		ls, err := sink.Socket(p, socketapi.SockStream)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		sink.SetSockOpt(p, ls, socketapi.SoRcvBuf, cfg.RcvBufKB*1024)
+		if err := sink.Bind(p, ls, socketapi.SockAddr{Port: proxyOutPort}); err != nil {
+			res.Err = err
+			return
+		}
+		sink.Listen(p, ls, 1)
+		fd, _, err := sink.Accept(p, ls)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		got := 0
+		buf := make([]byte, proxyChunk)
+		for got < totalBytes {
+			n, err := sink.Recv(p, fd, buf, 0)
+			if err != nil {
+				res.Err = err
+				return
+			}
+			if n == 0 {
+				break
+			}
+			got += n
+		}
+		end = p.Now()
+		res.Bytes = got
+		sink.Close(p, fd)
+		sink.Close(p, ls)
+	})
+
+	w.Sim.Spawn("proxy", func(p *sim.Proc) {
+		p.Sleep(time.Millisecond) // let the sink bind
+		ls, err := proxy.Socket(p, socketapi.SockStream)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		proxy.SetSockOpt(p, ls, socketapi.SoRcvBuf, cfg.RcvBufKB*1024)
+		if err := proxy.Bind(p, ls, socketapi.SockAddr{Port: proxyInPort}); err != nil {
+			res.Err = err
+			return
+		}
+		proxy.Listen(p, ls, 1)
+		src, _, err := proxy.Accept(p, ls)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		dst, err := proxy.Socket(p, socketapi.SockStream)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		proxy.SetSockOpt(p, dst, socketapi.SoSndBuf, cfg.RcvBufKB*1024)
+		if err := proxy.Connect(p, dst, socketapi.SockAddr{Addr: w.IPA, Port: proxyOutPort}); err != nil {
+			res.Err = err
+			return
+		}
+		if err := forward(p, proxy, mode, dst, src, totalBytes); err != nil {
+			res.Err = err
+		}
+		proxy.Close(p, dst)
+		proxy.Close(p, src)
+		proxy.Close(p, ls)
+	})
+
+	w.Sim.Spawn("source", func(p *sim.Proc) {
+		p.Sleep(2 * time.Millisecond) // let the proxy listen
+		fd, err := source.Socket(p, socketapi.SockStream)
+		if err != nil {
+			res.Err = err
+			return
+		}
+		source.SetSockOpt(p, fd, socketapi.SoSndBuf, cfg.RcvBufKB*1024)
+		if err := source.Connect(p, fd, socketapi.SockAddr{Addr: w.IPB, Port: proxyInPort}); err != nil {
+			res.Err = err
+			return
+		}
+		start = p.Now()
+		payload := make([]byte, proxyChunk)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		for sent := 0; sent < totalBytes; {
+			chunk := proxyChunk
+			if sent+chunk > totalBytes {
+				chunk = totalBytes - sent
+			}
+			n, err := source.Send(p, fd, payload[:chunk], 0)
+			if err != nil {
+				res.Err = err
+				return
+			}
+			sent += n
+		}
+		source.Close(p, fd)
+	})
+
+	if err := w.Sim.Run(); err != nil && res.Err == nil {
+		res.Err = err
+	}
+	res.Duration = end.Sub(start)
+	if res.Err == nil && res.Bytes != totalBytes {
+		res.Err = fmt.Errorf("proxy: sank %d of %d bytes", res.Bytes, totalBytes)
+	}
+	res.CopiedBytes = hostSum(w, "host.B.", ".sock_copied_bytes")
+	res.AliasedBytes = hostSum(w, "host.B.", ".sock_aliased_bytes")
+	res.SplicedBytes = hostSum(w, "host.B.", ".splice_bytes")
+	res.Segments = int(w.hostB.NIC.TxFrames.Value())
+	return res
+}
+
+// forward pumps totalBytes from src to dst inside the proxy process
+// using the selected strategy.
+func forward(p *sim.Proc, api socketapi.API, mode string, dst, src, totalBytes int) error {
+	switch mode {
+	case "bsd":
+		buf := make([]byte, proxyChunk)
+		for moved := 0; moved < totalBytes; {
+			n, err := api.Recv(p, src, buf, 0)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				break
+			}
+			if _, err := api.Send(p, dst, buf[:n], 0); err != nil {
+				return err
+			}
+			moved += n
+		}
+		return nil
+
+	case "chain":
+		ch, ok := api.(socketapi.ChainAPI)
+		if !ok {
+			return fmt.Errorf("proxy: %T lacks the chain interface", api)
+		}
+		for moved := 0; moved < totalBytes; {
+			view, err := ch.RecvPeek(p, src, proxyChunk, nil)
+			if err != nil {
+				return err
+			}
+			n := view.Chain.Len()
+			if n == 0 {
+				view.Chain.Release()
+				break
+			}
+			if err := ch.RecvRelease(p, src, n); err != nil {
+				view.Chain.Release()
+				return err
+			}
+			if _, err := ch.SendChain(p, dst, view.Chain, 0); err != nil {
+				return err
+			}
+			moved += n
+		}
+		return nil
+
+	case "splice":
+		ch, ok := api.(socketapi.ChainAPI)
+		if !ok {
+			return fmt.Errorf("proxy: %T lacks the chain interface", api)
+		}
+		_, err := ch.Splice(p, dst, src, totalBytes)
+		return err
+
+	default:
+		return fmt.Errorf("proxy: unknown mode %q", mode)
+	}
+}
+
+// hostSum totals every counter under the host prefix with the given
+// suffix — per-host copy accounting over all stacks running there (a
+// decomposed host runs one per library plus the OS server's).
+func hostSum(w *World, prefix, suffix string) int64 {
+	if w.Reg == nil {
+		return 0
+	}
+	snap := w.Reg.Snapshot(w.Sim.Now().Duration())
+	var total int64
+	for _, it := range snap.Items {
+		if strings.HasPrefix(it.Name, prefix) && strings.HasSuffix(it.Name, suffix) {
+			total += it.Value
+		}
+	}
+	return total
+}
+
+// ProxyMetrics is one row of BENCH_proxy.json: a (configuration,
+// forwarding mode) cell with throughput, copy accounting, and the Go
+// allocator's cost of carrying the run.
+type ProxyMetrics struct {
+	Config        string  `json:"config"`
+	Mode          string  `json:"mode"`
+	KBps          float64 `json:"kbps"`
+	CopiesPerByte float64 `json:"copies_per_byte"`
+	CopiedBytes   int64   `json:"copied_bytes"`
+	AliasedBytes  int64   `json:"aliased_bytes"`
+	SplicedBytes  int64   `json:"spliced_bytes"`
+	Segments      int     `json:"segments"`
+
+	NsPerOp          int64   `json:"ns_per_op"`
+	BytesPerOp       int64   `json:"bytes_per_op"`
+	AllocsPerOp      int64   `json:"allocs_per_op"`
+	AllocsPerSegment float64 `json:"allocs_per_segment"`
+}
+
+// ProxyReport is the JSON document psdbench -proxy writes.
+type ProxyReport struct {
+	Label   string         `json:"label"`
+	Date    string         `json:"date,omitempty"`
+	Results []ProxyMetrics `json:"results"`
+}
+
+// proxyConfigs returns the three architectures the proxy comparison
+// runs on: the paper's headline library configuration and the two
+// baselines.
+func proxyConfigs() []SysConfig {
+	decs := DECConfigs()
+	return []SysConfig{decs[5], decs[0], decs[2]} // Library-SHM-IPF, Mach 2.5 kernel, UX server
+}
+
+// RunProxySuite measures every (configuration, mode) cell. totalBytes
+// sizes each transfer (0 means 4 MB).
+func RunProxySuite(totalBytes int) ([]ProxyMetrics, error) {
+	if totalBytes == 0 {
+		totalBytes = 4 << 20
+	}
+	var out []ProxyMetrics
+	for _, cfg := range proxyConfigs() {
+		for _, mode := range ProxyModes {
+			var last ProxyResult
+			var runErr error
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					last = RunProxy(cfg, mode, totalBytes)
+					if last.Err != nil {
+						runErr = last.Err
+						b.Fatalf("proxy %s/%s: %v", cfg.Name, mode, last.Err)
+					}
+				}
+			})
+			if runErr != nil {
+				return nil, fmt.Errorf("proxy %s/%s: %w", cfg.Name, mode, runErr)
+			}
+			m := ProxyMetrics{
+				Config:        cfg.Name,
+				Mode:          mode,
+				KBps:          last.KBps(),
+				CopiesPerByte: last.CopiesPerByte(),
+				CopiedBytes:   last.CopiedBytes,
+				AliasedBytes:  last.AliasedBytes,
+				SplicedBytes:  last.SplicedBytes,
+				Segments:      last.Segments,
+				NsPerOp:       res.NsPerOp(),
+				BytesPerOp:    res.AllocedBytesPerOp(),
+				AllocsPerOp:   res.AllocsPerOp(),
+			}
+			if last.Segments > 0 {
+				m.AllocsPerSegment = float64(res.AllocsPerOp()) / float64(last.Segments)
+			}
+			out = append(out, m)
+		}
+	}
+	return out, nil
+}
+
+// WriteProxyJSON writes a report as indented JSON.
+func WriteProxyJSON(w io.Writer, rep ProxyReport) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}

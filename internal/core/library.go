@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/costs"
 	"repro/internal/kern"
+	"repro/internal/mbuf"
 	"repro/internal/sim"
 	"repro/internal/socketapi"
 	"repro/internal/stack"
@@ -57,6 +58,7 @@ type appSession struct {
 
 var _ socketapi.API = (*Library)(nil)
 var _ socketapi.ZeroCopyAPI = (*Library)(nil)
+var _ socketapi.ChainAPI = (*Library)(nil)
 
 // NewLibrary creates an application process with its protocol library.
 func (sys *System) NewLibrary(name string) *Library {
@@ -683,6 +685,150 @@ func (lib *Library) RecvZC(t *sim.Proc, fd int, max int, flags int) ([]byte, soc
 	})
 	_ = n
 	return view, socketapi.SockAddr{Addr: from.IP, Port: from.Port}, err
+}
+
+// SendChain implements socketapi.ChainAPI. On a migrated session the
+// chain is surrendered to the library stack by reference — the true
+// zero-copy path. On a server-managed session the chain must cross the
+// RPC boundary, which is a copy; the gather list preserves the
+// scatter-gather shape.
+func (lib *Library) SendChain(t *sim.Proc, fd int, c *mbuf.Chain, flags int) (int, error) {
+	if c == nil {
+		c = mbuf.New()
+	}
+	s, err := lib.get(fd)
+	if err != nil {
+		c.Release()
+		return 0, err
+	}
+	if !s.local && s.proto == wire.ProtoUDP && !s.returned {
+		if err := lib.ensureBound(t, s); err != nil {
+			c.Release()
+			return 0, err
+		}
+	}
+	if !s.local {
+		var iov [][]byte
+		for it := c.Iter(); ; {
+			b, ok := it.Next()
+			if !ok {
+				break
+			}
+			iov = append(iov, b)
+		}
+		n := c.Len()
+		rep, err := lib.proxy(t, "sessionSend", pxSend{sid: s.id, iov: iov, oob: flags&socketapi.MsgOOB != 0}, n)
+		c.Release()
+		if err != nil {
+			return 0, err
+		}
+		return rep.(int), nil
+	}
+	if err := lib.ensureBound(t, s); err != nil {
+		c.Release()
+		return 0, err
+	}
+	return lib.St.SendChain(t, s.sock, c, stack.SendOpts{OOB: flags&socketapi.MsgOOB != 0})
+}
+
+// RecvPeek implements socketapi.ChainAPI. On a migrated session the
+// view aliases the library stack's receive queue; only the declared
+// ranges are materialized. On a server-managed session the data crosses
+// the RPC boundary as a copy with identical semantics.
+func (lib *Library) RecvPeek(t *sim.Proc, fd int, max int, ranges []socketapi.Range) (socketapi.RecvView, error) {
+	s, err := lib.get(fd)
+	if err != nil {
+		return socketapi.RecvView{}, err
+	}
+	if !s.local && s.proto == wire.ProtoUDP && !s.returned {
+		if err := lib.ensureBound(t, s); err != nil {
+			return socketapi.RecvView{}, err
+		}
+	}
+	if !s.local {
+		m := max
+		if m <= 0 {
+			if m, err = lib.GetSockOpt(t, fd, socketapi.SoRcvBuf); err != nil {
+				return socketapi.RecvView{}, err
+			}
+		}
+		rep, err := lib.proxy(t, "sessionRecv", pxRecv{sid: s.id, max: m, peek: true}, 32)
+		if err != nil {
+			return socketapi.RecvView{}, err
+		}
+		r := rep.(pxRecvReply)
+		view := mbuf.FromBytes(r.data)
+		return socketapi.RecvView{
+			Chain:  view,
+			Copied: socketapi.MaterializeRanges(view, ranges),
+			From:   socketapi.SockAddr{Addr: r.from.IP, Port: r.from.Port},
+		}, nil
+	}
+	view, copied, from, err := lib.St.RecvPeek(t, s.sock, max, ranges)
+	if err != nil {
+		return socketapi.RecvView{}, err
+	}
+	return socketapi.RecvView{
+		Chain:  view,
+		Copied: copied,
+		From:   socketapi.SockAddr{Addr: from.IP, Port: from.Port},
+	}, nil
+}
+
+// RecvRelease implements socketapi.ChainAPI.
+func (lib *Library) RecvRelease(t *sim.Proc, fd int, n int) error {
+	s, err := lib.get(fd)
+	if err != nil {
+		return err
+	}
+	if !s.local {
+		_, err := lib.proxy(t, "sessionDiscard", pxDiscard{sid: s.id, n: n}, 16)
+		return err
+	}
+	return lib.St.RecvRelease(t, s.sock, n)
+}
+
+// Splice implements socketapi.ChainAPI — the decomposed architecture's
+// headline forwarding path. Both sessions are returned to the
+// operating-system server (a "return" without close, exactly the fork
+// migration), and the server splices its two sockets directly: from
+// then on forwarded payload bytes flow server-side by reference and
+// are never copied out to — or even mapped into — the application.
+// After the call the sessions remain server-managed; subsequent
+// operations go via RPC and close via release.
+func (lib *Library) Splice(t *sim.Proc, dstFD, srcFD int, n int) (int, error) {
+	dst, err := lib.get(dstFD)
+	if err != nil {
+		return 0, err
+	}
+	src, err := lib.get(srcFD)
+	if err != nil {
+		return 0, err
+	}
+	if dst.proto != wire.ProtoTCP || src.proto != wire.ProtoTCP {
+		return 0, socketapi.ErrNotSupported
+	}
+	lib.quiesce(t)
+	for _, s := range []*appSession{dst, src} {
+		if !s.local {
+			continue
+		}
+		state, err := lib.St.ExportTCPSession(t, s.sock)
+		if err != nil {
+			return 0, err
+		}
+		s.local = false
+		s.returned = true
+		s.sock = nil
+		if _, err := lib.proxy(t, "return", pxReturn{sid: s.id, state: state}, state.WireSize()); err != nil {
+			return 0, err
+		}
+	}
+	rep, err := lib.proxy(t, "sessionSplice", pxSplice{dst: dst.id, src: src.id, n: n}, 32)
+	if err != nil {
+		return 0, err
+	}
+	return rep.(int), nil
 }
 
 func iovLen(iov [][]byte) int {

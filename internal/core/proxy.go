@@ -89,6 +89,16 @@ type pxRecvReply struct {
 	from stack.Addr
 }
 
+type pxDiscard struct {
+	sid SessionID
+	n   int
+}
+
+type pxSplice struct {
+	dst, src SessionID
+	n        int
+}
+
 type pxShutdown struct {
 	sid SessionID
 	how int
@@ -276,6 +286,29 @@ func (srv *Server) handle(t *sim.Proc, method string, args any) (any, error) {
 			return nil, err
 		}
 		return pxRecvReply{data: buf[:n], from: from}, nil
+
+	case "sessionDiscard":
+		a := args.(pxDiscard)
+		sess, err := srv.getServerLocated(a.sid)
+		if err != nil {
+			return nil, err
+		}
+		return nil, srv.St.RecvRelease(t, sess.srvSock, a.n)
+
+	case "sessionSplice":
+		// Both sessions live in the server after their "return": the
+		// pump runs entirely server-side, so forwarded payload bytes
+		// move by reference and are never mapped into the application.
+		a := args.(pxSplice)
+		dstSess, err := srv.getServerLocated(a.dst)
+		if err != nil {
+			return nil, err
+		}
+		srcSess, err := srv.getServerLocated(a.src)
+		if err != nil {
+			return nil, err
+		}
+		return srv.St.Splice(t, dstSess.srvSock, srcSess.srvSock, a.n)
 
 	case "sessionShutdown":
 		a := args.(pxShutdown)

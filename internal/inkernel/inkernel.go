@@ -15,6 +15,7 @@ import (
 
 	"repro/internal/costs"
 	"repro/internal/kern"
+	"repro/internal/mbuf"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -408,6 +409,87 @@ func (a *API) ExitProcess(t *sim.Proc) {
 // benchmark harness only advertises NEWAPI for library configurations).
 func (a *API) SendZC(t *sim.Proc, fd int, b []byte, flags int) (int, error) {
 	return a.Send(t, fd, b, flags)
+}
+
+var _ socketapi.ChainAPI = (*API)(nil)
+
+// SendChain implements socketapi.ChainAPI. The chain lives in
+// application memory, so crossing into the kernel costs the usual
+// copyin: the gather list is fed to the copying send path and the
+// chain released.
+func (a *API) SendChain(t *sim.Proc, fd int, c *mbuf.Chain, flags int) (int, error) {
+	e, err := a.get(fd)
+	if err != nil {
+		if c != nil {
+			c.Release()
+		}
+		return 0, err
+	}
+	var iov [][]byte
+	if c != nil {
+		for it := c.Iter(); ; {
+			b, ok := it.Next()
+			if !ok {
+				break
+			}
+			iov = append(iov, b)
+		}
+	}
+	n, serr := a.sys.St.Send(t, e.sock, iov, stack.SendOpts{OOB: flags&socketapi.MsgOOB != 0})
+	if c != nil {
+		c.Release()
+	}
+	return n, serr
+}
+
+// RecvPeek implements socketapi.ChainAPI: a copying emulation (the
+// kernel cannot hand the application an alias into kernel buffers), so
+// the view is a private copy and the requested ranges are sliced from
+// it. Semantics match the library implementation exactly.
+func (a *API) RecvPeek(t *sim.Proc, fd int, max int, ranges []socketapi.Range) (socketapi.RecvView, error) {
+	e, err := a.get(fd)
+	if err != nil {
+		return socketapi.RecvView{}, err
+	}
+	if max <= 0 {
+		max, _ = a.sys.St.GetOption(e.sock, socketapi.SoRcvBuf)
+	}
+	buf := make([]byte, max)
+	n, from, _, rerr := a.sys.St.Recv(t, e.sock, buf, stack.RecvOpts{Peek: true})
+	if rerr != nil {
+		return socketapi.RecvView{}, rerr
+	}
+	view := mbuf.FromBytes(buf[:n])
+	return socketapi.RecvView{
+		Chain:  view,
+		Copied: socketapi.MaterializeRanges(view, ranges),
+		From:   socketapi.SockAddr{Addr: from.IP, Port: from.Port},
+	}, nil
+}
+
+// RecvRelease implements socketapi.ChainAPI: consuming queued bytes is
+// a kernel-side operation with no copyout.
+func (a *API) RecvRelease(t *sim.Proc, fd int, n int) error {
+	e, err := a.get(fd)
+	if err != nil {
+		return err
+	}
+	return a.sys.St.RecvRelease(t, e.sock, n)
+}
+
+// Splice implements socketapi.ChainAPI. Both sockets live in the
+// kernel, so this is sendfile: the pump runs entirely below the
+// user/kernel boundary and no payload byte is copied.
+func (a *API) Splice(t *sim.Proc, dstFD, srcFD int, n int) (int, error) {
+	de, err := a.get(dstFD)
+	if err != nil {
+		return 0, err
+	}
+	se, err := a.get(srcFD)
+	if err != nil {
+		return 0, err
+	}
+	return a.sys.St.Splice(t, de.sock, se.sock, n)
 }
 
 // RecvZC implements socketapi.ZeroCopyAPI (copying fallback, see SendZC).

@@ -1,0 +1,143 @@
+package mbuf
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// The copy-on-write contract: WriteAt on a chain whose storage is
+// shared (a RecvPeek view, a retransmit-queue reference, a Clone) must
+// unshare the touched segments, mutating only the written chain. Every
+// other chain viewing the same storage keeps its original bytes.
+
+func TestWriteAtPrivateMutatesInPlace(t *testing.T) {
+	c := FromBytesCopy([]byte("hello world"))
+	c.WriteAt([]byte("WORLD"), 6)
+	if got := string(c.Bytes()); got != "hello WORLD" {
+		t.Fatalf("got %q", got)
+	}
+	c.Release()
+}
+
+func TestWriteAtSharedCopiesOnWrite(t *testing.T) {
+	// The retransmit-queue shape: the socket holds the chain, a segment
+	// in flight holds a CopyRegion of the same storage.
+	c := FromBytesCopy([]byte("in-flight-segment"))
+	inflight := c.CopyRegion(0, c.Len())
+	c.WriteAt([]byte("OVERWRITTEN"), 0)
+	if got := string(c.Bytes()); got != "OVERWRITTENegment" {
+		t.Fatalf("written chain = %q", got)
+	}
+	if got := string(inflight.Bytes()); got != "in-flight-segment" {
+		t.Fatalf("in-flight view corrupted: %q", got)
+	}
+	c.Release()
+	inflight.Release()
+}
+
+func TestWriteAtAcrossSegmentBoundary(t *testing.T) {
+	c := New()
+	c.AppendBytes([]byte("aaaa"))
+	c.AppendBytes([]byte("bbbb"))
+	c.AppendBytes([]byte("cccc"))
+	view := c.CopyRegion(0, c.Len())
+	c.WriteAt([]byte("XXXX"), 2) // spans segments 1 and 2
+	if got := string(c.Bytes()); got != "aaXXXXbbcccc" {
+		t.Fatalf("chain = %q", got)
+	}
+	if got := string(view.Bytes()); got != "aaaabbbbcccc" {
+		t.Fatalf("shared view corrupted: %q", got)
+	}
+	c.Release()
+	view.Release()
+}
+
+func TestWriteAtAliasSegmentUnshares(t *testing.T) {
+	// An aliased segment (FromBytes / AppendAlias) is never writable:
+	// WriteAt must copy it into pooled storage, leaving the caller's
+	// slice untouched.
+	orig := []byte("do-not-touch")
+	c := FromBytes(orig)
+	c.WriteAt([]byte("MUTATED"), 0)
+	if string(orig) != "do-not-touch" {
+		t.Fatalf("aliased app memory mutated: %q", orig)
+	}
+	if got := string(c.Bytes()); got != "MUTATEDtouch" {
+		t.Fatalf("chain = %q", got)
+	}
+	c.Release()
+}
+
+func TestWriteAtOutOfRangePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	c := FromBytesCopy([]byte("short"))
+	defer c.Release()
+	c.WriteAt([]byte("too long for this"), 2)
+}
+
+// TestQuickWriteAtCopyOnWrite is the randomized regression for the
+// RecvPeek-view scenario: random chains, random shared views standing
+// in for retransmit-queue references, random WriteAt range specs. The
+// shared views must always read back their original bytes, and the
+// written chain must match a flat-slice model.
+func TestQuickWriteAtCopyOnWrite(t *testing.T) {
+	f := func(seed int64, nviews, writes uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		// Build a chain of 1..8 segments with mixed storage.
+		c := New()
+		for i, nseg := 0, 1+rng.Intn(8); i < nseg; i++ {
+			data := make([]byte, 1+rng.Intn(600))
+			rng.Read(data)
+			if rng.Intn(3) == 0 {
+				c.AppendAlias(append([]byte{}, data...))
+			} else {
+				c.AppendBytes(data)
+			}
+		}
+		model := append([]byte{}, c.Bytes()...)
+
+		// Take shared views over random regions ("segments in flight").
+		type view struct {
+			ch   *Chain
+			want []byte
+		}
+		views := make([]view, 0, nviews%8)
+		for i := 0; i < int(nviews%8); i++ {
+			off := rng.Intn(c.Len())
+			n := 1 + rng.Intn(c.Len()-off)
+			v := c.CopyRegion(off, n)
+			views = append(views, view{ch: v, want: append([]byte{}, model[off:off+n]...)})
+		}
+
+		// Random writes into the chain (the app scribbling on its view).
+		for i := 0; i < int(writes%16); i++ {
+			off := rng.Intn(c.Len())
+			n := rng.Intn(c.Len() - off)
+			p := make([]byte, n)
+			rng.Read(p)
+			c.WriteAt(p, off)
+			copy(model[off:], p)
+		}
+
+		if !bytes.Equal(c.Bytes(), model) {
+			return false
+		}
+		for _, v := range views {
+			if !bytes.Equal(v.ch.Bytes(), v.want) {
+				return false
+			}
+			v.ch.Release()
+		}
+		c.Release()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

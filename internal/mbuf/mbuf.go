@@ -519,6 +519,48 @@ func (c *Chain) Pullup(n int) []byte {
 	return ns.b[off:]
 }
 
+// unshare replaces the segment's window with a private copy in a fresh
+// pooled backing array, dropping the reference to the shared (or
+// external) storage. Afterwards the segment is writable.
+func (s *seg) unshare() {
+	b := getBuf(s.n)
+	copy(b.b, s.b[s.off:s.off+s.n])
+	if s.owner != nil {
+		s.owner.release()
+	}
+	s.b, s.owner, s.off = b.b, b, 0
+}
+
+// WriteAt copies p into the chain at offset off with copy-on-write
+// semantics: any segment in the target range whose storage is shared
+// (refcount > 1) or external (FromBytes/AppendAlias) is first replaced
+// by a private copy, so other chains viewing the same storage — a
+// retransmission queue, a spliced peer, the socket receive buffer a
+// RecvPeek view aliases — never observe the write. It panics if the
+// range [off, off+len(p)) is not inside the chain.
+func (c *Chain) WriteAt(p []byte, off int) {
+	if off < 0 || off+len(p) > c.length {
+		panic(fmt.Sprintf("mbuf: WriteAt(%d bytes, off %d) out of range (len %d)", len(p), off, c.length))
+	}
+	if len(p) == 0 {
+		return
+	}
+	s := c.head
+	for off >= s.n {
+		off -= s.n
+		s = s.next
+	}
+	for len(p) > 0 {
+		if !s.writable() {
+			s.unshare()
+		}
+		n := copy(s.b[s.off+off:s.off+s.n], p)
+		p = p[n:]
+		off = 0
+		s = s.next
+	}
+}
+
 // Clone returns a storage-sharing copy of the entire chain.
 func (c *Chain) Clone() *Chain {
 	if c.length == 0 {

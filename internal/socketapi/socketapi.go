@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"time"
 
+	"repro/internal/mbuf"
 	"repro/internal/sim"
 	"repro/internal/wire"
 )
@@ -148,4 +149,93 @@ type ZeroCopyAPI interface {
 	// RecvZC returns a view of received data owned by the protocol,
 	// valid until the next RecvZC on the same descriptor.
 	RecvZC(t *sim.Proc, fd int, max int, flags int) ([]byte, SockAddr, error)
+}
+
+// Range names one byte range of a received view that RecvPeek must
+// materialize into a private copy (Libra-style selective copying: the
+// application declares exactly which bytes it needs as flat memory —
+// typically headers — and everything else stays aliased).
+type Range struct {
+	Off int // offset within the returned view
+	Len int // bytes to materialize
+}
+
+// RecvView is the result of a RecvPeek: an aliased, reference-counted
+// view of the socket's receive queue plus the selectively materialized
+// ranges the caller asked for.
+//
+// Chain shares storage with the receive queue; the bytes it views are
+// not consumed until RecvRelease. The caller may mutate the view
+// through Chain.WriteAt — copy-on-write keeps the receive queue and any
+// in-flight segments intact — and may SendChain the view onward (a
+// zero-copy forward). The caller owns Chain and must Release it (or
+// surrender it to SendChain) when done.
+type RecvView struct {
+	Chain  *mbuf.Chain // aliased view, up to max bytes; nil-length at EOF
+	Copied [][]byte    // one private copy per requested Range, clamped to the view
+	From   SockAddr    // datagram source (UDP only)
+}
+
+// MaterializeRanges builds the private flat copies a RecvPeek caller
+// asked for, clamping each range to the view. Implementations that
+// cannot alias protocol buffers use it to emulate selective copying
+// with identical semantics.
+func MaterializeRanges(view *mbuf.Chain, ranges []Range) [][]byte {
+	if len(ranges) == 0 {
+		return nil
+	}
+	out := make([][]byte, len(ranges))
+	for i, r := range ranges {
+		off, ln := r.Off, r.Len
+		if off < 0 {
+			off = 0
+		}
+		if off > view.Len() {
+			off = view.Len()
+		}
+		if ln < 0 || off+ln > view.Len() {
+			ln = view.Len() - off
+		}
+		b := make([]byte, ln)
+		view.ReadAt(b, off)
+		out[i] = b
+	}
+	return out
+}
+
+// ChainAPI is the scatter-gather/sendfile-style interface layered over
+// the refcounted mbuf chains: send surrenders a chain instead of
+// copying a flat buffer, receive returns an aliased view with selective
+// materialization, and Splice moves bytes socket-to-socket without the
+// application ever touching (or, in the decomposed architecture, even
+// mapping) the payload.
+//
+// All three architectures implement it. Where a protection boundary
+// makes true aliasing impossible (the in-kernel and server baselines'
+// send/receive paths), the implementation degrades to a copy with
+// identical semantics — exactly the contrast the proxy benchmark
+// measures.
+type ChainAPI interface {
+	// SendChain queues the chain's bytes on the connection, surrendering
+	// ownership of c (the callee releases it, possibly after
+	// retransmission). Blocks until every byte is queued. c may be nil
+	// or empty.
+	SendChain(t *sim.Proc, fd int, c *mbuf.Chain, flags int) (int, error)
+
+	// RecvPeek blocks until data is available (or EOF/error) and returns
+	// a view of up to max bytes without consuming them, materializing
+	// the requested ranges. Call RecvRelease to consume.
+	RecvPeek(t *sim.Proc, fd int, max int, ranges []Range) (RecvView, error)
+
+	// RecvRelease consumes n bytes from the receive queue (for UDP, the
+	// front datagram regardless of n), advancing the flow-control
+	// window. Views previously returned by RecvPeek remain valid: they
+	// hold their own storage references.
+	RecvRelease(t *sim.Proc, fd int, n int) error
+
+	// Splice moves up to n payload bytes from srcFD's receive queue to
+	// dstFD's send queue without copying, blocking until n bytes have
+	// moved or srcFD reaches EOF. Both descriptors must be connected
+	// TCP streams. Returns the number of bytes moved.
+	Splice(t *sim.Proc, dstFD, srcFD int, n int) (int, error)
 }

@@ -41,6 +41,12 @@ func (st *Stack) SetMetrics(sc *metrics.Scope) {
 	sc.Counter("checksum_errors_udp", &s.UDPChecksumErrors)
 	sc.Counter("checksum_errors_icmp", &s.ICMPChecksumErrors)
 	sc.Counter("drops", &s.Drops)
+	sc.Counter("sock_copied_bytes", &s.SockCopiedBytes)
+	sc.Counter("sock_aliased_bytes", &s.SockAliasedBytes)
+	sc.Counter("splice_ops", &s.SpliceOps)
+	sc.Counter("splice_bytes", &s.SpliceBytes)
+	sc.Counter("zc_rx_bytes", &s.ZeroCopyRxBytes)
+	sc.Counter("selective_copy_bytes", &s.SelectiveCopyBytes)
 	sc.GaugeFunc("checksum_errors", func() int64 { return int64(s.ChecksumErrors()) })
 
 	st.mRTT = sc.Histogram("rtt_ns")
@@ -93,6 +99,10 @@ type SocketInfo struct {
 	State  string `json:"state"` // TCP state; "-" for UDP
 	RecvQ  int    `json:"recv_q"`
 	SendQ  int    `json:"send_q"`
+	// Chain-API activity on this socket (lifetime byte counts).
+	SplicedBytes  int64 `json:"spliced_bytes"`  // moved through Splice (as source or sink)
+	ZeroCopyRx    int64 `json:"zc_rx_bytes"`    // returned as RecvPeek aliased views
+	SelectiveCopy int64 `json:"sel_copy_bytes"` // materialized by CopyRanges specs
 }
 
 // SocketTable reads the live socket tables into a deterministic,
@@ -122,9 +132,12 @@ func (st *Stack) SocketTable() []SocketInfo {
 	out := make([]SocketInfo, 0, len(socks))
 	for _, sk := range socks {
 		info := SocketInfo{
-			Stack:  st.cfg.Name,
-			Local:  sk.local,
-			Remote: sk.remote,
+			Stack:         st.cfg.Name,
+			Local:         sk.local,
+			Remote:        sk.remote,
+			SplicedBytes:  sk.splicedBytes,
+			ZeroCopyRx:    sk.zcRxBytes,
+			SelectiveCopy: sk.selCopyBytes,
 		}
 		switch sk.Proto {
 		case wire.ProtoTCP:

@@ -35,6 +35,11 @@ type Socket struct {
 	reuseAddr              bool
 	keepAlive              bool
 
+	// Chain-API accounting (psdstat -s surfaces these per socket).
+	splicedBytes int64 // bytes moved through Splice, as source or sink
+	zcRxBytes    int64 // bytes returned as RecvPeek aliased views
+	selCopyBytes int64 // bytes materialized by CopyRanges specs
+
 	err               error // so_error: async errors delivered to the next call
 	rdShut, wrShut    bool
 	closed            bool
@@ -321,11 +326,13 @@ func (st *Stack) Send(t *sim.Proc, s *Socket, iov [][]byte, opts SendOpts) (int,
 			for _, b := range iov {
 				payload.AppendChain(mbuf.FromBytes(b))
 			}
+			st.Stats.SockAliasedBytes.Add(uint64(total))
 		} else {
 			payload = mbuf.New()
 			for _, b := range iov {
 				payload.AppendBytes(b)
 			}
+			st.Stats.SockCopiedBytes.Add(uint64(total))
 		}
 		src := s.local
 		if src.IP.IsZero() {
@@ -359,8 +366,10 @@ func (st *Stack) Send(t *sim.Proc, s *Socket, iov [][]byte, opts SendOpts) (int,
 				}
 				if opts.ZeroCopy {
 					s.snd.appendRef(b[:n])
+					st.Stats.SockAliasedBytes.Add(uint64(n))
 				} else {
 					s.snd.appendBytes(b[:n])
+					st.Stats.SockCopiedBytes.Add(uint64(n))
 				}
 				if opts.OOB && n == len(b) {
 					// Urgent pointer covers through the last byte written.
@@ -439,6 +448,7 @@ func (st *Stack) Recv(t *sim.Proc, s *Socket, p []byte, opts RecvOpts) (int, Add
 			if !opts.Peek {
 				d.data.Release()
 			}
+			st.Stats.SockCopiedBytes.Add(uint64(len(b))) // flattening the view is a copy
 			st.charge(t, false, costs.CompCopyoutExit, len(b))
 			return len(b), d.from, b, nil
 		}
@@ -446,6 +456,7 @@ func (st *Stack) Recv(t *sim.Proc, s *Socket, p []byte, opts RecvOpts) (int, Add
 		if !opts.Peek {
 			d.data.Release() // rest of datagram is discarded, as BSD does
 		}
+		st.Stats.SockCopiedBytes.Add(uint64(n))
 		st.charge(t, false, costs.CompCopyoutExit, n)
 		return n, d.from, nil, nil
 
@@ -474,10 +485,13 @@ func (st *Stack) Recv(t *sim.Proc, s *Socket, p []byte, opts RecvOpts) (int, Add
 			view = c.Bytes()
 			n = len(view)
 			c.Release()
+			st.Stats.SockCopiedBytes.Add(uint64(n)) // flattening the view is a copy
 		} else if opts.Peek {
 			n = s.rcv.data.ReadAt(p, 0)
+			st.Stats.SockCopiedBytes.Add(uint64(n))
 		} else {
 			n = s.rcv.readInto(p)
+			st.Stats.SockCopiedBytes.Add(uint64(n))
 		}
 		if !opts.Peek {
 			// Receive window opened; let the peer know if it matters.

@@ -192,6 +192,20 @@ type Stats struct {
 	UDPChecksumErrors  metrics.Counter
 	ICMPChecksumErrors metrics.Counter
 	Drops              metrics.Counter
+
+	// Socket-layer data-movement accounting for the chain API. Copied
+	// counts payload bytes physically copied crossing the socket layer
+	// (BSD copyin/copyout, fallback paths); Aliased counts bytes moved
+	// by reference only (SendChain, zero-copy sends, RecvPeek views,
+	// splice). copies/byte for a workload is SockCopiedBytes over total
+	// payload.
+	SockCopiedBytes  metrics.Counter
+	SockAliasedBytes metrics.Counter
+	// Splice/selective-copy activity (sendfile-style forwarding).
+	SpliceOps          metrics.Counter
+	SpliceBytes        metrics.Counter
+	ZeroCopyRxBytes    metrics.Counter // bytes returned as RecvPeek aliased views
+	SelectiveCopyBytes metrics.Counter // bytes materialized by CopyRanges specs
 }
 
 // ChecksumErrors is the total number of inbound packets discarded for a

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"repro/internal/kern"
+	"repro/internal/mbuf"
 	"repro/internal/sim"
 	"repro/internal/socketapi"
 	"repro/internal/stack"
@@ -312,4 +313,95 @@ func (a *API) RecvZC(t *sim.Proc, fd int, max int, flags int) ([]byte, socketapi
 	buf := make([]byte, max)
 	n, from, err := a.RecvFrom(t, fd, buf, flags)
 	return buf[:n], from, err
+}
+
+var _ socketapi.ChainAPI = (*API)(nil)
+
+// SendChain implements socketapi.ChainAPI. The chain's segments cross
+// the RPC boundary as a gather list; the server's socket layer copies
+// them (a server cannot alias application memory), so this is the
+// copying path with scatter-gather framing.
+func (a *API) SendChain(t *sim.Proc, fd int, c *mbuf.Chain, flags int) (int, error) {
+	h, err := a.lookup(fd)
+	if err != nil {
+		if c != nil {
+			c.Release()
+		}
+		return 0, err
+	}
+	var iov [][]byte
+	if c != nil {
+		for it := c.Iter(); ; {
+			b, ok := it.Next()
+			if !ok {
+				break
+			}
+			iov = append(iov, b)
+		}
+	}
+	rep, err := a.call(t, "send", sendArgs{h: h, iov: iov, oob: flags&socketapi.MsgOOB != 0})
+	if c != nil {
+		c.Release()
+	}
+	if err != nil {
+		return 0, err
+	}
+	return rep.(int), nil
+}
+
+// RecvPeek implements socketapi.ChainAPI: the peeked bytes are copied
+// out of the server in the RPC reply (same copy the BSD path pays),
+// and the requested ranges are sliced from that private copy.
+func (a *API) RecvPeek(t *sim.Proc, fd int, max int, ranges []socketapi.Range) (socketapi.RecvView, error) {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return socketapi.RecvView{}, err
+	}
+	if max <= 0 {
+		if max, err = a.GetSockOpt(t, fd, socketapi.SoRcvBuf); err != nil {
+			return socketapi.RecvView{}, err
+		}
+	}
+	rep, err := a.call(t, "recv", recvArgs{h: h, max: max, peek: true})
+	if err != nil {
+		return socketapi.RecvView{}, err
+	}
+	r := rep.(recvReply)
+	view := mbuf.FromBytes(r.data)
+	return socketapi.RecvView{
+		Chain:  view,
+		Copied: socketapi.MaterializeRanges(view, ranges),
+		From:   socketapi.SockAddr{Addr: r.from.IP, Port: r.from.Port},
+	}, nil
+}
+
+// RecvRelease implements socketapi.ChainAPI: consuming queued bytes
+// happens inside the server, no data crosses back.
+func (a *API) RecvRelease(t *sim.Proc, fd int, n int) error {
+	h, err := a.lookup(fd)
+	if err != nil {
+		return err
+	}
+	_, err = a.call(t, "discard", fdArgs{h: h, n: n})
+	return err
+}
+
+// Splice implements socketapi.ChainAPI: one RPC sets up a pump between
+// two server-resident sockets. The forwarded payload never leaves the
+// server's address space — the strongest case for the server
+// architecture, and the path the proxy benchmark measures.
+func (a *API) Splice(t *sim.Proc, dstFD, srcFD int, n int) (int, error) {
+	dh, err := a.lookup(dstFD)
+	if err != nil {
+		return 0, err
+	}
+	sh, err := a.lookup(srcFD)
+	if err != nil {
+		return 0, err
+	}
+	rep, err := a.call(t, "splice", spliceArgs{dh: dh, sh: sh, n: n})
+	if err != nil {
+		return 0, err
+	}
+	return rep.(int), nil
 }

@@ -179,6 +179,7 @@ type selectArgs struct {
 }
 type selectReply struct{ read, write []int }
 type optArgs struct{ h, opt, value int }
+type spliceArgs struct{ dh, sh, n int }
 
 // handle dispatches one RPC inside a server worker thread.
 func (sys *System) handle(t *sim.Proc, method string, args any) (any, error) {
@@ -309,6 +310,27 @@ func (sys *System) handle(t *sim.Proc, method string, args any) (any, error) {
 			return nil, socketapi.ErrNotConn
 		}
 		return ra, nil
+	case "discard":
+		a := args.(fdArgs)
+		e, err := sys.getHandle(a.h)
+		if err != nil {
+			return nil, err
+		}
+		return nil, sys.St.RecvRelease(t, e.sock, a.n)
+	case "splice":
+		// Both sockets live in the server, so the pump runs entirely
+		// inside it: forwarded payload bytes are never copied out to
+		// (or even mapped into) the application.
+		a := args.(spliceArgs)
+		de, err := sys.getHandle(a.dh)
+		if err != nil {
+			return nil, err
+		}
+		se, err := sys.getHandle(a.sh)
+		if err != nil {
+			return nil, err
+		}
+		return sys.St.Splice(t, de.sock, se.sock, a.n)
 	case "select":
 		a := args.(selectArgs)
 		deadline := t.Now().Add(a.timeout)

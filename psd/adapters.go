@@ -1,0 +1,247 @@
+package psd
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/wire"
+)
+
+// Composable protocol adapters in the dsock style: each adapter is a
+// single-feature protocol object that layers one concern — framing,
+// inspection, a modeled transform — over a message port, and adapters
+// stack in any order. They are built entirely on the chain interface
+// (SendChain / RecvPeek / RecvRelease), so a stack of adapters adds
+// protocol function without adding data copies: payloads move by
+// reference from the application through every adapter into the
+// protocol, and back.
+
+// MsgPort is the composition surface: a bidirectional port carrying
+// delimited messages as buffer chains. SendMsg surrenders ownership of
+// the chain; RecvMsg transfers ownership to the caller (the caller
+// releases it or sends it onward).
+type MsgPort interface {
+	SendMsg(t *Thread, c *Chain) error
+	RecvMsg(t *Thread) (*Chain, error)
+}
+
+// frameHdrLen is the length-prefix framing header: a 4-byte big-endian
+// payload length.
+const frameHdrLen = 4
+
+// maxFrame bounds a frame's payload so a corrupt header cannot demand
+// an absurd allocation.
+const maxFrame = 1 << 24
+
+// Framer layers length-prefix message delimiting over a connected TCP
+// stream. Sending prepends the 4-byte header into the chain's leading
+// space (no copy of the payload); receiving uses RecvPeek with a
+// selective-copy range that materializes only the header, leaving the
+// payload aliased to protocol storage.
+type Framer struct {
+	API ChainApp
+	FD  int
+
+	// pending holds consumed-but-undelivered stream bytes when a frame
+	// arrives split across segments.
+	pending *Chain
+}
+
+// NewFramer frames messages over the connected stream fd of app, which
+// must provide the chain interface.
+func NewFramer(app App, fd int) *Framer {
+	c, ok := ChainOps(app)
+	if !ok {
+		panic("psd: app does not provide the chain interface")
+	}
+	return &Framer{API: c, FD: fd}
+}
+
+// SendMsg writes one length-delimited frame. The header is prepended
+// in place; the payload chain is surrendered by reference.
+func (f *Framer) SendMsg(t *Thread, c *Chain) error {
+	if c == nil {
+		c = NewChain()
+	}
+	n := c.Len()
+	if n > maxFrame {
+		c.Release()
+		return fmt.Errorf("psd: frame payload %d exceeds %d", n, maxFrame)
+	}
+	hdr := c.Prepend(frameHdrLen)
+	binary.BigEndian.PutUint32(hdr, uint32(n))
+	_, err := f.API.SendChain(t, f.FD, c, 0)
+	return err
+}
+
+// RecvMsg reads one frame and returns its payload as a chain aliasing
+// protocol receive storage. Only the 4 header bytes are ever
+// materialized; the payload is never flattened. Returns io.EOF at a
+// clean end of stream between frames, io.ErrUnexpectedEOF inside one.
+func (f *Framer) RecvMsg(t *Thread) (*Chain, error) {
+	if f.pending == nil {
+		f.pending = NewChain()
+	}
+	if f.pending.Len() == 0 {
+		// Fast path: the receive queue already holds a whole frame. One
+		// peek materializes the header (selective copy) and the payload
+		// is carved out of the aliased view.
+		view, err := f.API.RecvPeek(t, f.FD, 0, []Range{{Off: 0, Len: frameHdrLen}})
+		if err != nil {
+			return nil, err
+		}
+		got := view.Chain.Len()
+		if got == 0 {
+			view.Chain.Release()
+			return nil, io.EOF
+		}
+		if got >= frameHdrLen {
+			n := int(binary.BigEndian.Uint32(view.Copied[0]))
+			if n > maxFrame {
+				view.Chain.Release()
+				return nil, fmt.Errorf("psd: frame header claims %d bytes", n)
+			}
+			if got >= frameHdrLen+n {
+				view.Chain.TrimBack(got - (frameHdrLen + n))
+				view.Chain.TrimFront(frameHdrLen)
+				if err := f.API.RecvRelease(t, f.FD, frameHdrLen+n); err != nil {
+					view.Chain.Release()
+					return nil, err
+				}
+				return view.Chain, nil
+			}
+		}
+		// Partial frame: consume what we saw and assemble below.
+		if err := f.API.RecvRelease(t, f.FD, got); err != nil {
+			view.Chain.Release()
+			return nil, err
+		}
+		f.pending.AppendChain(view.Chain)
+		view.Chain.Release()
+	}
+	for f.pending.Len() < frameHdrLen {
+		if err := f.fill(t); err != nil {
+			return nil, err
+		}
+	}
+	var hdr [frameHdrLen]byte
+	f.pending.ReadAt(hdr[:], 0)
+	n := int(binary.BigEndian.Uint32(hdr[:]))
+	if n > maxFrame {
+		return nil, fmt.Errorf("psd: frame header claims %d bytes", n)
+	}
+	for f.pending.Len() < frameHdrLen+n {
+		if err := f.fill(t); err != nil {
+			return nil, err
+		}
+	}
+	f.pending.TrimFront(frameHdrLen)
+	msg := f.pending
+	f.pending = msg.Split(n)
+	return msg, nil
+}
+
+// fill consumes whatever the receive queue holds into pending, by
+// reference, blocking for at least one byte.
+func (f *Framer) fill(t *Thread) error {
+	view, err := f.API.RecvPeek(t, f.FD, 0, nil)
+	if err != nil {
+		return err
+	}
+	got := view.Chain.Len()
+	if got == 0 {
+		view.Chain.Release()
+		return io.ErrUnexpectedEOF // stream ended mid-frame
+	}
+	if err := f.API.RecvRelease(t, f.FD, got); err != nil {
+		view.Chain.Release()
+		return err
+	}
+	f.pending.AppendChain(view.Chain)
+	view.Chain.Release()
+	return nil
+}
+
+// ChecksumInspector layers checksum-only inspection over a message
+// port: every message passing in either direction is summed with the
+// Internet checksum directly from the chain — segment by segment, no
+// flattening, no copy — the way a verifying middlebox or protocol
+// trailer stage would. The payload passes through untouched.
+type ChecksumInspector struct {
+	Port MsgPort
+
+	SentMsgs, RecvdMsgs   int
+	SentBytes, RecvdBytes int
+	LastSent, LastRecvd   uint16 // checksum of the most recent message each way
+}
+
+// SendMsg checksums the outgoing message and passes it down.
+func (ci *ChecksumInspector) SendMsg(t *Thread, c *Chain) error {
+	var ck wire.Checksummer
+	ck.AddChain(c)
+	ci.LastSent = ck.Sum()
+	ci.SentMsgs++
+	ci.SentBytes += c.Len()
+	return ci.Port.SendMsg(t, c)
+}
+
+// RecvMsg receives a message, checksums it, and passes it up.
+func (ci *ChecksumInspector) RecvMsg(t *Thread) (*Chain, error) {
+	c, err := ci.Port.RecvMsg(t)
+	if err != nil {
+		return nil, err
+	}
+	var ck wire.Checksummer
+	ck.AddChain(c)
+	ci.LastRecvd = ck.Sum()
+	ci.RecvdMsgs++
+	ci.RecvdBytes += c.Len()
+	return c, nil
+}
+
+// CompressionModel layers the cost model of a compression stage over a
+// message port: it charges virtual CPU time proportional to the bytes
+// scanned and accounts the wire bytes a real compressor at Ratio would
+// have produced, without transforming the payload. It answers the
+// sizing question — does compression pay at this link speed and CPU
+// cost? — composably, the same way the cost tables price the copyin
+// and checksum stages.
+type CompressionModel struct {
+	Port MsgPort
+
+	// Ratio is the modeled compressed/original size (0.6 = 40% saved).
+	Ratio float64
+	// PerByte is the modeled CPU cost of scanning one byte, charged as
+	// virtual time on the calling thread in both directions.
+	PerByte time.Duration
+
+	// BytesIn counts payload bytes through the stage; BytesModeled is
+	// what they would have become on the wire at Ratio.
+	BytesIn, BytesModeled int
+}
+
+func (cm *CompressionModel) charge(t *Thread, n int) {
+	if cm.PerByte > 0 && n > 0 {
+		t.Sleep(time.Duration(n) * cm.PerByte)
+	}
+	cm.BytesIn += n
+	cm.BytesModeled += int(float64(n) * cm.Ratio)
+}
+
+// SendMsg models compressing the message, then passes it down.
+func (cm *CompressionModel) SendMsg(t *Thread, c *Chain) error {
+	cm.charge(t, c.Len())
+	return cm.Port.SendMsg(t, c)
+}
+
+// RecvMsg receives a message and models decompressing it.
+func (cm *CompressionModel) RecvMsg(t *Thread) (*Chain, error) {
+	c, err := cm.Port.RecvMsg(t)
+	if err != nil {
+		return nil, err
+	}
+	cm.charge(t, c.Len())
+	return c, nil
+}

@@ -1,0 +1,175 @@
+package psd_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+	"time"
+
+	"repro/psd"
+)
+
+// TestAdapterStackAcrossArchitectures runs the same composed protocol —
+// compression model over checksum inspection over length-prefix framing
+// over TCP — on every architecture. The adapters are built purely on
+// the chain interface, so the composition works wherever ChainApp does.
+func TestAdapterStackAcrossArchitectures(t *testing.T) {
+	archs := []struct {
+		name string
+		a    psd.Arch
+	}{
+		{"decomposed", psd.Decomposed()},
+		{"inkernel", psd.InKernel()},
+		{"server", psd.ServerBased()},
+	}
+	msgs := [][]byte{
+		[]byte("first"),
+		bytes.Repeat([]byte("second-message-"), 400), // spans many segments
+		{}, // empty frame
+		[]byte("last"),
+	}
+	for _, ac := range archs {
+		ac := ac
+		t.Run(ac.name, func(t *testing.T) {
+			n := psd.New(21)
+			hostA := n.Host("a", "10.0.0.1", ac.a)
+			hostB := n.Host("b", "10.0.0.2", ac.a)
+			srv := hostB.NewApp("msgsrv")
+			cli := hostA.NewApp("msgcli")
+			var srvCk, cliCk psd.ChecksumInspector
+
+			n.Spawn("server", func(p *psd.Thread) {
+				lfd, _ := srv.Socket(p, psd.SockStream)
+				srv.Bind(p, lfd, psd.SockAddr{Port: 4321})
+				srv.Listen(p, lfd, 4)
+				cfd, _, err := srv.Accept(p, lfd)
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				srvCk.Port = psd.NewFramer(srv, cfd)
+				port := &psd.CompressionModel{Port: &srvCk, Ratio: 0.6, PerByte: 10 * time.Nanosecond}
+				// Echo every frame back by reference until EOF.
+				for {
+					m, err := port.RecvMsg(p)
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					if err := port.SendMsg(p, m); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+				srv.Close(p, cfd)
+				srv.Close(p, lfd)
+			})
+			n.Spawn("client", func(p *psd.Thread) {
+				p.Sleep(time.Millisecond)
+				fd, _ := cli.Socket(p, psd.SockStream)
+				if err := cli.Connect(p, fd, hostB.Addr(4321)); err != nil {
+					t.Error(err)
+					return
+				}
+				cliCk.Port = psd.NewFramer(cli, fd)
+				port := &psd.CompressionModel{Port: &cliCk, Ratio: 0.6, PerByte: 10 * time.Nanosecond}
+				for _, want := range msgs {
+					if err := port.SendMsg(p, psd.ChainOf(want)); err != nil {
+						t.Error(err)
+						return
+					}
+					m, err := port.RecvMsg(p)
+					if err != nil {
+						t.Error(err)
+						return
+					}
+					got := make([]byte, m.Len())
+					m.ReadAt(got, 0)
+					m.Release()
+					if !bytes.Equal(got, want) {
+						t.Errorf("echo mismatch: got %d bytes, want %d", len(got), len(want))
+					}
+				}
+				cli.Close(p, fd)
+			})
+			if err := n.Run(); err != nil {
+				t.Fatal(err)
+			}
+			if srvCk.RecvdMsgs != len(msgs) || cliCk.RecvdMsgs != len(msgs) {
+				t.Fatalf("inspector counts: srv %d cli %d", srvCk.RecvdMsgs, cliCk.RecvdMsgs)
+			}
+			// The same bytes crossed both inspectors; the last sums must
+			// agree in both directions.
+			if srvCk.LastRecvd != cliCk.LastSent || cliCk.LastRecvd != srvCk.LastSent {
+				t.Fatalf("checksums disagree: srv(%04x/%04x) cli(%04x/%04x)",
+					srvCk.LastSent, srvCk.LastRecvd, cliCk.LastSent, cliCk.LastRecvd)
+			}
+		})
+	}
+}
+
+// TestFramerSplitFrames drives the slow path: frames arriving split
+// across many small sends must reassemble by reference.
+func TestFramerSplitFrames(t *testing.T) {
+	n := psd.New(23)
+	hostA := n.Host("a", "10.0.0.1", psd.Decomposed())
+	hostB := n.Host("b", "10.0.0.2", psd.Decomposed())
+	srv := hostB.NewApp("frag")
+	cli := hostA.NewApp("fragcli")
+	payload := bytes.Repeat([]byte("z"), 3000)
+	var got []byte
+
+	n.Spawn("server", func(p *psd.Thread) {
+		lfd, _ := srv.Socket(p, psd.SockStream)
+		srv.Bind(p, lfd, psd.SockAddr{Port: 4322})
+		srv.Listen(p, lfd, 4)
+		cfd, _, err := srv.Accept(p, lfd)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		fr := psd.NewFramer(srv, cfd)
+		m, err := fr.RecvMsg(p)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		got = make([]byte, m.Len())
+		m.ReadAt(got, 0)
+		m.Release()
+		srv.Close(p, cfd)
+		srv.Close(p, lfd)
+	})
+	n.Spawn("client", func(p *psd.Thread) {
+		p.Sleep(time.Millisecond)
+		fd, _ := cli.Socket(p, psd.SockStream)
+		if err := cli.Connect(p, fd, hostB.Addr(4322)); err != nil {
+			t.Error(err)
+			return
+		}
+		// Hand-build the frame and dribble it out in small writes with
+		// pauses so the receiver sees partial frames.
+		frame := append([]byte{0, 0, byte(len(payload) >> 8), byte(len(payload))}, payload...)
+		for off := 0; off < len(frame); off += 100 {
+			end := off + 100
+			if end > len(frame) {
+				end = len(frame)
+			}
+			if _, err := cli.Send(p, fd, frame[off:end], 0); err != nil {
+				t.Error(err)
+				return
+			}
+			p.Sleep(200 * time.Microsecond)
+		}
+		cli.Close(p, fd)
+	})
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatalf("reassembled %d bytes", len(got))
+	}
+}

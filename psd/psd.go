@@ -29,6 +29,7 @@ import (
 	"repro/internal/costs"
 	"repro/internal/fault"
 	"repro/internal/inkernel"
+	"repro/internal/mbuf"
 	"repro/internal/metrics"
 	"repro/internal/sim"
 	"repro/internal/simnet"
@@ -83,6 +84,19 @@ type (
 	// ZeroCopyApp is the optional NEWAPI shared-buffer interface (§4.2);
 	// only Decomposed hosts provide a meaningful implementation.
 	ZeroCopyApp = socketapi.ZeroCopyAPI
+	// ChainApp is the chain-based scatter-gather/sendfile interface:
+	// SendChain, RecvPeek/RecvRelease, and cross-socket Splice. Every
+	// architecture implements it; only Decomposed aliases storage on the
+	// send/receive paths (the baselines degrade to copies), and Splice
+	// forwards without mapping payload into the application at all.
+	ChainApp = socketapi.ChainAPI
+	// Chain is a refcounted scatter-gather buffer chain.
+	Chain = mbuf.Chain
+	// Range declares one byte range RecvPeek must materialize.
+	Range = socketapi.Range
+	// RecvView is RecvPeek's result: an aliased chain plus the
+	// selectively materialized ranges.
+	RecvView = socketapi.RecvView
 	// Thread is a simulated thread of execution.
 	Thread = sim.Proc
 	// SockAddr is an Internet socket address.
@@ -493,6 +507,25 @@ func Addr(ip string, port uint16) SockAddr {
 
 // NewFDSet builds a descriptor set for Select.
 func NewFDSet(fds ...int) FDSet { return socketapi.NewFDSet(fds...) }
+
+// NewChain returns an empty buffer chain.
+func NewChain() *Chain { return mbuf.New() }
+
+// ChainOf wraps b in a chain without copying. The chain aliases b: the
+// caller must not mutate b while the chain (or any chain it was moved
+// into) is live. Ideal for static payloads such as file contents.
+func ChainOf(b []byte) *Chain { return mbuf.FromBytes(b) }
+
+// ChainCopy copies b into pooled, refcounted chain storage.
+func ChainCopy(b []byte) *Chain { return mbuf.FromBytesCopy(b) }
+
+// ChainOps returns the chain-based interface of an App. Every
+// architecture in this repository provides it, so ok is false only for
+// foreign App implementations.
+func ChainOps(app App) (ChainApp, bool) {
+	c, ok := app.(ChainApp)
+	return c, ok
+}
 
 // Segment exposes the raw Ethernet segment for monitoring tools
 // (promiscuous capture); applications should not touch the wire directly.
