@@ -47,12 +47,15 @@ func main() {
 	traceDir := flag.String("trace", "", "record every run on the flight recorder and dump the slowest run's trace (text, pcap, Chrome JSON) into this directory")
 	jsonOut := flag.String("json", "", "run the wall-clock hot-path suite and write BENCH_hotpath-style JSON to this file (\"-\" for stdout)")
 	metricsOut := flag.String("metrics", "", "run the metrics-registry digest suite and write BENCH_metrics-style JSON to this file (\"-\" for stdout)")
-	proxyOut := flag.String("proxy", "", "run the proxy forwarding suite (bsd vs chain vs splice on three architectures) and write BENCH_proxy-style JSON to this file (\"-\" for stdout)")
+	proxyOut := flag.String("proxy", "", "run the proxy forwarding suite (bsd vs chain vs splice on every architecture column) and write BENCH_proxy-style JSON to this file (\"-\" for stdout)")
 	proxyMB := flag.Int("proxy-mb", 4, "bytes forwarded per -proxy cell, in MB")
+	offloadRun := flag.Bool("offload", false, "run the NIC-offload comparison suite (tcp-steady at several offered loads, splice proxy, churn on all four architecture columns)")
+	offloadOut := flag.String("offload-json", "", "with -offload, also write a BENCH_offload-style JSON report to this file (\"-\" for stdout)")
 	scenarios := flag.Bool("scenarios", false, "run the internet-scale scenario suite (all scenarios x all architectures) and gate on its SLOs")
 	scenariosOut := flag.String("scenarios-json", "", "with -scenarios, also write a BENCH_scenarios-style JSON report to this file (\"-\" for stdout)")
 	scenarioSeed := flag.Int64("scenario-seed", 1, "seed for -scenarios traffic generators")
 	scale := flag.Bool("scale", false, "run the sharded-simulation scale sweep (RunCity at growing host counts, classic loop vs shard groups) and gate on conservation laws plus the multi-shard speedup")
+	scaleArch := flag.String("scale-arch", "decomposed", "architecture for the -scale city workload (decomposed, inkernel, server, offload)")
 	scaleOut := flag.String("scale-json", "", "with -scale, also write a BENCH_scale-style JSON report to this file (\"-\" for stdout)")
 	scaleHosts := flag.Int("scale-hosts", 10000, "largest host count for the -scale sweep")
 	scaleSeed := flag.Int64("scale-seed", 1, "seed for the -scale city workload")
@@ -130,7 +133,9 @@ func main() {
 
 	if *list {
 		ran = true
-		for _, c := range append(append(bench.DECConfigs(), bench.I486Configs()...), bench.NewAPIConfigs()...) {
+		all := append(append(bench.DECConfigs(), bench.I486Configs()...), bench.NewAPIConfigs()...)
+		all = append(all, bench.OffloadConfig())
+		for _, c := range all {
 			fmt.Printf("%-24s %s\n", c.Platform, c.Name)
 		}
 	}
@@ -193,6 +198,13 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if *all || *offloadRun {
+		ran = true
+		if err := runOffload(*offloadOut, *benchLabel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 	if *scenarios {
 		ran = true
 		if err := runScenarios(*scenariosOut, *benchLabel, *scenarioSeed); err != nil {
@@ -209,7 +221,7 @@ func main() {
 				shardCounts = append(shardCounts, *shards)
 			}
 		}
-		if err := runScale(*scaleOut, *benchLabel, *scaleSeed, *scaleHosts, shardCounts); err != nil {
+		if err := runScale(*scaleOut, *benchLabel, *scaleArch, *scaleSeed, *scaleHosts, shardCounts); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -235,7 +247,7 @@ func main() {
 
 // headlineConfig is the configuration the registry digest runs against:
 // the paper's headline Library-SHM-IPF system.
-func headlineConfig() bench.SysConfig { return bench.DECConfigs()[5] }
+func headlineConfig() bench.SysConfig { return bench.HeadlineConfig() }
 
 // runHotpath measures the wall-clock hot path and writes the JSON
 // report, including the registry digest of the headline configuration.

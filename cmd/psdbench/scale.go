@@ -7,6 +7,7 @@ import (
 	"io"
 	"os"
 	"os/exec"
+	"runtime"
 	"time"
 
 	"repro/psd"
@@ -22,6 +23,7 @@ import (
 
 // ScalePoint is one measured (workload size, scheduler shape) cell.
 type ScalePoint struct {
+	Arch           string  `json:"arch,omitempty"`
 	Hosts          int     `json:"hosts"`
 	Districts      int     `json:"districts"`
 	Conns          int     `json:"conns"`
@@ -33,6 +35,10 @@ type ScalePoint struct {
 	Events         uint64  `json:"events"`
 	EventsPerSec   float64 `json:"events_per_sec"`
 	Windows        uint64  `json:"windows,omitempty"`
+	// AllocsPerWindow is heap allocations per synchronization window
+	// (sharded cells only) — the window-loop efficiency gauge. Cells run
+	// in fresh child processes, so the malloc counter sees one run.
+	AllocsPerWindow float64 `json:"allocs_per_window,omitempty"`
 }
 
 // ScaleReport is one BENCH_scale.json entry.
@@ -46,7 +52,7 @@ type ScaleReport struct {
 // scaleCity sizes a city to roughly the requested host count: 100
 // hosts per district (10 echo servers, 90 clients), one connection per
 // client, a quarter of them crossing districts over the trunks.
-func scaleCity(seed int64, hosts, shards int, single bool) psd.CityConfig {
+func scaleCity(seed int64, hosts, shards int, single bool, arch psd.Arch) psd.CityConfig {
 	districts := hosts / 100
 	if districts < 1 {
 		districts = 1
@@ -60,7 +66,7 @@ func scaleCity(seed int64, hosts, shards int, single bool) psd.CityConfig {
 		CrossEvery:         4,
 		OrphanEvery:        16,
 		MsgBytes:           256,
-		Arch:               psd.Decomposed(),
+		Arch:               arch,
 		Shards:             shards,
 		SingleThreaded:     single,
 		TrunkProp:          time.Millisecond,
@@ -69,10 +75,11 @@ func scaleCity(seed int64, hosts, shards int, single bool) psd.CityConfig {
 
 // pointSpec is the child-process work order for one cell.
 type pointSpec struct {
-	Seed   int64 `json:"seed"`
-	Hosts  int   `json:"hosts"`
-	Shards int   `json:"shards"`
-	Single bool  `json:"single"`
+	Seed   int64  `json:"seed"`
+	Arch   string `json:"arch"`
+	Hosts  int    `json:"hosts"`
+	Shards int    `json:"shards"`
+	Single bool   `json:"single"`
 }
 
 // scalePointFlag is the internal child mode: measure one cell and print
@@ -89,7 +96,10 @@ func runScalePointCmd(spec string) error {
 	if err := json.Unmarshal([]byte(spec), &ps); err != nil {
 		return fmt.Errorf("scale-point: %w", err)
 	}
-	p, err := runScalePoint(ps.Seed, ps.Hosts, ps.Shards, ps.Single)
+	if ps.Arch == "" {
+		ps.Arch = "decomposed"
+	}
+	p, err := runScalePoint(ps.Seed, ps.Arch, ps.Hosts, ps.Shards, ps.Single)
 	if err != nil {
 		return err
 	}
@@ -97,12 +107,12 @@ func runScalePointCmd(spec string) error {
 }
 
 // spawnScalePoint measures one cell in a fresh child process.
-func spawnScalePoint(seed int64, hosts, shards int, single bool) (ScalePoint, error) {
+func spawnScalePoint(seed int64, archName string, hosts, shards int, single bool) (ScalePoint, error) {
 	exe, err := os.Executable()
 	if err != nil {
 		return ScalePoint{}, err
 	}
-	spec, _ := json.Marshal(pointSpec{Seed: seed, Hosts: hosts, Shards: shards, Single: single})
+	spec, _ := json.Marshal(pointSpec{Seed: seed, Arch: archName, Hosts: hosts, Shards: shards, Single: single})
 	cmd := exec.Command(exe, "-scale-point", string(spec))
 	cmd.Stderr = os.Stderr
 	out, err := cmd.Output()
@@ -117,11 +127,19 @@ func spawnScalePoint(seed int64, hosts, shards int, single bool) (ScalePoint, er
 }
 
 // runScalePoint executes one cell and folds the run into a point.
-func runScalePoint(seed int64, hosts, shards int, single bool) (ScalePoint, error) {
-	cfg := scaleCity(seed, hosts, shards, single)
+func runScalePoint(seed int64, archName string, hosts, shards int, single bool) (ScalePoint, error) {
+	arch, err := archByName(archName)
+	if err != nil {
+		return ScalePoint{}, fmt.Errorf("scale: %w", err)
+	}
+	cfg := scaleCity(seed, hosts, shards, single, arch())
+	var msBefore runtime.MemStats
+	runtime.ReadMemStats(&msBefore)
 	start := time.Now()
 	rep, err := psd.RunCity(cfg)
 	real := time.Since(start)
+	var msAfter runtime.MemStats
+	runtime.ReadMemStats(&msAfter)
 	if err != nil {
 		return ScalePoint{}, fmt.Errorf("scale: hosts=%d shards=%d: %w", hosts, shards, err)
 	}
@@ -133,6 +151,7 @@ func runScalePoint(seed int64, hosts, shards int, single bool) (ScalePoint, erro
 	// variable under test.
 	virt := float64(rep.Snapshot.At) / float64(time.Second)
 	p := ScalePoint{
+		Arch:           archName,
 		Hosts:          rep.Hosts,
 		Districts:      rep.Districts,
 		Conns:          rep.ConnsPlan,
@@ -145,6 +164,9 @@ func runScalePoint(seed int64, hosts, shards int, single bool) (ScalePoint, erro
 		EventsPerSec:   float64(rep.DispatchedTotal) / real.Seconds(),
 		Windows:        rep.Windows,
 	}
+	if rep.Windows > 0 {
+		p.AllocsPerWindow = float64(msAfter.Mallocs-msBefore.Mallocs) / float64(rep.Windows)
+	}
 	return p, nil
 }
 
@@ -153,9 +175,15 @@ func runScalePoint(seed int64, hosts, shards int, single bool) (ScalePoint, erro
 // none). The sweep fails if any conservation law fails, or if no
 // multi-shard run at the largest host count beats the classic
 // single-loop baseline on sim_per_real.
-func runScale(path, label string, seed int64, maxHosts int, shardCounts []int) error {
+func runScale(path, label, archName string, seed int64, maxHosts int, shardCounts []int) error {
 	if label == "" {
 		label = "psdbench"
+	}
+	if archName == "" {
+		archName = "decomposed"
+	}
+	if _, err := archByName(archName); err != nil {
+		return fmt.Errorf("scale: %w", err)
 	}
 	hostSteps := []int{2500, 10000, 40000, 100000}
 	var hosts []int
@@ -169,12 +197,13 @@ func runScale(path, label string, seed int64, maxHosts int, shardCounts []int) e
 	}
 
 	rep := ScaleReport{Label: label, Date: time.Now().UTC().Format("2006-01-02"), Seed: seed}
-	fmt.Printf("%8s %10s %7s %8s %10s %10s %12s %9s\n",
-		"hosts", "conns", "shards", "virt_s", "real_s", "sim/real", "events", "windows")
+	fmt.Printf("Scale sweep (arch %s)\n", archName)
+	fmt.Printf("%8s %10s %7s %8s %10s %10s %12s %9s %11s\n",
+		"hosts", "conns", "shards", "virt_s", "real_s", "sim/real", "events", "windows", "allocs/win")
 	var baseline, bestMulti float64
 	for _, h := range hosts {
 		for _, k := range shardCounts {
-			p, err := spawnScalePoint(seed, h, k, false)
+			p, err := spawnScalePoint(seed, archName, h, k, false)
 			if err != nil {
 				return err
 			}
@@ -183,7 +212,7 @@ func runScale(path, label string, seed int64, maxHosts int, shardCounts []int) e
 				// twice and keep the faster run, so single-run timing
 				// noise cannot flip the speedup verdict. The simulation
 				// itself is deterministic — only wall time varies.
-				p2, err := spawnScalePoint(seed, h, k, false)
+				p2, err := spawnScalePoint(seed, archName, h, k, false)
 				if err != nil {
 					return err
 				}
@@ -196,8 +225,12 @@ func runScale(path, label string, seed int64, maxHosts int, shardCounts []int) e
 			if k > 0 {
 				mode = fmt.Sprintf("%d", k)
 			}
-			fmt.Printf("%8d %10d %7s %8.1f %10.2f %10.1f %12d %9d\n",
-				p.Hosts, p.Conns, mode, p.VirtSeconds, p.RealSeconds, p.SimPerReal, p.Events, p.Windows)
+			apw := "-"
+			if p.AllocsPerWindow > 0 {
+				apw = fmt.Sprintf("%.0f", p.AllocsPerWindow)
+			}
+			fmt.Printf("%8d %10d %7s %8.1f %10.2f %10.1f %12d %9d %11s\n",
+				p.Hosts, p.Conns, mode, p.VirtSeconds, p.RealSeconds, p.SimPerReal, p.Events, p.Windows, apw)
 			if h == hosts[len(hosts)-1] {
 				if k == 0 {
 					baseline = p.SimPerReal

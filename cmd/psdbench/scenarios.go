@@ -19,15 +19,6 @@ type ScenarioReport struct {
 	Results []*psd.ScenarioResult `json:"results"`
 }
 
-var scenarioArchs = []struct {
-	name string
-	arch func() psd.Arch
-}{
-	{"decomposed", psd.Decomposed},
-	{"inkernel", psd.InKernel},
-	{"server", psd.ServerBased},
-}
-
 // runScenarios executes every named scenario on every architecture,
 // prints the verdict table (and SLO details for failures), and writes a
 // BENCH_scenarios-style JSON entry to path ("-" for stdout, "" for
@@ -48,9 +39,9 @@ func runScenarios(path, label string, seed int64) error {
 		"scenario", "arch", "reqs", "errs", "p50", "p99", "conn-p99", "drops", "rexmit", "verdict")
 	failed := 0
 	for _, name := range psd.ScenarioNames() {
-		for _, a := range scenarioArchs {
+		for _, a := range archFlavors {
 			res, err := psd.RunScenario(psd.ScenarioConfig{
-				Name: name, Seed: seed, Arch: a.arch(), ArchName: a.name,
+				Name: name, Seed: seed, Arch: a.New(), ArchName: a.Name,
 			})
 			if err != nil {
 				return err

@@ -110,10 +110,37 @@ func NewAPIConfigs() []SysConfig {
 	}
 }
 
+// OffloadConfig returns the fourth architecture column: the decomposed
+// system with the simulated NIC offload engine attached (TSO/GSO
+// segmentation, LRO coalescing, checksum offload, adaptive interrupt
+// moderation). Not a paper row — it extends the paper's three-way
+// comparison with the "move per-packet work onto the NIC" step the
+// follow-on literature argues for.
+func OffloadConfig() SysConfig {
+	return SysConfig{Name: "Mach 3.0+UX Library-SHM-IPF-OFFLOAD", Platform: "DECstation 5000/200", Kind: KindCore,
+		Prof: costs.DECLibrarySHMIPFOffload(), SrvProf: costs.DECServerUX(), RcvBufKB: 120}
+}
+
+// Columns is the shared architecture registry for the comparison suites
+// (the psdbench default suite, -proxy, -scenarios, -scale): one
+// representative per architecture — in-kernel, server, decomposed
+// library — plus the offload column, in presentation order. Subcommands
+// take their architecture lists from here so a new column appears
+// everywhere at once.
+func Columns() []SysConfig {
+	decs := DECConfigs()
+	return []SysConfig{decs[0], decs[2], decs[5], OffloadConfig()}
+}
+
+// HeadlineConfig is the paper's headline configuration (Library-SHM-IPF
+// on the DECstation), the reference column the others compare against.
+func HeadlineConfig() SysConfig { return DECConfigs()[5] }
+
 // FindConfig returns the registered configuration with the given name and
 // platform prefix, for ad-hoc runs.
 func FindConfig(name string) (SysConfig, error) {
 	all := append(append(DECConfigs(), I486Configs()...), NewAPIConfigs()...)
+	all = append(all, OffloadConfig())
 	for _, c := range all {
 		if c.Name == name {
 			return c, nil

@@ -313,13 +313,10 @@ type ProxyReport struct {
 	Results []ProxyMetrics `json:"results"`
 }
 
-// proxyConfigs returns the three architectures the proxy comparison
-// runs on: the paper's headline library configuration and the two
-// baselines.
-func proxyConfigs() []SysConfig {
-	decs := DECConfigs()
-	return []SysConfig{decs[5], decs[0], decs[2]} // Library-SHM-IPF, Mach 2.5 kernel, UX server
-}
+// proxyConfigs returns the architectures the proxy comparison runs
+// on: the shared registry, so the proxy tables carry the same columns
+// as the default suite, -scenarios, and -scale.
+func proxyConfigs() []SysConfig { return Columns() }
 
 // RunProxySuite measures every (configuration, mode) cell. totalBytes
 // sizes each transfer (0 means 4 MB).

@@ -30,7 +30,7 @@ func TestProxySpliceZeroCopy(t *testing.T) {
 		}
 	}
 
-	library := proxyConfigs()[0]
+	library := HeadlineConfig()
 	r := RunProxy(library, "chain", total)
 	if r.Err != nil {
 		t.Fatalf("library/chain: %v", r.Err)
@@ -56,7 +56,7 @@ func TestProxyAllocBudget(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc accounting run skipped in -short")
 	}
-	cfg := proxyConfigs()[0] // Library-SHM-IPF
+	cfg := HeadlineConfig() // Library-SHM-IPF
 	segs := 0
 	run := func() {
 		r := RunProxy(cfg, "splice", 2<<20)

@@ -6,6 +6,7 @@ import (
 	"repro/internal/costs"
 	"repro/internal/kern"
 	"repro/internal/mbuf"
+	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/socketapi"
 	"repro/internal/stack"
@@ -96,6 +97,10 @@ func (sys *System) NewLibrary(name string) *Library {
 		// A library only sees its own sessions' packets; strays are
 		// migration races, never protocol errors.
 		QuietOrphans: true,
+		// With an offload engine on the host NIC, libraries hand it
+		// super-segments and skip software checksumming.
+		TSOMaxPayload:   offload.TSOFor(sys.Host.Prof),
+		ChecksumOffload: sys.Host.Prof.Offload.Enabled,
 	})
 	lib.St.StartTimers(lib.Proc.GoDaemon)
 	sys.Server.libs = append(sys.Server.libs, lib)

@@ -25,6 +25,7 @@ import (
 	"repro/internal/costs"
 	"repro/internal/kern"
 	"repro/internal/metrics"
+	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/stack"
@@ -223,6 +224,10 @@ func New(s *sim.Sim, seg *simnet.Segment, name string, mac wire.MAC, ip wire.IPA
 		OrphanFilter: func(proto uint8, local, remote stack.Addr) bool {
 			return srv.appSessionMatches(proto, local.IP, local.Port, remote.IP, remote.Port)
 		},
+		// The host NIC's offload engine (when attached) serves every
+		// stack on the host, the server's included.
+		TSOMaxPayload:   offload.TSOFor(sys.Host.Prof),
+		ChecksumOffload: sys.Host.Prof.Offload.Enabled,
 	})
 	// Library caches are invalidated whenever shared metastate changes.
 	srv.St.ARP().OnChange = func(ip wire.IPAddr) {

@@ -165,6 +165,32 @@ func (d Delivery) String() string {
 	return "unknown"
 }
 
+// OffloadCosts prices a simulated NIC offload engine. The charges are
+// NIC-side virtual time — they serialize frames through the engine's own
+// pipeline, not the host CPU, which is the point of offloading — but they
+// are metered into the metrics registry so the engine's work is visible
+// next to the software components. Enabled gates the whole engine: a
+// zero-value OffloadCosts means the host has a plain NIC.
+type OffloadCosts struct {
+	Enabled bool
+
+	// TxSetup is charged once per transmit super-segment: descriptor
+	// setup and parsing the header template.
+	TxSetup Lin
+	// TxSegment is charged per wire frame sliced out of a super-segment:
+	// header replication and field patching.
+	TxSegment Lin
+	// Checksum is charged per frame checksummed (transmit) or verified
+	// (receive) on the NIC; the per-byte part dominates.
+	Checksum Lin
+	// RxMerge is charged per received frame examined by the coalescing
+	// (LRO) unit, whether or not it merges.
+	RxMerge Lin
+	// RxFlush is charged per coalesced super-segment delivered up to the
+	// host receive path.
+	RxFlush Lin
+}
+
 // Profile is the complete cost model for one system configuration.
 type Profile struct {
 	Name  string
@@ -172,6 +198,11 @@ type Profile struct {
 	// Delivery applies to StyleLibrary only.
 	Delivery Delivery
 	Costs    ProtoCosts
+
+	// Offload, when Enabled, attaches the simulated NIC offload engine
+	// (TSO/GSO segmentation, LRO coalescing, checksum offload, adaptive
+	// interrupt moderation) to hosts built with this profile.
+	Offload OffloadCosts
 
 	// IPCRecvPerPacket is an extra per-packet charge in the application's
 	// receive loop when packets arrive as individual IPC messages

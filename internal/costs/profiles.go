@@ -152,6 +152,54 @@ func DECLibrarySHMIPF() Profile {
 	}
 }
 
+// SWChecksumShare is the fraction of the per-byte slope a software
+// in_cksum pass contributes to a fused copy+checksum loop on the R3000
+// (one load+add+carry per word against a load/store pair). Offload
+// profiles subtract it when the checksum moves to the NIC; user-space
+// byte-scan stages (the psd adapters) price their per-byte work with
+// it, so both directions of the calibration share one constant.
+const SWChecksumShare = 0.45
+
+// DECLibrarySHMIPFOffload derives the fourth receive architecture from
+// the instrumented Library-SHM-IPF profile: a NIC that segments
+// (TSO/GSO), coalesces (LRO), checksums, and moderates interrupts on its
+// own pipeline, so per-packet software work either disappears or is
+// amortized over super-segments.
+//
+// Software-side adjustments, both directions:
+//
+//   - the transport checksum moves onto the NIC, so the per-byte share
+//     of the fused copy+checksum pass (CompEtherOutput on send) and of
+//     transport input (CompTransportInput on receive) drops to the copy
+//     alone. The checksum share is taken as 45% of the per-byte slope,
+//     the fraction an in_cksum pass contributes to a combined
+//     copy+checksum loop on the R3000 (one load+add+carry per word vs. a
+//     load/store pair).
+//
+// NIC-side costs are charged on the engine pipeline (see
+// internal/offload): an ASIC touches data at better than wire rate, so
+// the per-byte slopes sit well under the 800 ns/B wire and never become
+// the bottleneck; the fixed parts model descriptor handling.
+func DECLibrarySHMIPFOffload() Profile {
+	p := DECLibrarySHMIPF()
+	p.Name = "Mach 3.0+UX Library-SHM-IPF-OFFLOAD"
+	p.Costs.applyBoth(CompEtherOutput, func(l Lin) Lin {
+		return Lin{FixedNS: l.FixedNS, PerByteNS: l.PerByteNS * (1 - SWChecksumShare)}
+	})
+	p.Costs.applyBoth(CompTransportInput, func(l Lin) Lin {
+		return Lin{FixedNS: l.FixedNS, PerByteNS: l.PerByteNS * (1 - SWChecksumShare)}
+	})
+	p.Offload = OffloadCosts{
+		Enabled:   true,
+		TxSetup:   Lin{FixedNS: 8_000},                // descriptor + header template parse
+		TxSegment: Lin{FixedNS: 2_000},                // per sliced frame: header patch
+		Checksum:  Lin{FixedNS: 1_500, PerByteNS: 10}, // ASIC checksum, ~80x wire rate
+		RxMerge:   Lin{FixedNS: 2_000},                // per frame through the LRO unit
+		RxFlush:   Lin{FixedNS: 4_000},                // per super-segment delivered
+	}
+	return p
+}
+
 // DECLibrarySHM derives the shared-memory (non-integrated) variant: the
 // device interrupt copies the whole packet into a kernel buffer first
 // (the kernel profile's device read cost), after which the copy into the

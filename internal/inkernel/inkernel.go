@@ -17,6 +17,7 @@ import (
 	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/metrics"
+	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
@@ -82,6 +83,10 @@ func New(s *sim.Sim, seg *simnet.Segment, name string, mac wire.MAC, ip wire.IPA
 		Ports:    stack.NewLocalPorts(),
 
 		MaxTCPPayload: quirkMax(prof),
+
+		// NIC offload engine hookup (profiles that enable it).
+		TSOMaxPayload:   offload.TSOFor(sys.Host.Prof),
+		ChecksumOffload: sys.Host.Prof.Offload.Enabled,
 	})
 
 	// The software-interrupt thread: drains the device queue and runs

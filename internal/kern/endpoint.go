@@ -158,6 +158,7 @@ func (e *Endpoint) Recv(p *sim.Proc) (Packet, bool) {
 	if waited {
 		// How many packets accumulated while this receiver slept — the
 		// effective wakeup batch size.
+		e.host.Wakeups.Inc()
 		e.host.mWakeBatch.Observe(int64(e.pending()))
 	}
 	pkt := e.pop()

@@ -17,6 +17,7 @@ import (
 	"repro/internal/costs"
 	"repro/internal/filter"
 	"repro/internal/metrics"
+	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -35,6 +36,13 @@ type Host struct {
 
 	IP  wire.IPAddr
 	NIC *simnet.NIC
+
+	// Offload is the simulated NIC offload engine, attached when the
+	// profile's Offload.Enabled is set. It sits between the NIC and the
+	// host: transmitted frames go through it (TSO slicing, checksum
+	// fill) and received frames pass its LRO/verify/moderation stage
+	// before the device-interrupt path runs.
+	Offload *offload.Engine
 
 	Filters   *filter.Set
 	egress    *filter.Set
@@ -65,6 +73,12 @@ type Host struct {
 	DeliveredSHM    metrics.Counter
 	DeliveredSHMIPF metrics.Counter
 
+	// Wakeups counts receiver sleep→wake transitions: a Recv that had to
+	// block and was later signalled. Segments delivered per wakeup is
+	// the architecture-comparison headline the moderation/LRO column
+	// improves, so the counter lives here for every architecture.
+	Wakeups metrics.Counter
+
 	// Histograms, allocated only when SetMetrics is called; Observe on
 	// nil is a single check.
 	mQueueDepth *metrics.Histogram // endpoint queue occupancy after each delivery
@@ -84,8 +98,12 @@ func (h *Host) SetMetrics(hs *metrics.Scope) {
 		return
 	}
 	h.NIC.BindMetrics(hs.Sub("nic"))
+	if h.Offload != nil {
+		h.Offload.BindMetrics(hs.Sub("nic").Sub("offload"))
+	}
 	ks := hs.Sub("kern")
 	ks.Counter("rx_frames", &h.RxFrames)
+	ks.Counter("wakeups", &h.Wakeups)
 	ks.Counter("rx_dropped", &h.RxDropped)
 	ks.Counter("tx_blocked", &h.TxBlocked)
 	ks.Counter("delivery_bytes", &h.DeliveryBytes)
@@ -124,6 +142,16 @@ func NewHost(s *sim.Sim, seg *simnet.Segment, name string, mac wire.MAC, ip wire
 	}
 	h.NIC = seg.AttachNamed(name, mac)
 	h.NIC.Rx = h.rx
+	if prof.Offload.Enabled {
+		h.Offload = offload.New(offload.Config{
+			Sim:   s,
+			Name:  name,
+			NIC:   h.NIC,
+			Up:    h.rx,
+			Costs: prof.Offload,
+		})
+		h.NIC.Rx = h.Offload.Rx
+	}
 	return h
 }
 
@@ -304,6 +332,9 @@ func (h *Host) Transmit(frame []byte) error {
 			h.TxBlocked.Inc()
 			return nil // silently dropped, like a firewall
 		}
+	}
+	if h.Offload != nil {
+		return h.Offload.Transmit(frame)
 	}
 	return h.NIC.Transmit(frame)
 }

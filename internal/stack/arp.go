@@ -2,7 +2,6 @@ package stack
 
 import (
 	"bytes"
-	"sort"
 	"time"
 
 	"repro/internal/sim"
@@ -32,6 +31,8 @@ type arpEngine struct {
 	// PendingDropped counts output packets dropped because resolution
 	// failed or the per-entry queue overflowed.
 	PendingDropped int
+
+	timoIPs []wire.IPAddr // timo scratch, reused across ticks
 }
 
 type arpEntry struct {
@@ -183,11 +184,19 @@ func (a *arpEngine) input(t *sim.Proc, body []byte) {
 // medium, so an unordered walk would let two runs with the same seed
 // send them in different orders and diverge.
 func (a *arpEngine) timo(t *sim.Proc) {
-	ips := make([]wire.IPAddr, 0, len(a.entries))
+	if len(a.entries) == 0 {
+		return
+	}
+	ips := a.timoIPs[:0]
 	for ip := range a.entries {
 		ips = append(ips, ip)
 	}
-	sort.Slice(ips, func(i, j int) bool { return bytes.Compare(ips[i][:], ips[j][:]) < 0 })
+	for i := 1; i < len(ips); i++ { // allocation-free, entries are few
+		for j := i; j > 0 && bytes.Compare(ips[j][:], ips[j-1][:]) < 0; j-- {
+			ips[j], ips[j-1] = ips[j-1], ips[j]
+		}
+	}
+	a.timoIPs = ips
 	for _, ip := range ips {
 		e := a.entries[ip]
 		e.ttlTicks--

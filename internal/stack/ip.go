@@ -105,7 +105,10 @@ func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, s
 	}
 
 	total := wire.IPv4HeaderLen + seg.Len()
-	if total <= wire.EthMTU {
+	// A TSO super-segment exceeds the MTU on purpose: it leaves as one
+	// oversized frame for the NIC engine to slice, bypassing IP
+	// fragmentation entirely.
+	if total <= wire.EthMTU || (tcp && st.cfg.TSOMaxPayload > 0) {
 		return st.emitIP(t, tcp, wire.IPv4Header{
 			TotalLen: uint16(total),
 			ID:       st.nextIPID(),
@@ -164,6 +167,7 @@ func (st *Stack) ipOutput(t *sim.Proc, tcp bool, proto uint8, dst wire.IPAddr, s
 // plus the full segment) and writes it at ckOff within the chain,
 // replacing *seg with a flat copy if the header bytes are shared.
 func (st *Stack) patchTransportChecksum(seg **mbuf.Chain, proto uint8, dst wire.IPAddr, ckOff int) {
+	st.Stats.SwChecksumBytes.Add(uint64((*seg).Len()))
 	var ck wire.Checksummer
 	ck.PseudoHeader(st.cfg.LocalIP, dst, proto, uint16((*seg).Len()))
 	ck.AddChain(*seg)
@@ -204,13 +208,18 @@ func (st *Stack) emitIP(t *sim.Proc, tcp bool, h wire.IPv4Header, nextHop wire.I
 	h.Marshal(frame[wire.EthHeaderLen : wire.EthHeaderLen+wire.IPv4HeaderLen])
 
 	// One pass copies the transport segment into the frame and folds it
-	// into the checksum (the paper's integrated copy/checksum).
+	// into the checksum (the paper's integrated copy/checksum). With
+	// checksum offload the copy still happens but the field is left
+	// zero for the NIC engine to fill, and no software-checksum bytes
+	// are accounted.
+	sw := ckOff >= 0 && !st.cfg.ChecksumOffload
 	var ck wire.Checksummer
-	if ckOff >= 0 {
+	if sw {
 		ck.PseudoHeader(h.Src, h.Dst, h.Proto, uint16(payload.Len()))
 	}
 	ck.CopyAndSum(frame[wire.EthHeaderLen+wire.IPv4HeaderLen:], payload)
-	if ckOff >= 0 {
+	if sw {
+		st.Stats.SwChecksumBytes.Add(uint64(int(h.TotalLen) - wire.IPv4HeaderLen))
 		sum := ck.Sum()
 		if h.Proto == wire.ProtoUDP && sum == 0 {
 			sum = 0xffff
@@ -260,7 +269,14 @@ func (st *Stack) ipInput(t *sim.Proc, eh wire.EthHeader, pkt []byte) {
 	tcp := h.Proto == wire.ProtoTCP
 	st.charge(t, tcp, costs.CompIPIntr, len(body))
 
+	// With checksum offload the NIC engine has already verified (and
+	// dropped bad) unfragmented TCP/UDP segments — but the engine passes
+	// fragments through untouched, so reassembled datagrams still get
+	// the software pass.
+	st.rxVerified = st.cfg.ChecksumOffload
+
 	if h.IsFragment() {
+		st.rxVerified = false
 		full, ok := st.ipReassemble(t, h, body)
 		if !ok {
 			return
@@ -349,11 +365,19 @@ func (st *Stack) ipReassemble(t *sim.Proc, h wire.IPv4Header, body []byte) ([]by
 // Keys are walked in sorted order so that expiry — and any traffic it
 // ever triggers — happens in the same order on every run.
 func (st *Stack) ipReasmTimo(t *sim.Proc) {
-	keys := make([]reasmKey, 0, len(st.reasm))
+	if len(st.reasm) == 0 {
+		return // the steady-state case; keep the periodic tick free
+	}
+	keys := st.timoKeys[:0]
 	for k := range st.reasm {
 		keys = append(keys, k)
 	}
-	sort.Slice(keys, func(i, j int) bool { return keys[i].less(keys[j]) })
+	for i := 1; i < len(keys); i++ { // allocation-free, entries are few
+		for j := i; j > 0 && keys[j].less(keys[j-1]); j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+	st.timoKeys = keys
 	for _, k := range keys {
 		e := st.reasm[k]
 		e.ttlTick--

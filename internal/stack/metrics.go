@@ -47,6 +47,8 @@ func (st *Stack) SetMetrics(sc *metrics.Scope) {
 	sc.Counter("splice_bytes", &s.SpliceBytes)
 	sc.Counter("zc_rx_bytes", &s.ZeroCopyRxBytes)
 	sc.Counter("selective_copy_bytes", &s.SelectiveCopyBytes)
+	sc.Counter("sw_checksum_bytes", &s.SwChecksumBytes)
+	sc.Counter("tso_sends", &s.TSOSends)
 	sc.GaugeFunc("checksum_errors", func() int64 { return int64(s.ChecksumErrors()) })
 
 	st.mRTT = sc.Histogram("rtt_ns")

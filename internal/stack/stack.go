@@ -111,6 +111,20 @@ type Config struct {
 	// sockets (per-socket TCPNoDelay also exists).
 	DisableNagle bool
 
+	// TSOMaxPayload, when nonzero, enables TSO/GSO-style segmentation
+	// offload: tcp_output may emit one oversized frame carrying up to
+	// this many payload bytes, and the NIC offload engine — not the
+	// stack — slices it into MSS-sized wire frames. The send queue keeps
+	// holding the unsegmented byte stream, so retransmission after a
+	// dropped slice works unchanged.
+	TSOMaxPayload int
+
+	// ChecksumOffload, when true, moves transport checksumming to the
+	// NIC engine: outbound TCP/UDP frames leave the stack with a zero
+	// checksum field for the engine to fill, and inbound verification is
+	// skipped (the engine already verified and dropped bad frames).
+	ChecksumOffload bool
+
 	// QuietOrphans suppresses RST and ICMP-unreachable responses to
 	// segments that match no local socket. Library stacks set it: they
 	// only ever see their own sessions' traffic, and a stray segment
@@ -149,6 +163,20 @@ type Stack struct {
 	arp       *arpEngine // nil for library stacks (server resolves)
 	icmpEcho  map[uint16]*sim.Cond
 	timerStop func()
+
+	// Timer-tick scratch, reused across ticks so the periodic walks
+	// (tcp_fasttimo, tcp_slowtimo, reassembly expiry) allocate nothing
+	// in steady state. The timers fire on every host several times per
+	// virtual second, so at city scale these were the simulator's
+	// dominant allocation site.
+	timoSocks []*Socket
+	timoKeys  []reasmKey
+
+	// rxVerified is set by ipInput before dispatching to a transport:
+	// true when the NIC engine already verified this segment's checksum
+	// (checksum offload, unfragmented), so the software pass is skipped.
+	// Guarded by mu like all input-path state.
+	rxVerified bool
 
 	// mu serializes protocol processing, playing the role of BSD's
 	// splnet/priority-level machinery: application calls, input
@@ -206,6 +234,16 @@ type Stats struct {
 	SpliceBytes        metrics.Counter
 	ZeroCopyRxBytes    metrics.Counter // bytes returned as RecvPeek aliased views
 	SelectiveCopyBytes metrics.Counter // bytes materialized by CopyRanges specs
+
+	// SwChecksumBytes counts transport-segment bytes the stack ran its
+	// software checksum over — computed on output or verified on input.
+	// With checksum offload the NIC engine does this work instead, so
+	// the counter is the direct measure of what offloading removed.
+	SwChecksumBytes metrics.Counter
+
+	// TSOSends counts oversized (> MSS) segments handed to the NIC
+	// engine for segmentation.
+	TSOSends metrics.Counter
 }
 
 // ChecksumErrors is the total number of inbound packets discarded for a

@@ -111,9 +111,10 @@ type tcpcb struct {
 	rcvAdv uint32 // highest advertised window edge
 
 	// Congestion control.
-	cwnd     uint32
-	ssthresh uint32
-	dupAcks  int
+	cwnd      uint32
+	ssthresh  uint32
+	cwndAcked uint32 // bytes ACKed toward the next avoidance increment (RFC 3465)
+	dupAcks   int
 
 	// Round-trip timing (Jacobson/Karn).
 	srtt      float64 // smoothed RTT, ns

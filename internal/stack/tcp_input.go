@@ -13,12 +13,15 @@ import (
 // header; seg holds the TCP header and payload.
 func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	st.Stats.TCPIn.Inc()
-	if !wire.VerifyTCPChecksum(ih.Src, ih.Dst, seg) {
-		st.Stats.TCPChecksumErrors.Inc()
-		if st.traceOn() {
-			st.traceEmit(trace.EvChecksumDrop, "", "tcp", int64(len(seg)), 0, 0)
+	if !st.rxVerified {
+		st.Stats.SwChecksumBytes.Add(uint64(len(seg)))
+		if !wire.VerifyTCPChecksum(ih.Src, ih.Dst, seg) {
+			st.Stats.TCPChecksumErrors.Inc()
+			if st.traceOn() {
+				st.traceEmit(trace.EvChecksumDrop, "", "tcp", int64(len(seg)), 0, 0)
+			}
+			return
 		}
-		return
 	}
 	th, hlen, err := wire.UnmarshalTCP(seg)
 	if err != nil {
@@ -264,6 +267,7 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 				tp.timers[timerRexmt] = 0
 				tp.rttTiming = false
 				tp.sndNxt = tp.sndUna
+				tp.cwndAcked = 0
 				tp.cwnd = uint32(tp.effMSS())
 				st.tcpOutput(t, tp)
 				tp.cwnd = tp.ssthresh + 3*uint32(tp.effMSS())
@@ -292,15 +296,25 @@ func (st *Stack) tcpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 			tp.rttUpdate(st.now().Sub(tp.rttStart))
 		}
 
-		// Congestion window growth.
+		// Congestion window growth, counted in bytes acknowledged
+		// (RFC 3465) rather than ACKs received: a receiver that
+		// coalesces segments ACKs rarely, and per-ACK counting would
+		// starve the window behind an LRO engine.
 		if tp.cwnd <= tp.ssthresh {
-			tp.cwnd += uint32(tp.effMSS()) // slow start
-		} else {
-			incr := uint32(tp.effMSS()) * uint32(tp.effMSS()) / tp.cwnd
-			if incr == 0 {
-				incr = 1
+			// Slow start: at most double per window of ACKed data.
+			incr := acked
+			if incr > tp.cwnd {
+				incr = tp.cwnd
 			}
-			tp.cwnd += incr // congestion avoidance
+			tp.cwnd += incr
+		} else {
+			// Congestion avoidance: one MSS per cwnd's worth of ACKed
+			// bytes, accumulated across stretched or delayed ACKs.
+			tp.cwndAcked += acked
+			if tp.cwndAcked >= tp.cwnd {
+				tp.cwndAcked -= tp.cwnd
+				tp.cwnd += uint32(tp.effMSS())
+			}
 		}
 		if tp.cwnd > 65535 {
 			tp.cwnd = 65535

@@ -189,6 +189,35 @@ func TestDelayedAckEverySecondSegment(t *testing.T) {
 	}
 }
 
+// TestTimerWalksAllocationFree pins the steady-state cost of the
+// periodic protocol timers. Every host runs them several times per
+// virtual second, so at city scale even one allocation per tick
+// dominates the simulator's heap churn — the walks reuse per-stack
+// scratch and must stay allocation-free once warm.
+func TestTimerWalksAllocationFree(t *testing.T) {
+	st := testStack(t)
+	for i := 0; i < 8; i++ {
+		s, _ := makeEstablishedTCB(st, uint32(1000*i))
+		s.local.Port = uint16(5000 + i)
+		st.registerConn(s)
+	}
+	st.arp = newARPEngine(st)
+	st.arp.Insert(wire.IP(10, 0, 0, 2), wire.MAC{2})
+	st.arp.Insert(wire.IP(10, 0, 0, 3), wire.MAC{3})
+	// First tick may grow the scratch slices; after that, nothing.
+	st.tcpFastTimo(nil)
+	st.tcpSlowTimo(nil)
+	st.arp.timo(nil)
+	if n := testing.AllocsPerRun(20, func() {
+		st.tcpFastTimo(nil)
+		st.tcpSlowTimo(nil)
+		st.ipReasmTimo(nil)
+		st.arp.timo(nil)
+	}); n != 0 {
+		t.Fatalf("timer tick allocates %.1f objects per run, want 0", n)
+	}
+}
+
 func TestRttUpdateJacobson(t *testing.T) {
 	tp := &tcpcb{}
 	tp.rttUpdate(100 * 1e6) // 100 ms

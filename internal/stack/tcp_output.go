@@ -69,9 +69,17 @@ func (st *Stack) tcpOutput(t *sim.Proc, tp *tcpcb) {
 			}
 		}
 		mss := tp.effMSS()
+		segMax := mss
+		if st.cfg.TSOMaxPayload > mss && !seqGT(tp.sndUp, tp.sndUna) {
+			// TSO: emit one super-segment and let the NIC engine slice it
+			// to MSS frames. Urgent data opts out — the urgent pointer is
+			// relative to one segment's sequence number and would not
+			// survive slicing.
+			segMax = st.cfg.TSOMaxPayload
+		}
 		sendalot := false
-		if length > mss {
-			length = mss
+		if length > segMax {
+			length = segMax
 			sendalot = true
 		}
 
@@ -236,6 +244,9 @@ func (st *Stack) tcpSendSegment(t *sim.Proc, tp *tcpcb, flags uint8, length int,
 
 	st.charge(t, true, costs.CompTransportOutput, length)
 	st.Stats.TCPOut.Inc()
+	if length > tp.effMSS() {
+		st.Stats.TSOSends.Inc()
+	}
 	if DebugSegLens != nil && length > 0 {
 		DebugSegLens[length]++
 		if DebugSegTrace {

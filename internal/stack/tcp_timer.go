@@ -1,8 +1,6 @@
 package stack
 
 import (
-	"sort"
-
 	"repro/internal/sim"
 	"repro/internal/socketapi"
 	"repro/internal/trace"
@@ -56,7 +54,7 @@ func (st *Stack) tcpSlowTimo(t *sim.Proc) {
 // delayed ACKs) race for the shared medium, so an unordered walk makes
 // runs with the same seed diverge.
 func (st *Stack) allTCP() []*Socket {
-	var out []*Socket
+	out := st.timoSocks[:0]
 	for _, s := range st.conns {
 		if s.Proto == 6 && s.tcb != nil {
 			out = append(out, s)
@@ -67,7 +65,15 @@ func (st *Stack) allTCP() []*Socket {
 			out = append(out, s)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].uid < out[j].uid })
+	// Insertion sort: a host holds few sockets, and unlike sort.Slice
+	// this allocates no per-call swapper — the walk runs twice per
+	// second on every host, so it must be allocation-free.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].uid < out[j-1].uid; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	st.timoSocks = out
 	return out
 }
 
@@ -142,6 +148,7 @@ func (st *Stack) tcpRexmtTimo(t *sim.Proc, tp *tcpcb) {
 	}
 	tp.ssthresh = half
 	tp.cwnd = uint32(tp.effMSS())
+	tp.cwndAcked = 0
 	tp.dupAcks = 0
 	tp.traceCwnd()
 

@@ -29,12 +29,15 @@ func (st *Stack) udpOutput(t *sim.Proc, src, dst Addr, payload *mbuf.Chain) erro
 // udpInput delivers a received datagram to the owning socket (udp_input).
 func (st *Stack) udpInput(t *sim.Proc, ih wire.IPv4Header, seg []byte) {
 	st.Stats.UDPIn.Inc()
-	if !wire.VerifyUDPChecksum(ih.Src, ih.Dst, seg) {
-		st.Stats.UDPChecksumErrors.Inc()
-		if st.traceOn() {
-			st.traceEmit(trace.EvChecksumDrop, "", "udp", int64(len(seg)), 0, 0)
+	if !st.rxVerified {
+		st.Stats.SwChecksumBytes.Add(uint64(len(seg)))
+		if !wire.VerifyUDPChecksum(ih.Src, ih.Dst, seg) {
+			st.Stats.UDPChecksumErrors.Inc()
+			if st.traceOn() {
+				st.traceEmit(trace.EvChecksumDrop, "", "udp", int64(len(seg)), 0, 0)
+			}
+			return
 		}
-		return
 	}
 	h, err := wire.UnmarshalUDP(seg)
 	if err != nil || int(h.Length) > len(seg) {

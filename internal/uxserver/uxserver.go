@@ -18,6 +18,7 @@ import (
 	"repro/internal/costs"
 	"repro/internal/kern"
 	"repro/internal/metrics"
+	"repro/internal/offload"
 	"repro/internal/sim"
 	"repro/internal/simnet"
 	"repro/internal/socketapi"
@@ -102,6 +103,10 @@ func New(s *sim.Sim, seg *simnet.Segment, name string, mac wire.MAC, ip wire.IPA
 		Transmit:      sys.Host.Transmit,
 		Ports:         stack.NewLocalPorts(),
 		MaxTCPPayload: quirkMax(prof),
+
+		// NIC offload engine hookup (profiles that enable it).
+		TSOMaxPayload:   offload.TSOFor(sys.Host.Prof),
+		ChecksumOffload: sys.Host.Prof.Offload.Enabled,
 	})
 
 	// Network input thread (task priority, competing with RPC workers).

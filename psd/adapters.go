@@ -6,6 +6,8 @@ import (
 	"io"
 	"time"
 
+	"repro/internal/costs"
+	"repro/internal/metrics"
 	"repro/internal/wire"
 )
 
@@ -27,6 +29,42 @@ type MsgPort interface {
 	RecvMsg(t *Thread) (*Chain, error)
 }
 
+// AdapterCosts are the calibrated virtual-time charges for the protocol
+// adapters, derived from an architecture's cost profile so a composed
+// user-space stage is priced with the same tables as the kernel stages
+// it displaces.
+type AdapterCosts struct {
+	// FramerPerMsg is charged once per framed message each way: the
+	// copy-slope cost of materializing and parsing the 4-byte header.
+	FramerPerMsg time.Duration
+	// ChecksumPerByte prices the inspector's software in_cksum pass: the
+	// checksum share of the profile's fused copy+checksum slope.
+	ChecksumPerByte time.Duration
+	// CompressPerByte prices the modeled compressor's byte scan — the
+	// same load+add inner loop as the checksum pass.
+	CompressPerByte time.Duration
+}
+
+// AdapterCostsFor derives adapter charges from an architecture's cost
+// profile. The anchor is the per-byte slope of transport input (the
+// paper's fused copy+checksum loop): its checksum share prices the
+// byte-scan stages, its copy share prices header materialization. On an
+// offload profile the software slope has already had the checksum share
+// removed — the engine does that work — so the full-loop slope is
+// recovered first and every architecture prices adapter work alike.
+func AdapterCostsFor(a Arch) AdapterCosts {
+	slope := a.prof.Costs.TCP[costs.CompTransportInput].PerByteNS
+	if a.prof.Offload.Enabled {
+		slope /= 1 - costs.SWChecksumShare
+	}
+	scan := time.Duration(slope * costs.SWChecksumShare)
+	return AdapterCosts{
+		FramerPerMsg:    time.Duration(slope*(1-costs.SWChecksumShare)) * frameHdrLen,
+		ChecksumPerByte: scan,
+		CompressPerByte: scan,
+	}
+}
+
 // frameHdrLen is the length-prefix framing header: a 4-byte big-endian
 // payload length.
 const frameHdrLen = 4
@@ -44,6 +82,13 @@ type Framer struct {
 	API ChainApp
 	FD  int
 
+	// PerMsg, when set (see AdapterCostsFor), is charged as virtual time
+	// on the calling thread once per message framed or unframed.
+	PerMsg time.Duration
+
+	Msgs      metrics.Counter // messages framed plus messages unframed
+	ChargedNS metrics.Counter // virtual ns charged on calling threads
+
 	// pending holds consumed-but-undelivered stream bytes when a frame
 	// arrives split across segments.
 	pending *Chain
@@ -59,6 +104,31 @@ func NewFramer(app App, fd int) *Framer {
 	return &Framer{API: c, FD: fd}
 }
 
+// Calibrate applies the profile-derived per-message charge and returns
+// the framer for chaining.
+func (f *Framer) Calibrate(ac AdapterCosts) *Framer {
+	f.PerMsg = ac.FramerPerMsg
+	return f
+}
+
+// BindMetrics registers the framer's counters under a scope.
+func (f *Framer) BindMetrics(sc *MetricsScope) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("msgs", &f.Msgs)
+	sc.Counter("charged_ns", &f.ChargedNS)
+}
+
+// charge accounts one framed or unframed message.
+func (f *Framer) charge(t *Thread) {
+	f.Msgs.Inc()
+	if f.PerMsg > 0 {
+		f.ChargedNS.Add(uint64(f.PerMsg))
+		t.Sleep(f.PerMsg)
+	}
+}
+
 // SendMsg writes one length-delimited frame. The header is prepended
 // in place; the payload chain is surrendered by reference.
 func (f *Framer) SendMsg(t *Thread, c *Chain) error {
@@ -70,6 +140,7 @@ func (f *Framer) SendMsg(t *Thread, c *Chain) error {
 		c.Release()
 		return fmt.Errorf("psd: frame payload %d exceeds %d", n, maxFrame)
 	}
+	f.charge(t)
 	hdr := c.Prepend(frameHdrLen)
 	binary.BigEndian.PutUint32(hdr, uint32(n))
 	_, err := f.API.SendChain(t, f.FD, c, 0)
@@ -110,6 +181,7 @@ func (f *Framer) RecvMsg(t *Thread) (*Chain, error) {
 					view.Chain.Release()
 					return nil, err
 				}
+				f.charge(t)
 				return view.Chain, nil
 			}
 		}
@@ -140,6 +212,7 @@ func (f *Framer) RecvMsg(t *Thread) (*Chain, error) {
 	f.pending.TrimFront(frameHdrLen)
 	msg := f.pending
 	f.pending = msg.Split(n)
+	f.charge(t)
 	return msg, nil
 }
 
@@ -172,9 +245,39 @@ func (f *Framer) fill(t *Thread) error {
 type ChecksumInspector struct {
 	Port MsgPort
 
+	// PerByte, when set (see AdapterCostsFor), charges the software
+	// checksum pass as virtual time on the calling thread.
+	PerByte time.Duration
+
 	SentMsgs, RecvdMsgs   int
 	SentBytes, RecvdBytes int
 	LastSent, LastRecvd   uint16 // checksum of the most recent message each way
+
+	ChargedNS metrics.Counter // virtual ns charged on calling threads
+}
+
+// Calibrate applies the profile-derived per-byte charge and returns the
+// inspector for chaining.
+func (ci *ChecksumInspector) Calibrate(ac AdapterCosts) *ChecksumInspector {
+	ci.PerByte = ac.ChecksumPerByte
+	return ci
+}
+
+// BindMetrics registers the inspector's counters under a scope.
+func (ci *ChecksumInspector) BindMetrics(sc *MetricsScope) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("charged_ns", &ci.ChargedNS)
+}
+
+// charge accounts the checksum pass over n bytes.
+func (ci *ChecksumInspector) charge(t *Thread, n int) {
+	if ci.PerByte > 0 && n > 0 {
+		d := time.Duration(n) * ci.PerByte
+		ci.ChargedNS.Add(uint64(d))
+		t.Sleep(d)
+	}
 }
 
 // SendMsg checksums the outgoing message and passes it down.
@@ -184,6 +287,7 @@ func (ci *ChecksumInspector) SendMsg(t *Thread, c *Chain) error {
 	ci.LastSent = ck.Sum()
 	ci.SentMsgs++
 	ci.SentBytes += c.Len()
+	ci.charge(t, c.Len())
 	return ci.Port.SendMsg(t, c)
 }
 
@@ -198,6 +302,7 @@ func (ci *ChecksumInspector) RecvMsg(t *Thread) (*Chain, error) {
 	ci.LastRecvd = ck.Sum()
 	ci.RecvdMsgs++
 	ci.RecvdBytes += c.Len()
+	ci.charge(t, c.Len())
 	return c, nil
 }
 
@@ -220,11 +325,30 @@ type CompressionModel struct {
 	// BytesIn counts payload bytes through the stage; BytesModeled is
 	// what they would have become on the wire at Ratio.
 	BytesIn, BytesModeled int
+
+	ChargedNS metrics.Counter // virtual ns charged on calling threads
+}
+
+// Calibrate applies the profile-derived per-byte scan charge and
+// returns the model for chaining.
+func (cm *CompressionModel) Calibrate(ac AdapterCosts) *CompressionModel {
+	cm.PerByte = ac.CompressPerByte
+	return cm
+}
+
+// BindMetrics registers the model's counters under a scope.
+func (cm *CompressionModel) BindMetrics(sc *MetricsScope) {
+	if sc == nil {
+		return
+	}
+	sc.Counter("charged_ns", &cm.ChargedNS)
 }
 
 func (cm *CompressionModel) charge(t *Thread, n int) {
 	if cm.PerByte > 0 && n > 0 {
-		t.Sleep(time.Duration(n) * cm.PerByte)
+		d := time.Duration(n) * cm.PerByte
+		cm.ChargedNS.Add(uint64(d))
+		t.Sleep(d)
 	}
 	cm.BytesIn += n
 	cm.BytesModeled += int(float64(n) * cm.Ratio)

@@ -111,6 +111,124 @@ func TestAdapterStackAcrossArchitectures(t *testing.T) {
 	}
 }
 
+// TestAdapterCostsCalibrated checks the profile-derived adapter
+// charges: they are positive, the offload profile prices user-space
+// adapter work identically to the plain library profile (the engine
+// only moved the kernel's checksum, not the application's), and when a
+// calibrated stack runs with metrics enabled the charges land in the
+// registry with the exact values the calibration predicts.
+func TestAdapterCostsCalibrated(t *testing.T) {
+	ac := psd.AdapterCostsFor(psd.Decomposed())
+	if ac.FramerPerMsg <= 0 || ac.ChecksumPerByte <= 0 || ac.CompressPerByte <= 0 {
+		t.Fatalf("calibrated costs not positive: %+v", ac)
+	}
+	if off := psd.AdapterCostsFor(psd.DecomposedOffload()); off != ac {
+		t.Fatalf("offload profile prices adapters differently: %+v vs %+v", off, ac)
+	}
+
+	n := psd.NewConfig(psd.Config{Seed: 29, Metrics: true})
+	hostA := n.Host("a", "10.0.0.1", psd.Decomposed())
+	hostB := n.Host("b", "10.0.0.2", psd.Decomposed())
+	srv := hostB.NewApp("caliserv")
+	cli := hostA.NewApp("calicli")
+
+	msgs := [][]byte{
+		bytes.Repeat([]byte("x"), 2000),
+		bytes.Repeat([]byte("y"), 5000),
+		[]byte("tail"),
+	}
+	var totalBytes int
+	for _, m := range msgs {
+		totalBytes += len(m)
+	}
+
+	var cliFr *psd.Framer
+	var cliCk psd.ChecksumInspector
+	var cliCm psd.CompressionModel
+
+	n.Spawn("server", func(p *psd.Thread) {
+		lfd, _ := srv.Socket(p, psd.SockStream)
+		srv.Bind(p, lfd, psd.SockAddr{Port: 4323})
+		srv.Listen(p, lfd, 4)
+		cfd, _, err := srv.Accept(p, lfd)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		port := psd.NewFramer(srv, cfd).Calibrate(ac)
+		for {
+			m, err := port.RecvMsg(p)
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			if err := port.SendMsg(p, m); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+		srv.Close(p, cfd)
+		srv.Close(p, lfd)
+	})
+	n.Spawn("client", func(p *psd.Thread) {
+		p.Sleep(time.Millisecond)
+		fd, _ := cli.Socket(p, psd.SockStream)
+		if err := cli.Connect(p, fd, hostB.Addr(4323)); err != nil {
+			t.Error(err)
+			return
+		}
+		cliFr = psd.NewFramer(cli, fd).Calibrate(ac)
+		cliFr.BindMetrics(n.Metrics().Scope("host.a.app.calicli.framer"))
+		cliCk.Port = cliFr
+		cliCk.Calibrate(ac).BindMetrics(n.Metrics().Scope("host.a.app.calicli.cksum"))
+		cliCm.Port = &cliCk
+		cliCm.Ratio = 0.6
+		cliCm.Calibrate(ac).BindMetrics(n.Metrics().Scope("host.a.app.calicli.compress"))
+		for _, want := range msgs {
+			if err := cliCm.SendMsg(p, psd.ChainOf(want)); err != nil {
+				t.Error(err)
+				return
+			}
+			m, err := cliCm.RecvMsg(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			m.Release()
+		}
+		cli.Close(p, fd)
+	})
+	if err := n.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Every message crossed the client framer twice (send + echo), and
+	// every payload byte crossed the inspector and the model twice.
+	snap := n.MetricsSnapshot()
+	get := func(name string) int64 {
+		it, ok := snap.Get(name)
+		if !ok {
+			t.Fatalf("%s missing from the metrics registry", name)
+		}
+		return it.Value
+	}
+	wantFramer := int64(2*len(msgs)) * int64(ac.FramerPerMsg)
+	if v := get("host.a.app.calicli.framer.charged_ns"); v != wantFramer {
+		t.Errorf("framer charged %d ns, calibration predicts %d", v, wantFramer)
+	}
+	wantCk := int64(2*totalBytes) * int64(ac.ChecksumPerByte)
+	if v := get("host.a.app.calicli.cksum.charged_ns"); v != wantCk {
+		t.Errorf("inspector charged %d ns, calibration predicts %d", v, wantCk)
+	}
+	wantCm := int64(2*totalBytes) * int64(ac.CompressPerByte)
+	if v := get("host.a.app.calicli.compress.charged_ns"); v != wantCm {
+		t.Errorf("compression model charged %d ns, calibration predicts %d", v, wantCm)
+	}
+}
+
 // TestFramerSplitFrames drives the slow path: frames arriving split
 // across many small sends must reassemble by reference.
 func TestFramerSplitFrames(t *testing.T) {

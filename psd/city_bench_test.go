@@ -1,0 +1,23 @@
+package psd_test
+
+import (
+	"testing"
+
+	"repro/psd"
+)
+
+// BenchmarkCityWindows measures heap churn of the sharded window loop:
+// one full DefaultCity run on four shards (single-threaded, so the
+// numbers are stable). allocs/op is the figure that matters — the
+// periodic protocol timers on every host must not allocate in steady
+// state, or they dominate the profile at city scale.
+func BenchmarkCityWindows(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg := psd.DefaultCity(7, 4)
+		cfg.SingleThreaded = true
+		if _, err := psd.RunCity(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -49,6 +49,9 @@ type (
 	MetricsSnapshot = metrics.Snapshot
 	// MetricsItem is one named instrument inside a snapshot.
 	MetricsItem = metrics.Item
+	// MetricsScope is a named prefix in the registry; adapters bind
+	// their counters under one (see Framer.BindMetrics).
+	MetricsScope = metrics.Scope
 	// HistView is a rendered histogram (count/sum/min/max/quantiles).
 	HistView = metrics.HistView
 	// SocketInfo is one row of a netstat-style socket table.
@@ -139,12 +142,52 @@ func DecomposedIPC() Arch {
 	return Arch{kind: 0, prof: costs.CalibrateTable2(costs.DECLibraryIPC()), srv: costs.DECServerUX()}
 }
 
+// DecomposedOffload is the decomposed architecture with the simulated
+// NIC offload engine attached (Library-SHM-IPF-OFFLOAD): TSO/GSO
+// transmit segmentation, LRO receive coalescing, checksum offload, and
+// adaptive interrupt moderation on every host NIC.
+func DecomposedOffload() Arch {
+	return Arch{kind: 0, prof: costs.CalibrateTable2(costs.DECLibrarySHMIPFOffload()), srv: costs.DECServerUX()}
+}
+
 // InKernel is the Mach 2.5 / Ultrix baseline: protocols in the kernel.
 func InKernel() Arch { return Arch{kind: 1, prof: costs.CalibrateTable2(costs.DECKernelMach25())} }
 
 // ServerBased is the UX baseline: protocols in a single user-level
 // server.
 func ServerBased() Arch { return Arch{kind: 2, prof: costs.CalibrateTable2(costs.DECServerUX())} }
+
+// ArchFlavor is a named architecture constructor, for suites that
+// iterate or select the comparison columns by name.
+type ArchFlavor struct {
+	Name string
+	New  func() Arch
+}
+
+// ArchFlavors is the shared registry of comparison columns, in suite
+// order. Harnesses that fan a workload across architectures (psdbench
+// -scenarios, -scale, the offload suite) take their lists from here, so
+// a new column appears in every suite at once.
+func ArchFlavors() []ArchFlavor {
+	return []ArchFlavor{
+		{"decomposed", Decomposed},
+		{"inkernel", InKernel},
+		{"server", ServerBased},
+		{"offload", DecomposedOffload},
+	}
+}
+
+// FlavorByName resolves an ArchFlavors entry by name.
+func FlavorByName(name string) (ArchFlavor, error) {
+	names := make([]string, 0, 4)
+	for _, f := range ArchFlavors() {
+		if f.Name == name {
+			return f, nil
+		}
+		names = append(names, f.Name)
+	}
+	return ArchFlavor{}, fmt.Errorf("psd: unknown architecture %q (have %s)", name, strings.Join(names, ", "))
+}
 
 // Network is a simulated 10 Mb/s Ethernet with attached hosts. Larger
 // internets are built from Subnets joined by Routers (see NewSubnet and
