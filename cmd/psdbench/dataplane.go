@@ -1,0 +1,77 @@
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/bench"
+)
+
+// runDataplane measures the programmable-data-plane suite (throughput
+// and latency versus filter-chain length on every architecture column,
+// plus the L4 load-balancer churn gate), prints the tables, and writes
+// a BENCH_dataplane-style JSON entry to path ("-" for stdout, "" for
+// none).
+func runDataplane(path, label string) error {
+	results, err := bench.RunDataplaneSuite()
+	if err != nil {
+		return err
+	}
+	if label == "" {
+		label = "psdbench"
+	}
+
+	fmt.Println("Dataplane suite: ttcp vs chain length")
+	fmt.Printf("%-38s %6s %7s %9s\n", "configuration", "rules", "instrs", "KB/s")
+	for _, c := range results {
+		if c.Workload != "ttcp-chain" {
+			continue
+		}
+		fmt.Printf("%-38s %6d %7d %9.1f\n", c.Config, c.ChainRules, c.ChainInstrs, c.KBps)
+	}
+	fmt.Println("\nDataplane suite: protolat vs chain length")
+	fmt.Printf("%-38s %6s %7s %9s\n", "configuration", "rules", "instrs", "rtt-ms")
+	for _, c := range results {
+		if c.Workload != "protolat-chain" {
+			continue
+		}
+		fmt.Printf("%-38s %6d %7d %9.3f\n", c.Config, c.ChainRules, c.ChainInstrs, c.LatencyMs)
+	}
+	fmt.Println("\nDataplane suite: VIP churn (conservation-gated)")
+	fmt.Printf("%-14s %6s %7s %7s %8s %7s %6s %5s\n",
+		"arch", "conns", "served", "failed", "rehomed", "resets", "flows", "snat")
+	for _, c := range results {
+		if c.Workload != "vip-churn" {
+			continue
+		}
+		fmt.Printf("%-14s %6d %7d %7d %8d %7d %6d %5d\n",
+			c.Config, c.Conns, c.Served, c.Failed, c.Rehomed, c.Resets, c.FlowsLeft, c.SNATLeft)
+	}
+
+	if path == "" {
+		return nil
+	}
+	rep := bench.DataplaneReport{
+		Label:   label,
+		Date:    time.Now().UTC().Format("2006-01-02"),
+		Results: results,
+	}
+	var out io.Writer = os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := bench.WriteDataplaneJSON(out, rep); err != nil {
+		return err
+	}
+	if path != "-" {
+		fmt.Printf("wrote dataplane report to %s\n", path)
+	}
+	return nil
+}

@@ -51,6 +51,8 @@ func main() {
 	proxyMB := flag.Int("proxy-mb", 4, "bytes forwarded per -proxy cell, in MB")
 	offloadRun := flag.Bool("offload", false, "run the NIC-offload comparison suite (tcp-steady at several offered loads, splice proxy, churn on all four architecture columns)")
 	offloadOut := flag.String("offload-json", "", "with -offload, also write a BENCH_offload-style JSON report to this file (\"-\" for stdout)")
+	dataplaneRun := flag.Bool("dataplane", false, "run the programmable-data-plane suite (throughput/latency vs filter-chain length on all four architecture columns, plus the conservation-gated L4 load-balancer churn workload)")
+	dataplaneOut := flag.String("dataplane-json", "", "with -dataplane, also write a BENCH_dataplane-style JSON report to this file (\"-\" for stdout)")
 	scenarios := flag.Bool("scenarios", false, "run the internet-scale scenario suite (all scenarios x all architectures) and gate on its SLOs")
 	scenariosOut := flag.String("scenarios-json", "", "with -scenarios, also write a BENCH_scenarios-style JSON report to this file (\"-\" for stdout)")
 	scenarioSeed := flag.Int64("scenario-seed", 1, "seed for -scenarios traffic generators")
@@ -201,6 +203,13 @@ func main() {
 	if *all || *offloadRun {
 		ran = true
 		if err := runOffload(*offloadOut, *benchLabel); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *all || *dataplaneRun {
+		ran = true
+		if err := runDataplane(*dataplaneOut, *benchLabel); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -80,7 +80,8 @@ func run(w io.Writer, seed int64, archName, mode string) error {
 	n := psd.NewConfig(psd.Config{Seed: seed, Metrics: true})
 	a := n.Host("alpha", "10.0.0.1", arch)
 	b := n.Host("beta", "10.0.0.2", arch)
-	scenario(n, a, b)
+	g := n.Host("gamma", "10.0.0.3", arch)
+	scenario(n, a, b, g)
 
 	// Advance to a quiesce point mid-workload: the transfer connection is
 	// established with data queued, the short-lived connection sits in
@@ -92,11 +93,11 @@ func run(w io.Writer, seed int64, archName, mode string) error {
 
 	switch mode {
 	case "table":
-		return writeSocketTable(w, n, []*psd.Host{a, b})
+		return writeSocketTable(w, n, []*psd.Host{a, b, g})
 	case "ifaces":
-		return writeIfaceTable(w, snap, []*psd.Host{a, b})
+		return writeIfaceTable(w, snap, []*psd.Host{a, b, g})
 	case "summary":
-		return writeSummary(w, snap, []*psd.Host{a, b})
+		return writeSummary(w, snap, []*psd.Host{a, b, g})
 	case "json":
 		return metrics.WriteJSON(w, *snap)
 	case "prom":
@@ -108,8 +109,10 @@ func run(w io.Writer, seed int64, archName, mode string) error {
 // scenario stands up the socket population psdstat reads: on beta a UDP
 // service, a TCP listener, and one accepted connection with unread data
 // queued; on alpha the transfer's client and one short-lived connection
-// that has already closed (TIME_WAIT on the closing side).
-func scenario(n *psd.Network, a, b *psd.Host) {
+// that has already closed (TIME_WAIT on the closing side); on gamma a
+// data-plane VIP fronting a second service on beta, so the conntrack,
+// NAT, and balancer counters tick.
+func scenario(n *psd.Network, a, b, g *psd.Host) {
 	srv := b.NewApp("stat-server")
 	n.Spawn("stat-server", func(t *sim.Proc) {
 		ufd, _ := srv.Socket(t, psd.SockDgram)
@@ -184,6 +187,40 @@ func scenario(n *psd.Network, a, b *psd.Host) {
 			got += nr
 		}
 		check(chainCli.Close(t, fd))
+	})
+
+	// Data-plane leg: gamma fronts a VIP for a service on beta. The
+	// plane proxy-ARPs the VIP address, conntracks the connection, and
+	// full-NATs every segment through to beta, so the dataplane summary
+	// counters and the ct/lb gauges have live values at the quiesce
+	// point. The connection stays established (both ends sleep).
+	const vipBytes = 256
+	vsrv := b.NewApp("vip-server")
+	n.Spawn("vip-server", func(t *sim.Proc) {
+		ls, _ := vsrv.Socket(t, psd.SockStream)
+		check(vsrv.Bind(t, ls, psd.SockAddr{Port: 82}))
+		check(vsrv.Listen(t, ls, 1))
+		fd, _, err := vsrv.Accept(t, ls)
+		check(err)
+		buf := make([]byte, vipBytes)
+		for got := 0; got < vipBytes; {
+			nr, err := vsrv.Recv(t, fd, buf, 0)
+			check(err)
+			got += nr
+		}
+		t.Sleep(time.Hour)
+	})
+	if _, err := g.InstallVIP("10.0.0.200", 82, psd.BackendSpec{Host: b, Port: 82}); err != nil {
+		panic(err)
+	}
+	vcli := a.NewApp("vip-client")
+	n.Spawn("vip-client", func(t *sim.Proc) {
+		t.Sleep(3 * time.Millisecond)
+		fd, _ := vcli.Socket(t, psd.SockStream)
+		check(vcli.Connect(t, fd, psd.Addr("10.0.0.200", 82)))
+		_, err := vcli.Send(t, fd, make([]byte, vipBytes), 0)
+		check(err)
+		t.Sleep(time.Hour)
 	})
 
 	cli := a.NewApp("stat-client")
@@ -284,6 +321,16 @@ func writeSummary(w io.Writer, snap *psd.MetricsSnapshot, hosts []*psd.Host) err
 	fmt.Fprintf(w, "    %d splice operations moving %d bytes\n", sum(".splice_ops"), sum(".splice_bytes"))
 	fmt.Fprintf(w, "    %d bytes received zero-copy\n", sum(".zc_rx_bytes"))
 	fmt.Fprintf(w, "    %d bytes selectively materialized\n", sum(".selective_copy_bytes"))
+	fmt.Fprintf(w, "dataplane:\n")
+	fmt.Fprintf(w, "    %d frames inspected\n", sum(".dataplane.rx_frames"))
+	fmt.Fprintf(w, "    %d frames rewritten\n", sum(".dataplane.rewrites"))
+	fmt.Fprintf(w, "    %d hairpin forwards\n", sum(".dataplane.hairpins"))
+	fmt.Fprintf(w, "    %d frames dropped by policy\n", sum(".dataplane.drops"))
+	fmt.Fprintf(w, "    %d proxy-ARP replies\n", sum(".dataplane.arp_replies"))
+	fmt.Fprintf(w, "    %d conntrack flows created (%d live)\n", sum(".dataplane.ct.created"), sum(".dataplane.ct.flows"))
+	fmt.Fprintf(w, "    %d conntrack flows expired\n", sum(".dataplane.ct.expired"))
+	fmt.Fprintf(w, "    %d balancer connections admitted\n", sum(".dataplane.lb.conns"))
+	fmt.Fprintf(w, "    %d balancer connections re-homed, %d reset\n", sum(".dataplane.lb.rehomed"), sum(".dataplane.lb.resets"))
 	fmt.Fprintf(w, "core:\n")
 	fmt.Fprintf(w, "    %d sessions created\n", sum(".core.sessions_made"))
 	fmt.Fprintf(w, "    %d sessions migrated to applications\n", sum(".core.migrations"))

@@ -79,6 +79,11 @@ const (
 	CompTransportInput
 	CompWakeupUser
 	CompCopyoutExit
+	// CompDataplane is the programmable data-plane hook stage (rule
+	// chain traversal, conntrack, NAT rewrite) between the device
+	// interrupt and the demultiplexing packet filter. Not part of the
+	// paper's Table 4 rows, so it is absent from RecvComponents.
+	CompDataplane
 
 	NumComponents
 )
@@ -87,7 +92,7 @@ var compNames = [NumComponents]string{
 	"entry/copyin", "tcp,udp_output", "ip_output", "ether_output",
 	"device intr/read", "netisr/packet filter", "kernel copyout",
 	"mbuf/queue", "ipintr", "tcp,udp_input", "wakeup user thread",
-	"copyout/exit",
+	"copyout/exit", "dataplane",
 }
 
 func (c Component) String() string {
@@ -189,6 +194,21 @@ type OffloadCosts struct {
 	// RxFlush is charged per coalesced super-segment delivered up to the
 	// host receive path.
 	RxFlush Lin
+
+	// TxFIFOFrames and RxFIFOFrames bound the engine's per-direction
+	// FIFO: the number of frames that may sit queued awaiting pipeline
+	// completion (plus, on receive, open LRO merges). When a FIFO is
+	// full, further frames are not dropped — they degrade gracefully to
+	// the software path: the host CPU does the checksum work (priced by
+	// SwChecksum) and TSO/LRO are skipped for that frame. Zero means
+	// unlimited, which preserves the behavior of older profiles.
+	TxFIFOFrames int
+	RxFIFOFrames int
+
+	// SwChecksum prices the software-fallback checksum pass (and, on
+	// transmit, the software GSO slicing that replaces TSO), charged on
+	// the host CPU when a full FIFO pushes a frame off the engine.
+	SwChecksum Lin
 }
 
 // Profile is the complete cost model for one system configuration.

@@ -203,8 +203,12 @@ func TestComponentNames(t *testing.T) {
 	if Component(99).String() != "unknown" {
 		t.Error("out-of-range name")
 	}
-	if len(SendComponents)+len(RecvComponents) != int(NumComponents) {
+	// CompDataplane is deliberately outside both Table 4 path lists.
+	if len(SendComponents)+len(RecvComponents) != int(NumComponents)-1 {
 		t.Error("component lists incomplete")
+	}
+	if CompDataplane.String() != "dataplane" {
+		t.Error("dataplane component name wrong")
 	}
 }
 

@@ -1,0 +1,57 @@
+package dataplane
+
+import (
+	"testing"
+
+	"repro/internal/filter"
+	"repro/internal/wire"
+)
+
+// natAllocsPerPacketBudget bounds the steady-state NAT rewrite path.
+// The conntracked fast path makes exactly one allocation per packet —
+// the rewritten copy of the frame (the original belongs to the network
+// and is never written) — and the RFC 1624 incremental fixup adds
+// none: a stray per-packet allocation in parse, conntrack, or checksum
+// would blow this.
+const natAllocsPerPacketBudget = 1.0
+
+// TestNATRewriteAllocBudget drives an established VIP flow's data
+// packets through the plane under alloc accounting, both directions.
+func TestNATRewriteAllocBudget(t *testing.T) {
+	h := newHarness(t, nil)
+	v := h.vip(t)
+
+	// Establish one connection: SYN in, SYN|ACK back from whichever
+	// backend the hash picked, final ACK in.
+	syn := tcpFrame(clientMAC, lbMAC, clientIP, vipIP, clPort, vipPort, wire.TCPSyn, 1000, 0, nil)
+	if _, verdict := h.p.Ingress(syn); verdict != filter.VerdictAbsorb {
+		t.Fatalf("SYN verdict = %v, want absorb", verdict)
+	}
+	f := h.p.sortedFlows()[0]
+	be := v.backends[f.backend]
+	h.p.Ingress(tcpFrame(be.MAC, lbMAC, be.IP, lbIP, bePort, f.snat, wire.TCPSyn|wire.TCPAck, 7000, 1001, nil))
+	h.p.Ingress(tcpFrame(clientMAC, lbMAC, clientIP, vipIP, clPort, vipPort, wire.TCPAck, 1001, 7001, nil))
+	if h.p.StateCount(StateEstablished) != 1 {
+		t.Fatalf("flow not established after handshake")
+	}
+
+	// Steady state: the same data segment each way, over and over. The
+	// plane rewrites a fresh copy every time; the inputs are reused
+	// (Ingress never writes the frame it was handed), and the capture
+	// buffer is reset in place so its append stays allocation-free.
+	data := tcpFrame(clientMAC, lbMAC, clientIP, vipIP, clPort, vipPort,
+		wire.TCPAck|wire.TCPPsh, 1001, 7001, make([]byte, 1024))
+	reply := tcpFrame(be.MAC, lbMAC, be.IP, lbIP, bePort, f.snat,
+		wire.TCPAck|wire.TCPPsh, 7001, 2025, make([]byte, 1024))
+
+	got := testing.AllocsPerRun(200, func() {
+		h.sent = h.sent[:0]
+		h.p.Ingress(data)
+		h.p.Ingress(reply)
+	})
+	perPacket := got / 2
+	t.Logf("NAT rewrite: %.2f allocs/packet (budget %.0f)", perPacket, natAllocsPerPacketBudget)
+	if perPacket > natAllocsPerPacketBudget {
+		t.Fatalf("NAT rewrite allocates %.2f objects/packet; budget is %.0f (one frame copy)", perPacket, natAllocsPerPacketBudget)
+	}
+}

@@ -1,0 +1,301 @@
+package dataplane
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// tuple is one direction's 5-tuple as seen on the wire.
+type tuple struct {
+	Src, Dst         wire.IPAddr
+	SrcPort, DstPort uint16
+	Proto            uint8
+}
+
+func (t tuple) String() string {
+	return fmt.Sprintf("%s %v:%d->%v:%d", wire.ProtoName(t.Proto), t.Src, t.SrcPort, t.Dst, t.DstPort)
+}
+
+// less is a total order on tuples, used wherever flows must be walked
+// in a deterministic order (GC, snapshots, psdstat output).
+func (t tuple) less(u tuple) bool {
+	if t.Proto != u.Proto {
+		return t.Proto < u.Proto
+	}
+	for i := 0; i < 4; i++ {
+		if t.Src[i] != u.Src[i] {
+			return t.Src[i] < u.Src[i]
+		}
+	}
+	if t.SrcPort != u.SrcPort {
+		return t.SrcPort < u.SrcPort
+	}
+	for i := 0; i < 4; i++ {
+		if t.Dst[i] != u.Dst[i] {
+			return t.Dst[i] < u.Dst[i]
+		}
+	}
+	return t.DstPort < u.DstPort
+}
+
+// State is a tracked flow's lifecycle state: the netfilter-style TCP
+// machine, with StateNew doubling as the single UDP state.
+type State uint8
+
+const (
+	StateNew State = iota // UDP, or TCP before any flag classified it
+	StateSynSent
+	StateSynRecv
+	StateEstablished
+	StateFinWait
+	StateLastAck
+	StateTimeWait
+	StateClosed
+
+	numStates
+)
+
+var stateNames = [numStates]string{
+	"new", "syn_sent", "syn_recv", "established",
+	"fin_wait", "last_ack", "time_wait", "closed",
+}
+
+func (s State) String() string {
+	if s < numStates {
+		return stateNames[s]
+	}
+	return "state(?)"
+}
+
+// xlate is the rewrite applied to one direction of a tracked flow.
+type xlate struct {
+	srcIP, dstIP     wire.IPAddr
+	srcPort, dstPort uint16
+	dstMAC           wire.MAC
+	hairpin          bool // forward back out the wire instead of up the stack
+	rewrite          bool // false: direction passes untouched
+}
+
+// flow is one tracked connection. orig is the initiating direction's
+// wire tuple before translation; reply is the responding direction's
+// wire tuple before translation (both are conntrack keys).
+type flow struct {
+	id          uint64
+	orig, reply tuple
+	fwd, rev    xlate // rewrites for orig-direction and reply-direction frames
+
+	state    State
+	created  sim.Time
+	lastSeen sim.Time
+	finSeen  [2]bool
+
+	// clientAck is the latest cumulative ACK seen from the initiator —
+	// its rcv_nxt, which is the sequence number a synthesized RST toward
+	// it must carry. clientEndSeq is the highest seq+len it has sent.
+	clientAck    uint32
+	clientEndSeq uint32
+	sawReply     bool // reply-direction traffic seen (flow not embryonic)
+
+	clientMAC wire.MAC // initiator's MAC, captured from its first frame
+
+	backend int  // backend pool index a VIP flow is pinned to; -1 otherwise
+	vip     *VIP // owning VIP for backend accounting; nil otherwise
+	snat    uint16
+}
+
+// ctEntry resolves a wire tuple to its flow and direction.
+type ctEntry struct {
+	f   *flow
+	dir uint8 // 0: orig direction, 1: reply direction
+}
+
+// updateTCP advances the flow state machine for a segment with the given
+// flags arriving from direction dir.
+func (p *Plane) updateTCP(f *flow, dir uint8, flags uint8) {
+	next := f.state
+	switch {
+	case flags&wire.TCPRst != 0:
+		next = StateClosed
+	case flags&wire.TCPSyn != 0 && flags&wire.TCPAck != 0 && dir == 1:
+		if f.state == StateSynSent {
+			next = StateSynRecv
+		}
+	case flags&wire.TCPSyn != 0 && dir == 0:
+		if f.state == StateNew || f.state == StateSynSent {
+			next = StateSynSent
+		}
+	case flags&wire.TCPFin != 0:
+		f.finSeen[dir] = true
+		if f.finSeen[0] && f.finSeen[1] {
+			next = StateLastAck
+		} else {
+			next = StateFinWait
+		}
+	case flags&wire.TCPAck != 0:
+		switch f.state {
+		case StateSynRecv:
+			if dir == 0 {
+				next = StateEstablished
+			}
+		case StateLastAck:
+			next = StateTimeWait
+		}
+	}
+	p.setState(f, next)
+}
+
+// setState moves a flow between states, keeping the per-state gauges.
+func (p *Plane) setState(f *flow, s State) {
+	if f.state == s {
+		return
+	}
+	p.stateCount[f.state]--
+	p.stateCount[s]++
+	f.state = s
+}
+
+// idleLimit returns the idle timeout for a flow's current state.
+func (p *Plane) idleLimit(f *flow) time.Duration {
+	if f.orig.Proto == wire.ProtoUDP {
+		return p.cfg.UDPIdle
+	}
+	switch f.state {
+	case StateEstablished:
+		return p.cfg.EstablishedIdle
+	case StateClosed:
+		return p.cfg.ClosedLinger
+	default:
+		return p.cfg.TransientIdle
+	}
+}
+
+// insertFlow registers a flow under both of its wire tuples, evicting
+// the stalest entry first when the table is full.
+func (p *Plane) insertFlow(f *flow) {
+	if p.flowCount >= p.cfg.MaxFlows {
+		p.evictOne()
+	}
+	p.ct[f.orig] = ctEntry{f: f, dir: 0}
+	p.ct[f.reply] = ctEntry{f: f, dir: 1}
+	p.flowCount++
+	p.stateCount[f.state]++
+	p.Stats.CTCreated.Inc()
+	if f.vip != nil && f.backend >= 0 {
+		b := f.vip.backends[f.backend]
+		b.Conns.Inc()
+		b.liveFlows++
+	}
+}
+
+// removeFlow drops a flow from the table, releasing its SNAT port and
+// backend accounting.
+func (p *Plane) removeFlow(f *flow) {
+	delete(p.ct, f.orig)
+	delete(p.ct, f.reply)
+	p.flowCount--
+	p.stateCount[f.state]--
+	if f.snat != 0 {
+		p.snat.free(f.snat)
+		f.snat = 0
+	}
+	if f.vip != nil && f.backend >= 0 {
+		f.vip.backends[f.backend].liveFlows--
+	}
+}
+
+// evictOne removes the least recently seen flow (ties break toward the
+// oldest flow ID) — a deterministic table-full policy.
+func (p *Plane) evictOne() {
+	var victim *flow
+	for _, e := range p.ct {
+		if e.dir != 0 {
+			continue
+		}
+		f := e.f
+		if victim == nil || f.lastSeen < victim.lastSeen ||
+			(f.lastSeen == victim.lastSeen && f.id < victim.id) {
+			victim = f
+		}
+	}
+	if victim != nil {
+		p.removeFlow(victim)
+		p.Stats.CTEvicted.Inc()
+	}
+}
+
+// gc removes every flow idle past its state's limit. Expiry candidates
+// are ordered by flow ID so the removal order (and every counter it
+// touches) is independent of map iteration order.
+func (p *Plane) gc() {
+	now := p.cfg.Sim.Now()
+	var expired []*flow
+	for _, e := range p.ct {
+		if e.dir != 0 {
+			continue
+		}
+		if now.Sub(e.f.lastSeen) >= p.idleLimit(e.f) {
+			expired = append(expired, e.f)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i].id < expired[j].id })
+	for _, f := range expired {
+		p.removeFlow(f)
+		p.Stats.CTExpired.Inc()
+	}
+}
+
+// sortedFlows returns every tracked flow ordered by its original tuple.
+func (p *Plane) sortedFlows() []*flow {
+	out := make([]*flow, 0, p.flowCount)
+	for _, e := range p.ct {
+		if e.dir == 0 {
+			out = append(out, e.f)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].orig.less(out[j].orig) })
+	return out
+}
+
+// portAlloc hands out SNAT ports deterministically: a round-robin scan
+// from the last allocation, so a given allocation/free history always
+// yields the same ports.
+type portAlloc struct {
+	base  uint16
+	inUse []bool
+	used  int
+	next  int
+}
+
+func newPortAlloc(base uint16, count int) *portAlloc {
+	return &portAlloc{base: base, inUse: make([]bool, count)}
+}
+
+func (a *portAlloc) alloc() (uint16, bool) {
+	if a.used == len(a.inUse) {
+		return 0, false
+	}
+	for i := 0; i < len(a.inUse); i++ {
+		slot := (a.next + i) % len(a.inUse)
+		if !a.inUse[slot] {
+			a.inUse[slot] = true
+			a.used++
+			a.next = (slot + 1) % len(a.inUse)
+			return a.base + uint16(slot), true
+		}
+	}
+	return 0, false
+}
+
+func (a *portAlloc) free(p uint16) {
+	slot := int(p - a.base)
+	if slot >= 0 && slot < len(a.inUse) && a.inUse[slot] {
+		a.inUse[slot] = false
+		a.used--
+	}
+}
+
+func (a *portAlloc) inUseCount() int { return a.used }

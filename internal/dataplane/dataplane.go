@@ -1,0 +1,758 @@
+// Package dataplane grows the kernel packet filter into a programmable
+// data plane: the stateful extension layer eBPF/netfilter occupy in a
+// modern kernel, hosted here by the kern.Host hook the paper's filter
+// VM already sits behind, and deterministic on the virtual clock.
+//
+// Three services compose:
+//
+//   - Connection tracking: 5-tuple flow entries with a TCP-state-aware
+//     lifecycle, idle garbage collection on the virtual clock, a
+//     deterministic table-full eviction policy, and per-state gauges.
+//   - NAT: DNAT redirect rules and the load balancer's full NAT, with
+//     every rewrite's IP and transport checksums updated incrementally
+//     (RFC 1624) via the fused wire checksummer — payload is never
+//     re-summed.
+//   - L4 load balancing: one simulated VIP spreads client connections
+//     across a backend pool by Maglev-style consistent hashing.
+//     Conntrack pins established flows across pool resizes; when a
+//     backend dies, embryonic flows re-home to a surviving backend
+//     (the client's SYN retransmit completes the handshake there) and
+//     established flows are reset cleanly, releasing every session and
+//     SNAT port.
+//
+// A rule Chain (filter VM programs with verdicts) runs ahead of the
+// stateful stages, netfilter-style; its traversal cost is linear in the
+// chain's instruction count, which is what the chain-length benchmarks
+// measure.
+package dataplane
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/filter"
+	"repro/internal/metrics"
+	"repro/internal/sim"
+	"repro/internal/wire"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultPerInstr        = 25 * time.Nanosecond // per chain VM instruction
+	DefaultPerPacket       = 1 * time.Microsecond // fixed hook cost per frame
+	DefaultMaxFlows        = 65536
+	DefaultEstablishedIdle = 5 * time.Minute
+	DefaultTransientIdle   = 30 * time.Second
+	DefaultUDPIdle         = time.Minute
+	DefaultClosedLinger    = 5 * time.Second
+	DefaultGCInterval      = time.Second
+	DefaultSNATBase        = 61000
+	DefaultSNATCount       = 4096
+)
+
+// Config assembles a plane on one host.
+type Config struct {
+	Sim  *sim.Sim
+	Name string // host name, for diagnostics
+
+	// LocalIP/LocalMAC identify the hosting machine: the SNAT side of
+	// load-balanced flows and the source of synthesized frames.
+	LocalIP  wire.IPAddr
+	LocalMAC wire.MAC
+
+	// Transmit is the raw egress path for frames the plane originates or
+	// hairpins (kern.Host.RawTransmit): it bypasses the egress hook so
+	// forwarded traffic is not re-processed.
+	Transmit func(frame []byte) error
+
+	PerInstr  time.Duration // chain traversal cost per VM instruction
+	PerPacket time.Duration // fixed per-frame hook cost
+
+	MaxFlows        int
+	EstablishedIdle time.Duration
+	TransientIdle   time.Duration
+	UDPIdle         time.Duration
+	ClosedLinger    time.Duration
+	GCInterval      time.Duration
+
+	SNATBase  uint16
+	SNATCount int
+	TableSize int // Maglev lookup-table size (prime)
+}
+
+// Stats counts plane activity; BindMetrics registers every counter.
+type Stats struct {
+	RxFrames   metrics.Counter // frames the ingress hook examined
+	Rewrites   metrics.Counter // frames NAT-rewritten (either direction)
+	Hairpins   metrics.Counter // rewritten frames forwarded back out the wire
+	Drops      metrics.Counter // frames the plane dropped
+	ARPReplies metrics.Counter // proxy-ARP answers for owned VIPs
+
+	CTCreated metrics.Counter // flows admitted to the table
+	CTExpired metrics.Counter // flows collected by idle GC
+	CTEvicted metrics.Counter // flows evicted by the table-full policy
+	CTInvalid metrics.Counter // mid-stream segments with no flow entry
+
+	LBConns    metrics.Counter // connections admitted through a VIP
+	LBRefused  metrics.Counter // VIP connections with no live backend
+	LBRehomed  metrics.Counter // embryonic flows re-pointed after a backend died
+	LBResets   metrics.Counter // established flows reset after a backend died
+	SNATFailed metrics.Counter // connections refused for port-pool exhaustion
+}
+
+// Backend is one pool member behind a VIP.
+type Backend struct {
+	Name string // hash key for the Maglev permutation; unique in the pool
+	IP   wire.IPAddr
+	Port uint16
+	MAC  wire.MAC // static neighbor entry: the plane never ARPs
+
+	Alive     bool
+	Conns     metrics.Counter // connections ever pinned here
+	liveFlows int             // currently pinned flows (gauge)
+}
+
+// VIP is one virtual service: an owned IP:port spread across a backend
+// pool. Backends keep their install index for the life of the VIP, so
+// metrics names and flow pins stay stable as the pool changes.
+type VIP struct {
+	IP       wire.IPAddr
+	Port     uint16
+	backends []*Backend
+	table    []int // Maglev slot -> backend index; nil when pool is empty
+	plane    *Plane
+}
+
+// vipKey identifies an owned (IP, port) service.
+type vipKey struct {
+	ip   wire.IPAddr
+	port uint16
+}
+
+func sortVIPKeys(keys []vipKey) {
+	sort.Slice(keys, func(i, j int) bool {
+		for b := 0; b < 4; b++ {
+			if keys[i].ip[b] != keys[j].ip[b] {
+				return keys[i].ip[b] < keys[j].ip[b]
+			}
+		}
+		return keys[i].port < keys[j].port
+	})
+}
+
+func sortFlowsByID(fs []*flow) {
+	sort.Slice(fs, func(i, j int) bool { return fs[i].id < fs[j].id })
+}
+
+// redirect is a DNAT-to-local rule: connections to an owned (IP, port)
+// are rewritten to the host's own address and delivered up its stack;
+// replies are un-NATted on the egress hook.
+type redirect struct {
+	localPort uint16
+}
+
+// Plane is the host's programmable data plane. It implements
+// filter.Hook; install with kern.Host.SetHook.
+type Plane struct {
+	cfg   Config
+	Chain *filter.Chain
+
+	ct         map[tuple]ctEntry
+	flowCount  int
+	stateCount [numStates]int64
+	nextFlowID uint64
+
+	vips      map[vipKey]*VIP
+	redirects map[vipKey]redirect
+	arpOwned  map[wire.IPAddr]int // VIP addresses we proxy-ARP for (refcounted)
+
+	snat  *portAlloc
+	scope *metrics.Scope // bound registry scope, for late-added backends
+
+	Stats Stats
+}
+
+// New builds a plane and starts its conntrack GC daemon.
+func New(cfg Config) *Plane {
+	if cfg.PerInstr <= 0 {
+		cfg.PerInstr = DefaultPerInstr
+	}
+	if cfg.PerPacket <= 0 {
+		cfg.PerPacket = DefaultPerPacket
+	}
+	if cfg.MaxFlows <= 0 {
+		cfg.MaxFlows = DefaultMaxFlows
+	}
+	if cfg.EstablishedIdle <= 0 {
+		cfg.EstablishedIdle = DefaultEstablishedIdle
+	}
+	if cfg.TransientIdle <= 0 {
+		cfg.TransientIdle = DefaultTransientIdle
+	}
+	if cfg.UDPIdle <= 0 {
+		cfg.UDPIdle = DefaultUDPIdle
+	}
+	if cfg.ClosedLinger <= 0 {
+		cfg.ClosedLinger = DefaultClosedLinger
+	}
+	if cfg.GCInterval <= 0 {
+		cfg.GCInterval = DefaultGCInterval
+	}
+	if cfg.SNATBase == 0 {
+		cfg.SNATBase = DefaultSNATBase
+	}
+	if cfg.SNATCount <= 0 {
+		cfg.SNATCount = DefaultSNATCount
+	}
+	if cfg.TableSize <= 0 {
+		cfg.TableSize = DefaultTableSize
+	}
+	p := &Plane{
+		cfg:       cfg,
+		Chain:     filter.NewChain(),
+		ct:        make(map[tuple]ctEntry),
+		vips:      make(map[vipKey]*VIP),
+		redirects: make(map[vipKey]redirect),
+		arpOwned:  make(map[wire.IPAddr]int),
+		snat:      newPortAlloc(cfg.SNATBase, cfg.SNATCount),
+	}
+	cfg.Sim.Every(cfg.GCInterval, p.gc)
+	return p
+}
+
+// BindMetrics registers the plane's counters and gauges under a scope
+// (typically "host.<name>.kern.dataplane").
+func (p *Plane) BindMetrics(sc *metrics.Scope) {
+	if sc == nil {
+		return
+	}
+	p.scope = sc
+	sc.Counter("rx_frames", &p.Stats.RxFrames)
+	sc.Counter("rewrites", &p.Stats.Rewrites)
+	sc.Counter("hairpins", &p.Stats.Hairpins)
+	sc.Counter("drops", &p.Stats.Drops)
+	sc.Counter("arp_replies", &p.Stats.ARPReplies)
+	sc.GaugeFunc("chain_rules", func() int64 { return int64(p.Chain.Len()) })
+
+	ct := sc.Sub("ct")
+	ct.Counter("created", &p.Stats.CTCreated)
+	ct.Counter("expired", &p.Stats.CTExpired)
+	ct.Counter("evicted", &p.Stats.CTEvicted)
+	ct.Counter("invalid", &p.Stats.CTInvalid)
+	ct.GaugeFunc("flows", func() int64 { return int64(p.flowCount) })
+	states := ct.Sub("state")
+	for s := StateNew; s < numStates; s++ {
+		s := s
+		states.GaugeFunc(stateNames[s], func() int64 { return p.stateCount[s] })
+	}
+
+	lb := sc.Sub("lb")
+	lb.Counter("conns", &p.Stats.LBConns)
+	lb.Counter("refused", &p.Stats.LBRefused)
+	lb.Counter("rehomed", &p.Stats.LBRehomed)
+	lb.Counter("resets", &p.Stats.LBResets)
+	lb.Counter("snat_failed", &p.Stats.SNATFailed)
+	lb.GaugeFunc("snat_in_use", func() int64 { return int64(p.snat.inUseCount()) })
+
+	for _, v := range p.sortedVIPs() {
+		for i, b := range v.backends {
+			p.bindBackend(v, i, b)
+		}
+	}
+}
+
+// bindBackend registers one backend's distribution instruments.
+func (p *Plane) bindBackend(v *VIP, idx int, b *Backend) {
+	if p.scope == nil {
+		return
+	}
+	bs := p.scope.Sub("backend").Sub(fmt.Sprintf("%d", idx))
+	bs.Counter("conns", &b.Conns)
+	bs.GaugeFunc("flows", func() int64 { return int64(b.liveFlows) })
+}
+
+// --- Service installation ----------------------------------------------
+
+// InstallVIP creates a virtual service at (ip, port) over the given
+// backend pool. The plane answers ARP for the VIP address and full-NATs
+// admitted connections (DNAT to the chosen backend, SNAT to the host's
+// own address) so backends see ordinary unicast traffic.
+func (p *Plane) InstallVIP(ip wire.IPAddr, port uint16, backends []Backend) (*VIP, error) {
+	key := vipKey{ip: ip, port: port}
+	if _, dup := p.vips[key]; dup {
+		return nil, fmt.Errorf("dataplane: VIP %v:%d already installed", ip, port)
+	}
+	if _, dup := p.redirects[key]; dup {
+		return nil, fmt.Errorf("dataplane: %v:%d already redirected", ip, port)
+	}
+	v := &VIP{IP: ip, Port: port, plane: p}
+	for i := range backends {
+		b := backends[i]
+		b.Alive = true
+		v.backends = append(v.backends, &b)
+		p.bindBackend(v, i, v.backends[i])
+	}
+	v.rebuild()
+	p.vips[key] = v
+	p.arpOwned[ip]++
+	return v, nil
+}
+
+// InstallRedirect creates a DNAT rule: connections to (ip, port) are
+// rewritten to the host's own (LocalIP, localPort) and delivered up its
+// stack; replies are un-NATted on the way out. The plane answers ARP
+// for ip.
+func (p *Plane) InstallRedirect(ip wire.IPAddr, port, localPort uint16) error {
+	key := vipKey{ip: ip, port: port}
+	if _, dup := p.vips[key]; dup {
+		return fmt.Errorf("dataplane: %v:%d already a VIP", ip, port)
+	}
+	if _, dup := p.redirects[key]; dup {
+		return fmt.Errorf("dataplane: %v:%d already redirected", ip, port)
+	}
+	p.redirects[key] = redirect{localPort: localPort}
+	p.arpOwned[ip]++
+	return nil
+}
+
+// sortedVIPs returns the installed VIPs in (ip, port) order.
+func (p *Plane) sortedVIPs() []*VIP {
+	keys := make([]vipKey, 0, len(p.vips))
+	for k := range p.vips {
+		keys = append(keys, k)
+	}
+	sortVIPKeys(keys)
+	out := make([]*VIP, len(keys))
+	for i, k := range keys {
+		out[i] = p.vips[k]
+	}
+	return out
+}
+
+// rebuild recomputes the VIP's Maglev table from its live backends.
+func (v *VIP) rebuild() {
+	keys := make([]string, 0, len(v.backends))
+	idx := make([]int, 0, len(v.backends))
+	for i, b := range v.backends {
+		if b.Alive {
+			keys = append(keys, b.Name)
+			idx = append(idx, i)
+		}
+	}
+	slots := maglevTable(keys, v.plane.cfg.TableSize)
+	if slots == nil {
+		v.table = nil
+		return
+	}
+	v.table = make([]int, len(slots))
+	for s, k := range slots {
+		v.table[s] = idx[k]
+	}
+}
+
+// pick selects the backend for a new connection, or -1 when the pool
+// has no live member.
+func (v *VIP) pick(t tuple) int {
+	if len(v.table) == 0 {
+		return -1
+	}
+	return v.table[flowHash(t)%uint64(len(v.table))]
+}
+
+// Backends returns the pool (install order, dead members included).
+func (v *VIP) Backends() []*Backend { return v.backends }
+
+// AddBackend grows the pool. The Maglev rebuild moves only ~1/n of the
+// table's slots, and flows already pinned by conntrack never move.
+func (v *VIP) AddBackend(b Backend) *Backend {
+	b.Alive = true
+	nb := &b
+	v.backends = append(v.backends, nb)
+	v.plane.bindBackend(v, len(v.backends)-1, nb)
+	v.rebuild()
+	return nb
+}
+
+// KillBackend marks backend i dead, rebuilds the table, and migrates
+// its sessions: embryonic flows (no reply seen yet) re-home to a live
+// backend so the client's SYN retransmission completes the handshake
+// there; established flows are terminated with a synthesized RST to the
+// client. Either way every session and SNAT port is released — nothing
+// leaks on the dead pool member.
+func (v *VIP) KillBackend(i int) {
+	p := v.plane
+	if i < 0 || i >= len(v.backends) || !v.backends[i].Alive {
+		return
+	}
+	v.backends[i].Alive = false
+	v.rebuild()
+
+	flows := p.sortedFlowsByID()
+	for _, f := range flows {
+		if f.vip != v || f.backend != i {
+			continue
+		}
+		if !f.sawReply && f.orig.Proto == wire.ProtoTCP {
+			if nb := v.pick(f.orig); nb >= 0 {
+				p.rehome(f, v, nb)
+				p.Stats.LBRehomed.Inc()
+				continue
+			}
+		}
+		if f.orig.Proto == wire.ProtoTCP && f.state != StateClosed {
+			// Reset both ends: the client sees its connection die, and
+			// the dead pool member's half of the session is torn down
+			// rather than left dangling in its stack.
+			p.cfg.Transmit(p.synthRST(f))
+			p.cfg.Transmit(p.synthRSTBackend(f))
+			p.Stats.LBResets.Inc()
+		}
+		p.removeFlow(f)
+	}
+}
+
+// rehome re-points an embryonic flow at backend nb: the reply-side
+// conntrack key and both translations move to the new backend; the
+// SNAT port is kept.
+func (p *Plane) rehome(f *flow, v *VIP, nb int) {
+	old := v.backends[f.backend]
+	old.liveFlows--
+	b := v.backends[nb]
+	b.Conns.Inc()
+	b.liveFlows++
+
+	delete(p.ct, f.reply)
+	f.backend = nb
+	f.fwd.dstIP, f.fwd.dstPort, f.fwd.dstMAC = b.IP, b.Port, b.MAC
+	f.reply = tuple{Src: b.IP, Dst: p.cfg.LocalIP, SrcPort: b.Port, DstPort: f.snat, Proto: f.orig.Proto}
+	p.ct[f.reply] = ctEntry{f: f, dir: 1}
+}
+
+// sortedFlowsByID returns every tracked flow in creation order.
+func (p *Plane) sortedFlowsByID() []*flow {
+	out := make([]*flow, 0, p.flowCount)
+	for _, e := range p.ct {
+		if e.dir == 0 {
+			out = append(out, e.f)
+		}
+	}
+	sortFlowsByID(out)
+	return out
+}
+
+// --- filter.Hook ---------------------------------------------------------
+
+// IngressCost prices one frame's trip through the plane: the fixed hook
+// cost plus a full traversal of the rule chain (netfilter semantics — a
+// frame matching no rule visits every instruction). It is evaluated
+// before Ingress runs and charged at interrupt priority by the host.
+func (p *Plane) IngressCost(frame []byte) time.Duration {
+	return p.cfg.PerPacket + time.Duration(p.Chain.Instructions())*p.cfg.PerInstr
+}
+
+// Ingress classifies one received frame. It may rewrite (returning a
+// fresh frame — the original is the network's and is never written),
+// absorb it into a hairpin forward, answer it (ARP), or drop it.
+func (p *Plane) Ingress(frame []byte) ([]byte, filter.Verdict) {
+	p.Stats.RxFrames.Inc()
+
+	if v, matched := p.Chain.Eval(frame); matched && v != filter.VerdictPass {
+		if v == filter.VerdictDrop {
+			p.Stats.Drops.Inc()
+		}
+		return nil, v
+	}
+
+	if len(p.arpOwned) > 0 && len(frame) >= wire.EthHeaderLen &&
+		binary.BigEndian.Uint16(frame[12:14]) == wire.EtherTypeARP {
+		return p.arpIngress(frame)
+	}
+
+	pf, ok := parseFrame(frame)
+	if !ok {
+		return nil, filter.VerdictPass
+	}
+
+	if e, hit := p.ct[pf.t]; hit {
+		return p.conntracked(frame, pf, e)
+	}
+
+	key := vipKey{ip: pf.t.Dst, port: pf.t.DstPort}
+	if v, isVIP := p.vips[key]; isVIP {
+		return p.admitVIP(frame, pf, v)
+	}
+	if r, isRedir := p.redirects[key]; isRedir {
+		return p.admitRedirect(frame, pf, r)
+	}
+	return nil, filter.VerdictPass
+}
+
+// Egress intercepts locally-originated frames. Only redirect replies
+// need attention: they are un-NATted in place (the transmit path owns
+// its frame) so the client sees the VIP it connected to.
+func (p *Plane) Egress(frame []byte) ([]byte, filter.Verdict) {
+	if len(p.redirects) == 0 {
+		return nil, filter.VerdictPass
+	}
+	pf, ok := parseFrame(frame)
+	if !ok {
+		return nil, filter.VerdictPass
+	}
+	e, hit := p.ct[pf.t]
+	if !hit || e.dir != 1 || !e.f.rev.rewrite {
+		return nil, filter.VerdictPass
+	}
+	f := e.f
+	f.lastSeen = p.cfg.Sim.Now()
+	if pf.proto == wire.ProtoTCP {
+		p.updateTCP(f, 1, pf.flags)
+		f.sawReply = true
+	}
+	if !p.applyXlate(frame, &f.rev) {
+		p.Stats.Drops.Inc()
+		return nil, filter.VerdictDrop
+	}
+	p.Stats.Rewrites.Inc()
+	return frame, filter.VerdictPass
+}
+
+// conntracked handles a frame whose tuple is already tracked.
+func (p *Plane) conntracked(frame []byte, pf parsed, e ctEntry) ([]byte, filter.Verdict) {
+	f := e.f
+	f.lastSeen = p.cfg.Sim.Now()
+	if pf.proto == wire.ProtoTCP {
+		p.updateTCP(f, e.dir, pf.flags)
+		if e.dir == 0 {
+			if pf.flags&wire.TCPAck != 0 {
+				f.clientAck = pf.ack
+			}
+			if end := pf.seq + uint32(pf.payLen); int32(end-f.clientEndSeq) > 0 {
+				f.clientEndSeq = end
+			}
+		} else {
+			f.sawReply = true
+		}
+	} else if e.dir == 1 {
+		f.sawReply = true
+	}
+
+	x := &f.fwd
+	if e.dir == 1 {
+		x = &f.rev
+	}
+	if !x.rewrite {
+		return nil, filter.VerdictPass
+	}
+	if x.hairpin {
+		out := append([]byte(nil), frame...)
+		if !p.applyXlate(out, x) {
+			p.Stats.Drops.Inc()
+			return nil, filter.VerdictDrop
+		}
+		p.Stats.Rewrites.Inc()
+		p.Stats.Hairpins.Inc()
+		p.cfg.Transmit(out)
+		return nil, filter.VerdictAbsorb
+	}
+	out := append([]byte(nil), frame...)
+	if !p.applyXlate(out, x) {
+		p.Stats.Drops.Inc()
+		return nil, filter.VerdictDrop
+	}
+	p.Stats.Rewrites.Inc()
+	return out, filter.VerdictPass
+}
+
+// admitVIP begins tracking a new connection to a virtual service: pick
+// a backend by consistent hash, allocate a SNAT port, install both
+// directions in conntrack, and forward the (rewritten) first frame.
+func (p *Plane) admitVIP(frame []byte, pf parsed, v *VIP) ([]byte, filter.Verdict) {
+	if pf.proto == wire.ProtoTCP && pf.flags&wire.TCPSyn == 0 {
+		// Mid-stream segment with no flow: a connection we already
+		// terminated (or never admitted). Not ours to deliver.
+		p.Stats.CTInvalid.Inc()
+		p.Stats.Drops.Inc()
+		return nil, filter.VerdictDrop
+	}
+	bi := v.pick(pf.t)
+	if bi < 0 {
+		p.Stats.LBRefused.Inc()
+		p.Stats.Drops.Inc()
+		return nil, filter.VerdictDrop
+	}
+	b := v.backends[bi]
+	snat, ok := p.snat.alloc()
+	if !ok {
+		p.Stats.SNATFailed.Inc()
+		p.Stats.Drops.Inc()
+		return nil, filter.VerdictDrop
+	}
+
+	now := p.cfg.Sim.Now()
+	p.nextFlowID++
+	f := &flow{
+		id:        p.nextFlowID,
+		orig:      pf.t,
+		reply:     tuple{Src: b.IP, Dst: p.cfg.LocalIP, SrcPort: b.Port, DstPort: snat, Proto: pf.proto},
+		created:   now,
+		lastSeen:  now,
+		clientMAC: pf.srcMAC,
+		backend:   bi,
+		vip:       v,
+		snat:      snat,
+	}
+	f.fwd = xlate{
+		srcIP: p.cfg.LocalIP, srcPort: snat,
+		dstIP: b.IP, dstPort: b.Port,
+		dstMAC: b.MAC, hairpin: true, rewrite: true,
+	}
+	f.rev = xlate{
+		srcIP: v.IP, srcPort: v.Port,
+		dstIP: pf.t.Src, dstPort: pf.t.SrcPort,
+		dstMAC: pf.srcMAC, hairpin: true, rewrite: true,
+	}
+	if pf.proto == wire.ProtoTCP {
+		f.clientEndSeq = pf.seq + uint32(pf.payLen) + 1 // +1 for the SYN
+	}
+	p.insertFlow(f)
+	if pf.proto == wire.ProtoTCP {
+		p.updateTCP(f, 0, pf.flags)
+	}
+	p.Stats.LBConns.Inc()
+
+	out := append([]byte(nil), frame...)
+	if !p.applyXlate(out, &f.fwd) {
+		p.Stats.Drops.Inc()
+		return nil, filter.VerdictDrop
+	}
+	p.Stats.Rewrites.Inc()
+	p.Stats.Hairpins.Inc()
+	p.cfg.Transmit(out)
+	return nil, filter.VerdictAbsorb
+}
+
+// admitRedirect begins tracking a DNAT-to-local connection: the frame
+// is rewritten toward the host's own stack and delivered normally;
+// the reply direction is handled by Egress.
+func (p *Plane) admitRedirect(frame []byte, pf parsed, r redirect) ([]byte, filter.Verdict) {
+	if pf.proto == wire.ProtoTCP && pf.flags&wire.TCPSyn == 0 {
+		p.Stats.CTInvalid.Inc()
+		p.Stats.Drops.Inc()
+		return nil, filter.VerdictDrop
+	}
+	now := p.cfg.Sim.Now()
+	p.nextFlowID++
+	f := &flow{
+		id:   p.nextFlowID,
+		orig: pf.t,
+		// The reply key is the egress-side tuple: local stack -> client.
+		reply:     tuple{Src: p.cfg.LocalIP, Dst: pf.t.Src, SrcPort: r.localPort, DstPort: pf.t.SrcPort, Proto: pf.proto},
+		created:   now,
+		lastSeen:  now,
+		clientMAC: pf.srcMAC,
+		backend:   -1,
+	}
+	f.fwd = xlate{
+		srcIP: pf.t.Src, srcPort: pf.t.SrcPort,
+		dstIP: p.cfg.LocalIP, dstPort: r.localPort,
+		dstMAC: p.cfg.LocalMAC, rewrite: true,
+	}
+	f.rev = xlate{
+		srcIP: pf.t.Dst, srcPort: pf.t.DstPort, // the VIP identity
+		dstIP: pf.t.Src, dstPort: pf.t.SrcPort,
+		dstMAC: pf.srcMAC, rewrite: true,
+	}
+	if pf.proto == wire.ProtoTCP {
+		f.clientEndSeq = pf.seq + uint32(pf.payLen) + 1
+	}
+	p.insertFlow(f)
+	if pf.proto == wire.ProtoTCP {
+		p.updateTCP(f, 0, pf.flags)
+	}
+
+	out := append([]byte(nil), frame...)
+	if !p.applyXlate(out, &f.fwd) {
+		p.Stats.Drops.Inc()
+		return nil, filter.VerdictDrop
+	}
+	p.Stats.Rewrites.Inc()
+	return out, filter.VerdictPass
+}
+
+// arpIngress answers ARP requests for owned VIP addresses with the
+// host's own MAC (proxy ARP), so clients on the segment resolve the
+// virtual address without any host actually configuring it.
+func (p *Plane) arpIngress(frame []byte) ([]byte, filter.Verdict) {
+	pkt, err := wire.UnmarshalARP(frame[wire.EthHeaderLen:])
+	if err != nil || pkt.Op != wire.ARPRequest {
+		return nil, filter.VerdictPass
+	}
+	if p.arpOwned[pkt.TargetIP] == 0 {
+		return nil, filter.VerdictPass
+	}
+	reply := wire.ARPPacket{
+		Op:        wire.ARPReply,
+		SenderMAC: p.cfg.LocalMAC,
+		SenderIP:  pkt.TargetIP,
+		TargetMAC: pkt.SenderMAC,
+		TargetIP:  pkt.SenderIP,
+	}
+	out := make([]byte, wire.EthHeaderLen+wire.ARPLen)
+	eh := wire.EthHeader{Dst: pkt.SenderMAC, Src: p.cfg.LocalMAC, Type: wire.EtherTypeARP}
+	eh.Marshal(out)
+	copy(out[wire.EthHeaderLen:], reply.Marshal())
+	p.Stats.ARPReplies.Inc()
+	p.cfg.Transmit(out)
+	return nil, filter.VerdictAbsorb
+}
+
+// --- Introspection -------------------------------------------------------
+
+// FlowInfo is one row of the plane's flow table, for psdstat-style
+// display. Rows are ordered by the original tuple, so rendered output
+// is byte-stable.
+type FlowInfo struct {
+	Proto   string
+	Client  string // initiator address
+	Service string // the VIP/redirect identity the initiator targeted
+	Backend string // translated destination ("" for untranslated flows)
+	State   string
+	Idle    time.Duration
+}
+
+// Flows renders the conntrack table in deterministic order.
+func (p *Plane) Flows() []FlowInfo {
+	now := p.cfg.Sim.Now()
+	flows := p.sortedFlows()
+	out := make([]FlowInfo, 0, len(flows))
+	for _, f := range flows {
+		fi := FlowInfo{
+			Proto:   wire.ProtoName(f.orig.Proto),
+			Client:  fmt.Sprintf("%v:%d", f.orig.Src, f.orig.SrcPort),
+			Service: fmt.Sprintf("%v:%d", f.orig.Dst, f.orig.DstPort),
+			State:   f.state.String(),
+			Idle:    now.Sub(f.lastSeen),
+		}
+		if f.fwd.rewrite {
+			fi.Backend = fmt.Sprintf("%v:%d", f.fwd.dstIP, f.fwd.dstPort)
+		}
+		out = append(out, fi)
+	}
+	return out
+}
+
+// FlowCount returns the number of tracked flows.
+func (p *Plane) FlowCount() int { return p.flowCount }
+
+// SNATInUse returns the number of allocated SNAT ports.
+func (p *Plane) SNATInUse() int { return p.snat.inUseCount() }
+
+// StateCount returns the number of flows in state s.
+func (p *Plane) StateCount(s State) int64 {
+	if s < numStates {
+		return p.stateCount[s]
+	}
+	return 0
+}

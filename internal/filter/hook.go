@@ -1,0 +1,126 @@
+package filter
+
+import "time"
+
+// Verdict is a data-plane hook's decision about a frame.
+type Verdict int
+
+const (
+	// VerdictPass continues normal processing (possibly with a rewritten
+	// frame).
+	VerdictPass Verdict = iota
+	// VerdictDrop discards the frame.
+	VerdictDrop
+	// VerdictAbsorb consumes the frame: the hook handled it itself
+	// (answered it, forwarded it out another path), so the host stack
+	// never sees it. Distinct from Drop only in accounting.
+	VerdictAbsorb
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case VerdictPass:
+		return "pass"
+	case VerdictDrop:
+		return "drop"
+	case VerdictAbsorb:
+		return "absorb"
+	}
+	return "verdict(?)"
+}
+
+// Hook is the kernel's stateful data-plane extension point. Where an
+// installed filter Program is a pure predicate that picks a delivery
+// endpoint, a Hook may keep state across frames (connection tracking),
+// rewrite frames (NAT), and originate frames of its own (load-balancer
+// hairpins) — the position netfilter/eBPF occupy in a modern kernel.
+//
+// The cost/act split exists because the kernel charges virtual CPU
+// before effects occur: IngressCost is evaluated first and charged at
+// interrupt priority, then Ingress runs when the charge completes.
+// IngressCost must be cheap and must not mutate hook state.
+//
+// Ingress receives the frame by reference under the network's
+// immutability contract: the hook must not write to it. A rewriting
+// hook returns a fresh frame (and the original is forgotten); returning
+// nil keeps the original. Egress runs synchronously on the transmit
+// path and owns the frame it is given, so it may rewrite in place.
+type Hook interface {
+	IngressCost(frame []byte) time.Duration
+	Ingress(frame []byte) ([]byte, Verdict)
+	Egress(frame []byte) ([]byte, Verdict)
+}
+
+// Rule is one entry of a hook's rule chain: a validated filter program
+// plus the verdict applied when the program accepts.
+type Rule struct {
+	ID      int
+	Prog    Program
+	Verdict Verdict
+}
+
+// Chain is an ordered rule chain evaluated by a data-plane hook — the
+// VM glue between the stateless filter machine and the stateful plane.
+// Evaluation runs every program until one accepts, netfilter-style, so
+// the traversal cost is linear in the total instruction count; Cost
+// prices exactly that upper bound (a frame matching no rule walks the
+// whole chain), which is what the chain-length benchmarks measure.
+type Chain struct {
+	rules  []Rule
+	instrs int // total instructions across the chain
+	nextID int
+
+	// Evals counts chain evaluations; Steps counts programs run.
+	Evals int
+	Steps int
+}
+
+// NewChain returns an empty rule chain.
+func NewChain() *Chain { return &Chain{nextID: 1} }
+
+// Append validates prog and adds it to the end of the chain, returning
+// the rule's ID.
+func (c *Chain) Append(prog Program, v Verdict) (int, error) {
+	if err := prog.Validate(); err != nil {
+		return 0, err
+	}
+	id := c.nextID
+	c.nextID++
+	c.rules = append(c.rules, Rule{ID: id, Prog: prog, Verdict: v})
+	c.instrs += len(prog)
+	return id, nil
+}
+
+// Remove deletes the rule with the given ID, reporting whether it was
+// present.
+func (c *Chain) Remove(id int) bool {
+	for i, r := range c.rules {
+		if r.ID == id {
+			c.instrs -= len(r.Prog)
+			c.rules = append(c.rules[:i], c.rules[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of installed rules.
+func (c *Chain) Len() int { return len(c.rules) }
+
+// Instructions returns the total instruction count across the chain —
+// the unit the per-instruction cost model multiplies.
+func (c *Chain) Instructions() int { return c.instrs }
+
+// Eval runs the chain over pkt and returns the verdict of the first
+// accepting rule. matched is false when no rule accepted (the caller
+// applies its chain policy, typically pass).
+func (c *Chain) Eval(pkt []byte) (v Verdict, matched bool) {
+	c.Evals++
+	for i := range c.rules {
+		c.Steps++
+		if ok, _ := c.rules[i].Prog.Run(pkt); ok {
+			return c.rules[i].Verdict, true
+		}
+	}
+	return VerdictPass, false
+}

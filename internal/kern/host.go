@@ -46,6 +46,7 @@ type Host struct {
 
 	Filters   *filter.Set
 	egress    *filter.Set
+	hook      filter.Hook
 	endpoints []*Endpoint
 
 	nextPID int
@@ -67,6 +68,8 @@ type Host struct {
 	DeliveryBytes metrics.Counter
 	FilterMatch   metrics.Counter
 	FilterSteal   metrics.Counter // matches won by a priority>0 (session) filter over the catch-all
+	HookDrops     metrics.Counter // frames the data-plane hook dropped (either direction)
+	HookAbsorbed  metrics.Counter // frames the data-plane hook consumed (either direction)
 
 	// Per-interface delivery counts, by user/kernel receive interface.
 	DeliveredIPC    metrics.Counter
@@ -85,8 +88,16 @@ type Host struct {
 	mRxWait     *metrics.Histogram // ns from frame arrival to Recv dequeue
 	mWakeBatch  *metrics.Histogram // packets available when a blocked receiver wakes
 
+	// mKern is the host's kern registry scope, kept so components
+	// installed after SetMetrics (the data-plane hook) can bind under it.
+	mKern *metrics.Scope
+
 	freeRx []*rxJob // recycled receive-path jobs
 }
+
+// KernScope returns the host's "kern" metrics scope, or nil when metrics
+// are disabled. Late-installed components (SetHook planes) bind here.
+func (h *Host) KernScope() *metrics.Scope { return h.mKern }
 
 // SetMetrics binds the host's kernel-side counters into a per-host
 // registry scope and allocates the receive-path histograms. The scope
@@ -102,6 +113,7 @@ func (h *Host) SetMetrics(hs *metrics.Scope) {
 		h.Offload.BindMetrics(hs.Sub("nic").Sub("offload"))
 	}
 	ks := hs.Sub("kern")
+	h.mKern = ks
 	ks.Counter("rx_frames", &h.RxFrames)
 	ks.Counter("wakeups", &h.Wakeups)
 	ks.Counter("rx_dropped", &h.RxDropped)
@@ -114,6 +126,8 @@ func (h *Host) SetMetrics(hs *metrics.Scope) {
 	fs.Counter("match", &h.FilterMatch)
 	fs.Counter("miss", &h.RxNoMatch)
 	fs.Counter("steal", &h.FilterSteal)
+	ks.Counter("hook_drops", &h.HookDrops)
+	ks.Counter("hook_absorbed", &h.HookAbsorbed)
 	h.mQueueDepth = ks.Histogram("queue_depth")
 	h.mRxWait = ks.Histogram("rx_wait_ns")
 	h.mWakeBatch = ks.Histogram("wakeup_batch")
@@ -149,6 +163,16 @@ func NewHost(s *sim.Sim, seg *simnet.Segment, name string, mac wire.MAC, ip wire
 			NIC:   h.NIC,
 			Up:    h.rx,
 			Costs: prof.Offload,
+			// Software fallback for full-FIFO frames: the checksum (or
+			// GSO slicing) work lands on the host CPU at interrupt
+			// priority, like the rest of the receive path.
+			SW: func(d time.Duration, then func()) {
+				if d <= 0 {
+					then()
+					return
+				}
+				h.CPU.UseEvent(s, sim.IntrPriority, d, then)
+			},
 		})
 		h.NIC.Rx = h.Offload.Rx
 	}
@@ -208,6 +232,8 @@ type rxJob struct {
 	n  int
 	ep *Endpoint
 
+	planeFn   func() // routes through the data-plane hook after the device charge
+	hookFn    func() // runs the hook's Ingress after the dataplane charge
 	filterFn  func() // charges the software interrupt after the device charge
 	matchFn   func() // runs the packet filter after the softint charge
 	deliverFn func() // delivers to the endpoint after the copyout charge
@@ -221,6 +247,8 @@ func (h *Host) getRxJob() *rxJob {
 		return j
 	}
 	j := &rxJob{h: h}
+	j.planeFn = j.plane
+	j.hookFn = j.runHook
 	j.filterFn = j.filter
 	j.matchFn = j.match
 	j.deliverFn = j.deliver
@@ -242,9 +270,47 @@ func (h *Host) rx(f simnet.Frame) {
 	j.pc = h.pathFor(f.Data)
 	j.n = payloadLen(f.Data)
 	// Device interrupt; for non-integrated configurations this includes
-	// the copy from device memory into a kernel buffer. Then a software
-	// interrupt demultiplexes via the packet filter.
-	h.chargeRx(costs.CompDeviceIntrRead, j.pc[costs.CompDeviceIntrRead].At(j.n), j.filterFn)
+	// the copy from device memory into a kernel buffer. Then the
+	// data-plane hook (if installed) and a software interrupt that
+	// demultiplexes via the packet filter.
+	h.chargeRx(costs.CompDeviceIntrRead, j.pc[costs.CompDeviceIntrRead].At(j.n), j.planeFn)
+}
+
+// plane routes the frame through the data-plane hook stage: the hook's
+// traversal cost is charged first (rule chain + conntrack/NAT work),
+// then runHook applies its effects. Hosts without a hook fall straight
+// through to the software interrupt.
+func (j *rxJob) plane() {
+	h := j.h
+	if h.hook == nil {
+		j.filter()
+		return
+	}
+	h.chargeRx(costs.CompDataplane, h.hook.IngressCost(j.f.Data), j.hookFn)
+}
+
+// runHook applies the hook's ingress verdict: drop and absorb terminate
+// the receive path here; pass continues (with the rewritten frame, if
+// the hook produced one) into the packet-filter stage.
+func (j *rxJob) runHook() {
+	h := j.h
+	nf, v := h.hook.Ingress(j.f.Data)
+	switch v {
+	case filter.VerdictDrop:
+		h.HookDrops.Inc()
+		h.putRxJob(j)
+		return
+	case filter.VerdictAbsorb:
+		h.HookAbsorbed.Inc()
+		h.putRxJob(j)
+		return
+	}
+	if nf != nil {
+		j.f.Data = nf
+		j.pc = h.pathFor(nf)
+		j.n = payloadLen(nf)
+	}
+	j.filter()
 }
 
 // filter charges the software-interrupt stage.
@@ -324,15 +390,51 @@ func (h *Host) Inject(frame []byte) {
 // bypass it because their only path to the wire is this transmit call.
 func (h *Host) SetEgress(s *filter.Set) { h.egress = s }
 
-// Transmit sends a frame, subject to the egress filter. Deployments use
-// this as the stack's transmit function.
+// SetHook installs (or, with nil, removes) the host's data-plane hook.
+// The hook sees every received frame between the device interrupt and
+// the demultiplexing packet filter, and every locally-originated frame
+// before the egress filter — on all architectures, since each is built
+// on this host substrate.
+func (h *Host) SetHook(hk filter.Hook) { h.hook = hk }
+
+// Hook returns the installed data-plane hook, or nil.
+func (h *Host) Hook() filter.Hook { return h.hook }
+
+// Transmit sends a frame, subject to the data-plane hook's egress stage
+// and the egress filter. Deployments use this as the stack's transmit
+// function. The egress hook runs synchronously (locally-originated
+// frames were already priced by the stack's send components) and owns
+// the frame, so un-NAT rewrites happen in place.
 func (h *Host) Transmit(frame []byte) error {
+	if h.hook != nil {
+		nf, v := h.hook.Egress(frame)
+		switch v {
+		case filter.VerdictDrop:
+			h.HookDrops.Inc()
+			return nil
+		case filter.VerdictAbsorb:
+			h.HookAbsorbed.Inc()
+			return nil
+		}
+		if nf != nil {
+			frame = nf
+		}
+	}
 	if h.egress != nil {
 		if m, _ := h.egress.Match(frame); m == nil {
 			h.TxBlocked.Inc()
 			return nil // silently dropped, like a firewall
 		}
 	}
+	return h.RawTransmit(frame)
+}
+
+// RawTransmit bypasses the egress hook and filter — the path data-plane
+// hooks use for frames they originate or forward (hairpinned rewrites,
+// ARP replies), mirroring netfilter's FORWARD-vs-OUTPUT distinction.
+// When an offload engine is attached it goes through it, so forwarded
+// LRO super-segments are re-sliced instead of rejected by the MTU check.
+func (h *Host) RawTransmit(frame []byte) error {
 	if h.Offload != nil {
 		return h.Offload.Transmit(frame)
 	}

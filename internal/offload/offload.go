@@ -92,6 +92,13 @@ type Config struct {
 	// that was the NIC's Rx callback before the engine was attached).
 	Up func(f simnet.Frame)
 
+	// SW, when set, charges software-fallback work on the host CPU (at
+	// interrupt priority, like the rest of the receive path) and calls
+	// then when the charge completes. A full engine FIFO pushes frames
+	// onto this path instead of dropping them. Nil runs fallbacks
+	// uncharged (unit tests).
+	SW func(d time.Duration, then func())
+
 	Costs costs.OffloadCosts
 
 	MSS         int           // TSO slice payload size (default 1460)
@@ -113,13 +120,21 @@ type Stats struct {
 	RxCsumBytes  metrics.Counter // transport bytes verified on receive
 	RxCsumBad    metrics.Counter // frames dropped for a bad checksum
 
-	LROMerged  metrics.Counter // wire frames absorbed into a pending merge
-	LROFlushes metrics.Counter // merged super-segments delivered up
-	LROBytes   metrics.Counter // payload bytes delivered in merged segments
+	LROMerged   metrics.Counter // wire frames absorbed into a pending merge
+	LROFlushes  metrics.Counter // merged super-segments delivered up
+	LROBytes    metrics.Counter // payload bytes delivered in merged segments
 	RxImmediate metrics.Counter // frames delivered without holding
 
 	TxEngineNS metrics.Counter // virtual ns charged on the transmit pipeline
 	RxEngineNS metrics.Counter // virtual ns charged on the receive pipeline
+
+	// Finite-FIFO accounting: overflows never drop, they degrade to the
+	// software path, whose work is counted here.
+	TxOverflow   metrics.Counter // frames refused by a full transmit FIFO
+	RxOverflow   metrics.Counter // frames refused by a full receive FIFO
+	SwCsumFrames metrics.Counter // frames checksummed/verified on the host instead
+	SwCsumBytes  metrics.Counter // transport bytes the host checksummed in fallback
+	SwSlices     metrics.Counter // wire frames sliced by software GSO in fallback
 }
 
 // Engine is one NIC's offload pipeline.
@@ -131,6 +146,13 @@ type Engine struct {
 	// per-frame charges vary.
 	txFree sim.Time
 	rxFree sim.Time
+
+	// FIFO occupancy: frames queued awaiting pipeline completion on
+	// each direction (receive also counts open LRO merges). Compared
+	// against Costs.TxFIFOFrames/RxFIFOFrames to decide when a frame
+	// falls back to the software path.
+	txQueued int
+	rxQueued int
 
 	// Adaptive moderation state.
 	ewmaGap time.Duration
@@ -203,6 +225,31 @@ func (e *Engine) BindMetrics(sc *metrics.Scope) {
 	sc.Counter("rx_immediate", &e.Stats.RxImmediate)
 	sc.Counter("tx_engine_ns", &e.Stats.TxEngineNS)
 	sc.Counter("rx_engine_ns", &e.Stats.RxEngineNS)
+	sc.Counter("tx_overflow", &e.Stats.TxOverflow)
+	sc.Counter("rx_overflow", &e.Stats.RxOverflow)
+	sc.Counter("sw_csum_frames", &e.Stats.SwCsumFrames)
+	sc.Counter("sw_csum_bytes", &e.Stats.SwCsumBytes)
+	sc.Counter("sw_slices", &e.Stats.SwSlices)
+}
+
+// txFull and rxFull report a full FIFO (0 = unlimited).
+func (e *Engine) txFull() bool {
+	max := e.cfg.Costs.TxFIFOFrames
+	return max > 0 && e.txQueued >= max
+}
+
+func (e *Engine) rxFull() bool {
+	max := e.cfg.Costs.RxFIFOFrames
+	return max > 0 && e.rxQueued+len(e.pending) >= max
+}
+
+// sw charges software-fallback work on the host CPU and continues.
+func (e *Engine) sw(d time.Duration, then func()) {
+	if e.cfg.SW == nil || d <= 0 {
+		then()
+		return
+	}
+	e.cfg.SW(d, then)
 }
 
 // chargeTx advances the transmit pipeline clock by d and returns the
@@ -297,13 +344,22 @@ func (e *Engine) Transmit(frame []byte) error {
 	segLen := wire.EthHeaderLen + int(p.ip.TotalLen) - p.tpAt
 
 	if len(frame) <= wire.EthHeaderLen+wire.EthMTU {
-		// Plain frame: checksum on the NIC, then out.
+		// Plain frame. The stack skipped its software checksum pass, so
+		// the checksum must be computed here either way; a full FIFO only
+		// moves the charge onto the host CPU.
 		e.patchTransportChecksum(frame, p)
 		e.Stats.TxPass.Inc()
+		if e.txFull() {
+			e.Stats.TxOverflow.Inc()
+			e.Stats.SwCsumFrames.Inc()
+			e.Stats.SwCsumBytes.Add(uint64(segLen))
+			e.sw(e.cfg.Costs.SwChecksum.At(segLen), func() { e.cfg.NIC.Transmit(frame) })
+			return nil
+		}
 		e.Stats.TxCsumFrames.Inc()
 		e.Stats.TxCsumBytes.Add(uint64(segLen))
 		done := e.chargeTx(e.cfg.Costs.Checksum.At(segLen))
-		e.at(done, func() { e.cfg.NIC.Transmit(frame) })
+		e.transmitAt(done, frame)
 		return nil
 	}
 
@@ -313,15 +369,67 @@ func (e *Engine) Transmit(frame []byte) error {
 		return e.cfg.NIC.Transmit(frame)
 	}
 
-	// TSO: slice the super-segment. The header template is the frame's
-	// own Ethernet+IP+TCP headers; each slice re-marshals them with
-	// patched lengths, sequence number, IP ID, and flags.
+	// TSO: slice the super-segment into MSS-sized wire frames.
+	e.Stats.TSOSuper.Inc()
+	slices := e.sliceSuper(frame, p)
+
+	if e.txFull() {
+		// FIFO full: software GSO. The host does the slicing and the
+		// per-slice checksums, then the frames go straight to the wire in
+		// order, skipping the engine pipeline.
+		e.Stats.TxOverflow.Inc()
+		var d time.Duration
+		for _, s := range slices {
+			segBytes := len(s) - p.tpAt
+			e.Stats.SwSlices.Inc()
+			e.Stats.SwCsumFrames.Inc()
+			e.Stats.SwCsumBytes.Add(uint64(segBytes))
+			d += e.cfg.Costs.SwChecksum.At(segBytes)
+		}
+		e.sw(d, func() {
+			for _, s := range slices {
+				e.cfg.NIC.Transmit(s)
+			}
+		})
+		return nil
+	}
+
+	payLen := wire.EthHeaderLen + int(p.ip.TotalLen) - p.payAt
+	d := e.cfg.Costs.TxSetup.At(payLen)
+	for _, s := range slices {
+		take := len(s) - p.payAt
+		e.Stats.TSOSlices.Inc()
+		e.Stats.TxCsumFrames.Inc()
+		e.Stats.TxCsumBytes.Add(uint64(p.tcpHLen + take))
+		d += e.cfg.Costs.TxSegment.At(take) + e.cfg.Costs.Checksum.At(p.tcpHLen+take)
+		done := e.chargeTx(d)
+		d = 0
+		e.transmitAt(done, s)
+	}
+	return nil
+}
+
+// transmitAt occupies a transmit FIFO slot until the pipeline completes
+// at t, then sends the frame out.
+func (e *Engine) transmitAt(t sim.Time, frame []byte) {
+	e.txQueued++
+	e.at(t, func() {
+		e.txQueued--
+		e.cfg.NIC.Transmit(frame)
+	})
+}
+
+// sliceSuper slices a TSO super-segment into MSS-sized wire frames with
+// patched IP/TCP headers and fresh checksums. The header template is the
+// frame's own Ethernet+IP+TCP headers; FIN/PSH ride only on the last
+// slice. Shared by the engine TSO path and the software GSO fallback —
+// the bytes on the wire are identical either way, only who is charged
+// for producing them differs.
+func (e *Engine) sliceSuper(frame []byte, p parsedFrame) [][]byte {
 	payload := frame[p.payAt : wire.EthHeaderLen+int(p.ip.TotalLen)]
 	mss := e.cfg.MSS
-	e.Stats.TSOSuper.Inc()
-	d := e.cfg.Costs.TxSetup.At(len(payload))
-
 	hdrLen := p.payAt // Ethernet + IP + TCP headers, options included
+	var slices [][]byte
 	for off, idx := 0, 0; off < len(payload); idx++ {
 		take := mss
 		last := false
@@ -339,8 +447,7 @@ func (e *Engine) Transmit(frame []byte) error {
 		ih.ID = p.ip.ID + uint16(idx)
 		ih.Marshal(slice[p.ipHdrAt : p.ipHdrAt+wire.IPv4HeaderLen])
 
-		// TCP header: advance the sequence number; FIN/PSH ride only on
-		// the last slice.
+		// TCP header: advance the sequence number.
 		tb := slice[p.tpAt:]
 		seq := p.tcp.Seq + uint32(off)
 		tb[4] = byte(seq >> 24)
@@ -353,18 +460,10 @@ func (e *Engine) Transmit(frame []byte) error {
 
 		sp := parsedFrame{ip: ih, ipHdrAt: p.ipHdrAt, tpAt: p.tpAt, payAt: p.payAt}
 		e.patchTransportChecksum(slice, sp)
-
-		e.Stats.TSOSlices.Inc()
-		e.Stats.TxCsumFrames.Inc()
-		e.Stats.TxCsumBytes.Add(uint64(p.tcpHLen + take))
-		d += e.cfg.Costs.TxSegment.At(take) + e.cfg.Costs.Checksum.At(p.tcpHLen+take)
-		done := e.chargeTx(d)
-		d = 0
-		out := slice
-		e.at(done, func() { e.cfg.NIC.Transmit(out) })
+		slices = append(slices, slice)
 		off += take
 	}
-	return nil
+	return slices
 }
 
 // patchTransportChecksum zeroes and recomputes the TCP/UDP checksum of
@@ -410,11 +509,43 @@ func (e *Engine) Rx(f simnet.Frame) {
 		return
 	}
 
+	segLen := wire.EthHeaderLen + int(p.ip.TotalLen) - p.tpAt
+	seg := f.Data[p.tpAt : wire.EthHeaderLen+int(p.ip.TotalLen)]
+
+	if e.rxFull() {
+		// FIFO full: degrade to the software path. The host verifies the
+		// checksum — bad frames still die, so end-to-end protection never
+		// lapses under load — and LRO is skipped for this frame; an open
+		// merge for the flow flushes first so the stream stays in order.
+		e.Stats.RxOverflow.Inc()
+		if p.ip.Proto == wire.ProtoTCP {
+			key := flowKey{src: p.ip.Src, dst: p.ip.Dst, sport: p.tcp.SrcPort, dport: p.tcp.DstPort}
+			if pend := e.pending[key]; pend != nil {
+				e.flush(pend, 0)
+			}
+		}
+		okSum := true
+		switch p.ip.Proto {
+		case wire.ProtoTCP:
+			okSum = wire.VerifyTCPChecksum(p.ip.Src, p.ip.Dst, seg)
+		case wire.ProtoUDP:
+			okSum = wire.VerifyUDPChecksum(p.ip.Src, p.ip.Dst, seg)
+		}
+		e.Stats.SwCsumFrames.Inc()
+		e.Stats.SwCsumBytes.Add(uint64(segLen))
+		e.sw(e.cfg.Costs.SwChecksum.At(segLen), func() {
+			if !okSum {
+				e.Stats.RxCsumBad.Inc()
+				return
+			}
+			e.deliverAfter(0, f)
+		})
+		return
+	}
+
 	// Checksum verification on the NIC. Bad frames die here with a
 	// counter, exactly as a bad software checksum would have dropped
 	// them in the stack.
-	segLen := wire.EthHeaderLen + int(p.ip.TotalLen) - p.tpAt
-	seg := f.Data[p.tpAt : wire.EthHeaderLen+int(p.ip.TotalLen)]
 	e.Stats.RxCsumFrames.Inc()
 	e.Stats.RxCsumBytes.Add(uint64(segLen))
 	d := e.cfg.Costs.Checksum.At(segLen)
@@ -588,10 +719,15 @@ func (e *Engine) deliverNow(f simnet.Frame) {
 }
 
 // deliverAfter hands a frame up after charging d on the receive
-// pipeline (FIFO: a cheap frame never overtakes an expensive one).
+// pipeline (FIFO: a cheap frame never overtakes an expensive one). The
+// frame holds a receive FIFO slot until the delivery fires.
 func (e *Engine) deliverAfter(d time.Duration, f simnet.Frame) {
 	done := e.chargeRx(d)
-	e.at(done, func() { e.cfg.Up(f) })
+	e.rxQueued++
+	e.at(done, func() {
+		e.rxQueued--
+		e.cfg.Up(f)
+	})
 }
 
 // observeArrival updates the inter-arrival EWMA and reports whether the

@@ -230,7 +230,7 @@ func TestLROFinFlushesPending(t *testing.T) {
 	if th1.Flags&wire.TCPFin == 0 {
 		t.Fatalf("second delivery is not the FIN")
 	}
-	if env.got[1].at > sim.Time(0).Add(finAt + time.Millisecond) {
+	if env.got[1].at > sim.Time(0).Add(finAt+time.Millisecond) {
 		t.Fatalf("FIN held until %v, want prompt delivery", env.got[1].at)
 	}
 }

@@ -112,6 +112,29 @@ func ChecksumChain(ch *mbuf.Chain) uint16 {
 	return c.Sum()
 }
 
+// ChecksumFixup incrementally updates a header checksum field after a
+// range of covered bytes changed from old to new, per RFC 1624 eqn. 3:
+//
+//	HC' = ~(~HC + ~m + m')
+//
+// check is the current field value; old and new are the bytes before and
+// after the rewrite (they may differ in length, but NAT rewrites use
+// equal, even-length ranges). The update is exact — the result equals a
+// full recomputation — so rewrites never have to re-sum payload; only
+// the changed header bytes are visited. Fixups compose: rewriting two
+// disjoint ranges is two successive calls.
+func ChecksumFixup(check uint16, old, new []byte) uint16 {
+	var co, cn Checksummer
+	co.Add(old)
+	cn.Add(new)
+	// co.Sum() is ~m already; ^cn.Sum() undoes the complement to get m'.
+	s := uint64(^check) + uint64(co.Sum()) + uint64(^cn.Sum())
+	for s>>16 != 0 {
+		s = (s & 0xffff) + (s >> 16)
+	}
+	return ^uint16(s)
+}
+
 // PseudoHeader folds the IPv4 pseudo-header used by TCP and UDP checksums
 // into c: source address, destination address, protocol, and length of the
 // transport segment.

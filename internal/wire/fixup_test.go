@@ -1,0 +1,64 @@
+package wire
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestChecksumFixupQuickcheck compares the RFC 1624 incremental update
+// against a full recomputation over randomized coverage, rewrite ranges,
+// and contents. Ranges start on 16-bit boundaries of the covered data,
+// which is the alignment every header field rewrite satisfies.
+func TestChecksumFixupQuickcheck(t *testing.T) {
+	rng := rand.New(rand.NewSource(1624))
+	for trial := 0; trial < 20000; trial++ {
+		n := 2 + rng.Intn(1500)
+		buf := make([]byte, n)
+		rng.Read(buf)
+		check := Checksum(buf)
+
+		off := rng.Intn(n) &^ 1
+		l := 1 + rng.Intn(n-off)
+		old := append([]byte(nil), buf[off:off+l]...)
+		rng.Read(buf[off : off+l])
+
+		got := ChecksumFixup(check, old, buf[off:off+l])
+		want := Checksum(buf)
+		if got != want {
+			t.Fatalf("trial %d: n=%d off=%d l=%d: fixup %#04x != recompute %#04x",
+				trial, n, off, l, got, want)
+		}
+	}
+}
+
+// TestChecksumFixupComposes verifies that fixing up two disjoint ranges
+// in sequence equals one recomputation — the property NAT relies on when
+// it rewrites the address block and the port block separately.
+func TestChecksumFixupComposes(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 5000; trial++ {
+		buf := make([]byte, 40+rng.Intn(200))
+		rng.Read(buf)
+		check := Checksum(buf)
+
+		oldA := append([]byte(nil), buf[12:20]...)
+		oldB := append([]byte(nil), buf[20:24]...)
+		rng.Read(buf[12:24])
+
+		check = ChecksumFixup(check, oldA, buf[12:20])
+		check = ChecksumFixup(check, oldB, buf[20:24])
+		if want := Checksum(buf); check != want {
+			t.Fatalf("trial %d: composed fixup %#04x != recompute %#04x", trial, check, want)
+		}
+	}
+}
+
+// TestChecksumFixupIdentity: rewriting bytes to themselves must not
+// change the checksum.
+func TestChecksumFixupIdentity(t *testing.T) {
+	buf := []byte{0xde, 0xad, 0xbe, 0xef, 0x01, 0x02}
+	check := Checksum(buf)
+	if got := ChecksumFixup(check, buf[2:4], buf[2:4]); got != check {
+		t.Fatalf("identity fixup changed checksum: %#04x -> %#04x", check, got)
+	}
+}

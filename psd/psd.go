@@ -27,8 +27,10 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/costs"
+	"repro/internal/dataplane"
 	"repro/internal/fault"
 	"repro/internal/inkernel"
+	"repro/internal/kern"
 	"repro/internal/mbuf"
 	"repro/internal/metrics"
 	"repro/internal/sim"
@@ -56,6 +58,20 @@ type (
 	HistView = metrics.HistView
 	// SocketInfo is one row of a netstat-style socket table.
 	SocketInfo = stack.SocketInfo
+)
+
+// Data-plane types, re-exported so tooling and tests can program a
+// host's data plane without importing internal packages.
+type (
+	// Plane is a host's programmable data plane (see Host.Dataplane):
+	// conntrack, NAT, and L4 load balancing on the kernel filter hook.
+	Plane = dataplane.Plane
+	// VIP is one virtual service spread across a backend pool.
+	VIP = dataplane.VIP
+	// PoolBackend is one member of a VIP's backend pool.
+	PoolBackend = dataplane.Backend
+	// FlowInfo is one row of a data plane's connection-tracking table.
+	FlowInfo = dataplane.FlowInfo
 )
 
 // Flight-recorder types, re-exported so tooling and tests can consume
@@ -411,6 +427,7 @@ func (n *Network) hostOn(s *sim.Sim, seg *simnet.Segment, routes *stack.RouteTab
 		h.newApp = func(app string) App { return sys.NewLibrary(app) }
 		h.core = sys
 		h.stacks = sys.Stacks
+		h.kern = sys.Host
 	case 1:
 		sys := inkernel.New(s, seg, name, mac, ip, arch.prof)
 		if rec != nil {
@@ -422,6 +439,7 @@ func (n *Network) hostOn(s *sim.Sim, seg *simnet.Segment, routes *stack.RouteTab
 		sys.St.SetRoutes(routes)
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
 		h.stacks = func() []*stack.Stack { return []*stack.Stack{sys.St} }
+		h.kern = sys.Host
 	case 2:
 		sys := uxserver.New(s, seg, name, mac, ip, arch.prof)
 		if rec != nil {
@@ -433,6 +451,7 @@ func (n *Network) hostOn(s *sim.Sim, seg *simnet.Segment, routes *stack.RouteTab
 		sys.St.SetRoutes(routes)
 		h.newApp = func(app string) App { return sys.NewAPI(app) }
 		h.stacks = func() []*stack.Stack { return []*stack.Stack{sys.St} }
+		h.kern = sys.Host
 	}
 	return h
 }
@@ -481,6 +500,8 @@ type Host struct {
 	newApp func(string) App
 	core   *core.System
 	stacks func() []*stack.Stack
+	kern   *kern.Host
+	plane  *dataplane.Plane
 }
 
 // Spawn starts an application thread on the host's own shard. In group
@@ -509,6 +530,57 @@ func (h *Host) Addr(port uint16) SockAddr { return SockAddr{Addr: h.ip, Port: po
 // socket interface. On a Decomposed host this links a protocol library
 // into the new address space; on the baselines it is a plain process.
 func (h *Host) NewApp(name string) App { return h.newApp(name) }
+
+// Dataplane returns the host's programmable data plane, creating it and
+// installing it on the kernel packet-filter hook on first use. The
+// plane runs on every architecture — it lives below the protocol layers,
+// in the one component all three organizations keep in the kernel.
+// Its metrics appear under "host.<name>.kern.dataplane.*" when the
+// network has metrics enabled.
+func (h *Host) Dataplane() *Plane {
+	if h.plane == nil {
+		h.plane = dataplane.New(dataplane.Config{
+			Sim:      h.sim,
+			Name:     h.name,
+			LocalIP:  h.ip,
+			LocalMAC: h.kern.NIC.MAC(),
+			Transmit: h.kern.RawTransmit,
+		})
+		h.kern.SetHook(h.plane)
+		h.plane.BindMetrics(h.kern.KernScope().Sub("dataplane"))
+	}
+	return h.plane
+}
+
+// BackendSpec names one pool member for Host.InstallVIP: a simulated
+// host and the port its real service listens on. Name defaults to the
+// host's name (it keys the consistent hash, so it must be unique in the
+// pool).
+type BackendSpec struct {
+	Host *Host
+	Port uint16
+	Name string
+}
+
+// InstallVIP publishes a virtual service at addr:port on this host's
+// data plane, load-balanced across the given backends. The plane
+// proxy-ARPs for the VIP address, so clients on the segment reach it
+// with no host actually configuring it.
+func (h *Host) InstallVIP(addr string, port uint16, backends ...BackendSpec) (*VIP, error) {
+	ip, err := ParseIP(addr)
+	if err != nil {
+		return nil, err
+	}
+	bs := make([]PoolBackend, len(backends))
+	for i, b := range backends {
+		name := b.Name
+		if name == "" {
+			name = b.Host.Name()
+		}
+		bs[i] = PoolBackend{Name: name, IP: b.Host.ip, Port: b.Port, MAC: b.Host.kern.NIC.MAC()}
+	}
+	return h.Dataplane().InstallVIP(ip, port, bs)
+}
 
 // ServerStats reports the OS server's session-management counters on a
 // Decomposed host (zeroes otherwise): sessions currently tracked,
